@@ -1,0 +1,92 @@
+// Command hlobench regenerates the paper's tables and figures on the
+// synthetic SPEC suite and prints them as text tables.
+//
+// Usage:
+//
+//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all]
+//
+// With no flags it behaves as -all. Figure 8 accepts -fig8points to
+// bound the sweep resolution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig5 := flag.Bool("fig5", false, "Figure 5: call-site classification")
+	table1 := flag.Bool("table1", false, "Table 1: transformations per scope")
+	fig6 := flag.Bool("fig6", false, "Figure 6: speedups")
+	fig7 := flag.Bool("fig7", false, "Figure 7: simulation detail")
+	fig8 := flag.Bool("fig8", false, "Figure 8: incremental benefit")
+	fig8points := flag.Int("fig8points", 12, "max points per Figure 8 budget curve")
+	prod := flag.Bool("prod", false, "Section 3.5: large generated programs")
+	prodSeeds := flag.Int("prodseeds", 3, "number of generated programs for -prod")
+	all := flag.Bool("all", false, "everything")
+	flag.Parse()
+
+	if !*fig5 && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*prod {
+		*all = true
+	}
+	run := func(name string, enabled bool, f func() (string, error)) {
+		if !enabled && !*all {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("figure5", *fig5, func() (string, error) {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure5(rows), nil
+	})
+	run("table1", *table1, func() (string, error) {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable1(rows), nil
+	})
+	run("figure6", *fig6, func() (string, error) {
+		rows, err := experiments.Figure6()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure6(rows), nil
+	})
+	run("figure7", *fig7, func() (string, error) {
+		rows, err := experiments.Figure7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure7(rows), nil
+	})
+	run("figure8", *fig8, func() (string, error) {
+		points, err := experiments.Figure8(nil, *fig8points)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure8(points), nil
+	})
+	run("production", *prod, func() (string, error) {
+		rows, err := experiments.Production(*prodSeeds)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderProduction(rows), nil
+	})
+}

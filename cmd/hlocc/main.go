@@ -1,0 +1,187 @@
+// Command hlocc is the compiler driver: it compiles MiniC modules with
+// HLO inlining and cloning, mirroring the paper's compile paths.
+//
+// Traditional per-module path (the default) and the link-time
+// cross-module path (-cross) are both supported, as is profile feedback
+// (-profile, with -train supplying the training input vector).
+//
+// Usage:
+//
+//	hlocc [flags] file1.mc file2.mc ...
+//
+// Flags:
+//
+//	-cross          cross-module (link-time) optimization
+//	-profile        instrument, run on -train inputs, recompile with profile
+//	-train  1,2,3   training input vector
+//	-budget N       compile-time growth budget in percent (default 100)
+//	-noinline       disable inlining
+//	-noclone        disable cloning
+//	-outline        extract profile-cold code into new routines
+//	-affinity-layout  profile-guided code positioning (Pettis-Hansen)
+//	-emit-isom DIR  write optimized modules as DIR/<module>.isom
+//	-emit-profile F train on -train inputs and store the profile database
+//	-use-profile F  attach a stored profile database (no training run)
+//	-run 1,2,3      run the executable on the PA8000 model with inputs
+//	-stats          print HLO transformation statistics
+//	-dump           print the optimized IR listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/isom"
+	"repro/internal/profile"
+)
+
+func main() {
+	cross := flag.Bool("cross", false, "cross-module (link-time) optimization")
+	profileFlag := flag.Bool("profile", false, "profile-based optimization (train first)")
+	train := flag.String("train", "", "comma-separated training inputs")
+	budget := flag.Int("budget", 100, "compile-time growth budget in percent")
+	noinline := flag.Bool("noinline", false, "disable inlining")
+	noclone := flag.Bool("noclone", false, "disable cloning")
+	outline := flag.Bool("outline", false, "extract profile-cold code into new routines")
+	affinity := flag.Bool("affinity-layout", false, "profile-guided code positioning")
+	emitIsom := flag.String("emit-isom", "", "directory for optimized .isom modules")
+	emitProfile := flag.String("emit-profile", "", "train and write the profile database to this file")
+	useProfile := flag.String("use-profile", "", "attach a stored profile database instead of training")
+	runInputs := flag.String("run", "", "run with comma-separated inputs")
+	stats := flag.Bool("stats", false, "print HLO statistics")
+	dump := flag.Bool("dump", false, "print optimized IR")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "hlocc: no input files")
+		os.Exit(2)
+	}
+	sources := make([]string, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, string(data))
+	}
+
+	opts := driver.Options{
+		CrossModule: *cross,
+		Profile:     *profileFlag,
+		TrainInputs: parseInputs(*train),
+		HLO:         core.DefaultOptions(),
+	}
+	opts.HLO.Budget = *budget
+	opts.HLO.Inline = !*noinline
+	opts.HLO.Clone = !*noclone
+	opts.HLO.Outline = *outline
+	if *affinity {
+		opts.Layout = backend.LayoutCallAffinity
+	}
+	if *emitProfile != "" {
+		db, err := driver.TrainProfile(sources, opts.TrainInputs)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*emitProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *useProfile != "" {
+		f, err := os.Open(*useProfile)
+		if err != nil {
+			fatal(err)
+		}
+		db, err := profile.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts.ProfileData = db
+	}
+
+	c, err := driver.Compile(sources, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := c.Stats
+		fmt.Printf("inlines=%d clones=%d clone-repls=%d deletions=%d outlines=%d promotions=%d dead-calls=%d\n",
+			s.Inlines, s.Clones, s.CloneRepls, s.Deletions, s.Outlines, s.Promotions, s.DeadCalls)
+		fmt.Printf("compile-cost=%d size %d -> %d machine-instrs=%d\n",
+			c.CompileCost, s.SizeBefore, s.SizeAfter, c.CodeSize)
+	}
+	if *dump {
+		fmt.Print(c.IR.String())
+	}
+	if *emitIsom != "" {
+		for _, m := range c.IR.Modules {
+			path := filepath.Join(*emitIsom, m.Name+".isom")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := isom.Write(f, m); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *runInputs != "" || flagProvided("run") {
+		st, err := c.Run(opts, parseInputs(*runInputs))
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range st.Output {
+			fmt.Println(v)
+		}
+		fmt.Printf("exit=%d cycles=%d instrs=%d cpi=%.3f\n", st.ExitCode, st.Cycles, st.Instrs, st.CPI())
+	}
+}
+
+func flagProvided(name string) bool {
+	found := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+func parseInputs(s string) []int64 {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad input %q: %v", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlocc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command hlodis compiles MiniC modules (optionally through HLO) and
+// prints the linked PA8000 machine code with function labels — the
+// "look at what the compiler did" tool.
+//
+// Usage:
+//
+//	hlodis [-hlo] [-budget N] [-func name] file1.mc file2.mc ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+)
+
+func main() {
+	hlo := flag.Bool("hlo", false, "apply whole-program HLO before disassembling")
+	budget := flag.Int("budget", 100, "HLO budget")
+	only := flag.String("func", "", "disassemble only the named function (source name or module:name)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "hlodis: no input files")
+		os.Exit(2)
+	}
+	var sources []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, string(data))
+	}
+
+	opts := driver.Options{CrossModule: *hlo, HLO: core.DefaultOptions()}
+	opts.HLO.Budget = *budget
+	if !*hlo {
+		opts.HLO.Inline = false
+		opts.HLO.Clone = false
+		opts.HLO.DeadCallElim = false
+	}
+	c, err := driver.Compile(sources, opts)
+	if err != nil {
+		fatal(err)
+	}
+	mp := c.Machine
+
+	// Invert the address map into sorted label positions.
+	type label struct {
+		addr int
+		name string
+	}
+	var labels []label
+	for name, addr := range mp.FuncAddr {
+		labels = append(labels, label{addr, name})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].addr < labels[j].addr })
+
+	byAddr := make(map[int]string, len(labels))
+	for _, l := range labels {
+		byAddr[l.addr] = l.name
+	}
+
+	match := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		return name == *only || strings.HasSuffix(name, ":"+*only)
+	}
+
+	printing := *only == "" // the stub has no label
+	if printing {
+		fmt.Printf("; entry point at %d, %d instructions, %d data words\n",
+			mp.Entry, len(mp.Code), mp.DataLen)
+	}
+	for pc, in := range mp.Code {
+		if name, ok := byAddr[pc]; ok {
+			printing = match(name)
+			if printing {
+				fmt.Printf("\n%s:\n", name)
+			}
+		}
+		if printing {
+			fmt.Printf("%6d  %s\n", pc, in.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlodis:", err)
+	os.Exit(1)
+}

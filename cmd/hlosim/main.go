@@ -1,0 +1,114 @@
+// Command hlosim compiles MiniC modules (without HLO by default) and
+// runs them on the PA8000 machine model, reporting the Figure 7 metric
+// set: cycles, CPI, cache accesses and miss rates, branch counts and
+// misprediction rates.
+//
+// Usage:
+//
+//	hlosim [flags] file1.mc file2.mc ...
+//
+// Flags:
+//
+//	-inputs 1,2,3   input vector
+//	-hlo            run HLO (cross-module, profile-free) before simulating
+//	-budget N       HLO budget (with -hlo)
+//	-icache N       I-cache bytes (default 8192)
+//	-dcache N       D-cache bytes (default 4096)
+//	-bench NAME     run a built-in benchmark (e.g. 022.li) on its ref input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+)
+
+func main() {
+	inputs := flag.String("inputs", "", "comma-separated input vector")
+	hlo := flag.Bool("hlo", false, "apply HLO before simulating")
+	budget := flag.Int("budget", 100, "HLO budget")
+	icache := flag.Int("icache", 0, "I-cache size in bytes")
+	dcache := flag.Int("dcache", 0, "D-cache size in bytes")
+	bench := flag.String("bench", "", "built-in benchmark name (see specsuite)")
+	flag.Parse()
+
+	var sources []string
+	var inputVec []int64
+	if *bench != "" {
+		b, err := specsuite.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		sources = b.Sources
+		inputVec = b.Ref
+	} else {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "hlosim: no input files (use -bench or pass .mc files)")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(sources, string(data))
+		}
+	}
+	if *inputs != "" {
+		inputVec = nil
+		for _, p := range strings.Split(*inputs, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			inputVec = append(inputVec, v)
+		}
+	}
+
+	opts := driver.Options{
+		CrossModule: *hlo,
+		HLO:         core.DefaultOptions(),
+		Machine:     pa8000.Config{ICacheBytes: *icache, DCacheBytes: *dcache},
+	}
+	opts.HLO.Budget = *budget
+	opts.HLO.Inline = *hlo
+	opts.HLO.Clone = *hlo
+	if !*hlo {
+		opts.HLO.Inline = false
+		opts.HLO.Clone = false
+		opts.HLO.DeadCallElim = false
+	}
+
+	c, err := driver.Compile(sources, opts)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := c.Run(opts, inputVec)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range st.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("exit          %d\n", st.ExitCode)
+	fmt.Printf("cycles        %d\n", st.Cycles)
+	fmt.Printf("instrs        %d\n", st.Instrs)
+	fmt.Printf("cpi           %.3f\n", st.CPI())
+	fmt.Printf("icache        %d accesses, %d misses (%.2f/1000)\n", st.IAccesses, st.IMisses, st.IMissRate()*1000)
+	fmt.Printf("dcache        %d accesses, %d misses (%.2f/100)\n", st.DAccesses, st.DMisses, st.DMissRate()*100)
+	fmt.Printf("branches      %d (%d calls, %d returns)\n", st.Branches, st.Calls, st.Returns)
+	fmt.Printf("mispredicts   %d (%.3f of predicted)\n", st.Mispredicts, st.BranchMissRate())
+	fmt.Printf("code size     %d instrs\n", c.CodeSize)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlosim:", err)
+	os.Exit(1)
+}

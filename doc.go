@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Aggressive
+// Inlining" (Ayers, Gottlieb & Schooler, PLDI 1997): HLO, HP's
+// profile-guided cross-module inliner and cloner, rebuilt on a complete
+// synthetic compiler stack.
+//
+// The library lives under internal/: a small C-like language (minic), a
+// ucode-style IR (ir), the HLO optimizer itself (core — the paper's
+// contribution), interprocedural analyses (ipa), scalar optimizations
+// (opt), a reference interpreter and profiler (interp, profile), a
+// register-allocating back end (backend), a PA8000-style machine model
+// (pa8000), isom object files (isom), a full compilation driver
+// (driver), fourteen synthetic SPEC benchmarks (specsuite), and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation (experiments).
+//
+// Start with README.md, DESIGN.md and examples/quickstart.
+package repro

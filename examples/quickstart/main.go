@@ -1,0 +1,69 @@
+// Quickstart: compile a two-module MiniC program with and without HLO,
+// run both on the PA8000 model, and print what changed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+)
+
+const mainModule = `
+module main;
+extern func print(x int) int;
+extern func poly(x int, a int, b int, c int) int;
+
+func main() int {
+	var i int;
+	var sum int;
+	for (i = 0; i < 5000; i = i + 1) {
+		sum = sum + poly(i, 3, 5, 7);   // constant coefficients: clone bait
+	}
+	print(sum & 0xffffff);
+	return 0;
+}
+`
+
+const mathModule = `
+module poly;
+
+static func mul(a int, b int) int { return a * b; }
+
+func poly(x int, a int, b int, c int) int {
+	return mul(mul(a, x), x) + mul(b, x) + c;
+}
+`
+
+func main() {
+	for _, hlo := range []bool{false, true} {
+		opts := driver.Options{
+			CrossModule: hlo,
+			HLO:         core.DefaultOptions(),
+		}
+		if !hlo {
+			opts.HLO.Inline = false
+			opts.HLO.Clone = false
+			opts.HLO.DeadCallElim = false
+		}
+		c, err := driver.Compile([]string{mainModule, mathModule}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(opts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "baseline"
+		if hlo {
+			label = "with HLO"
+		}
+		fmt.Printf("%-9s output=%v cycles=%d instrs=%d cpi=%.2f dcache-accesses=%d branches=%d\n",
+			label, st.Output, st.Cycles, st.Instrs, st.CPI(), st.DAccesses, st.Branches)
+		if hlo {
+			fmt.Printf("          HLO: %d inlines, %d clones, %d call sites retargeted, %d routines deleted\n",
+				c.Stats.Inlines, c.Stats.Clones, c.Stats.CloneRepls, c.Stats.Deletions)
+		}
+	}
+}

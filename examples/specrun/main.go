@@ -1,0 +1,55 @@
+// Specrun: compile one synthetic SPEC benchmark under all four scope
+// configurations of the paper's Table 1 and print the resulting row,
+// demonstrating the monotonic-improvement property (base → c → p → cp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/specsuite"
+)
+
+func main() {
+	name := flag.String("bench", "022.li", "benchmark name")
+	flag.Parse()
+
+	b, err := specsuite.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (train=%v, ref=%v)\n\n", b.Name, b.Train, b.Ref)
+	fmt.Printf("%-5s %8s %7s %11s %10s %13s %12s\n",
+		"scope", "inlines", "clones", "clone-repls", "deletions", "compile-cost", "run-cycles")
+
+	for _, cfg := range []struct {
+		label       string
+		cross, prof bool
+	}{
+		{"base", false, false},
+		{"c", true, false},
+		{"p", false, true},
+		{"cp", true, true},
+	} {
+		opts := driver.Options{
+			CrossModule: cfg.cross,
+			Profile:     cfg.prof,
+			TrainInputs: b.Train,
+			HLO:         core.DefaultOptions(),
+		}
+		c, err := driver.Compile(b.Sources, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(opts, b.Ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %8d %7d %11d %10d %13d %12d\n",
+			cfg.label, c.Stats.Inlines, c.Stats.Clones, c.Stats.CloneRepls,
+			c.Stats.Deletions, c.CompileCost, st.Cycles)
+	}
+}

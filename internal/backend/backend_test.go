@@ -1,0 +1,332 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pa8000"
+	"repro/internal/testutil"
+)
+
+// runDifferential compiles src to machine code and checks the simulator
+// agrees with the reference interpreter, both unoptimized and after HLO.
+func runDifferential(t *testing.T, inputs []int64, srcs ...string) *pa8000.Stats {
+	t.Helper()
+	ref := testutil.MustBuild(t, srcs...)
+	want := testutil.MustRun(t, ref, inputs...)
+
+	var lastStats *pa8000.Stats
+	for _, hlo := range []bool{false, true} {
+		p := testutil.MustBuild(t, srcs...)
+		if hlo {
+			core.Run(p, core.WholeProgram(), core.DefaultOptions())
+		}
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Fatalf("hlo=%v link: %v", hlo, err)
+		}
+		st, err := pa8000.Run(mp, pa8000.Config{}, inputs)
+		if err != nil {
+			t.Fatalf("hlo=%v sim: %v", hlo, err)
+		}
+		if st.ExitCode != want.ExitCode {
+			t.Errorf("hlo=%v exit = %d, want %d", hlo, st.ExitCode, want.ExitCode)
+		}
+		if len(st.Output) != len(want.Output) {
+			t.Fatalf("hlo=%v output = %v, want %v", hlo, st.Output, want.Output)
+		}
+		for i := range want.Output {
+			if st.Output[i] != want.Output[i] {
+				t.Fatalf("hlo=%v output[%d] = %d, want %d", hlo, i, st.Output[i], want.Output[i])
+			}
+		}
+		lastStats = st
+	}
+	return lastStats
+}
+
+func TestSimMatchesInterpBasics(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() int {
+	var i int;
+	for (i = 0; i < 12; i = i + 1) { print(fib(i)); }
+	return 7;
+}
+`)
+}
+
+func TestSimGlobalsArraysMemory(t *testing.T) {
+	runDifferential(t, []int64{5, 9}, `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+static var grid [64] int;
+var total int = 3;
+
+func idx(r int, c int) int { return r * 8 + c; }
+
+func main() int {
+	var r int;
+	var c int;
+	for (r = 0; r < 8; r = r + 1) {
+		for (c = 0; c < 8; c = c + 1) {
+			grid[idx(r, c)] = r * c + input(0);
+		}
+	}
+	for (r = 0; r < 8; r = r + 1) {
+		total = total + grid[idx(r, r)];
+	}
+	print(total + input(1));
+	return 0;
+}
+`)
+}
+
+func TestSimIndirectCallsAndFunctionTables(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+var ops [4] int;
+
+func opAdd(a int, b int) int { return a + b; }
+func opSub(a int, b int) int { return a - b; }
+func opMul(a int, b int) int { return a * b; }
+func opMax(a int, b int) int { return a > b ? a : b; }
+
+func main() int {
+	ops[0] = opAdd;
+	ops[1] = opSub;
+	ops[2] = opMul;
+	ops[3] = opMax;
+	var i int;
+	for (i = 0; i < 4; i = i + 1) {
+		print(ops[i](10, 3));
+	}
+	print(ops[2](6, 7));
+	return 0;
+}
+`)
+}
+
+func TestSimCrossModuleAndStatics(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+extern func push(v int) int;
+extern func pop() int;
+func main() int {
+	var i int;
+	for (i = 1; i <= 10; i = i + 1) { push(i * i); }
+	var s int;
+	for (i = 0; i < 10; i = i + 1) { s = s + pop(); }
+	print(s);
+	return 0;
+}
+`, `
+module stack;
+static var buf [32] int;
+static var top int;
+func push(v int) int {
+	buf[top] = v;
+	top = top + 1;
+	return top;
+}
+func pop() int {
+	top = top - 1;
+	return buf[top];
+}
+`)
+}
+
+func TestSimLocalArraysAllocaDeepCalls(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+
+func rev(n int) int {
+	var a int;
+	a = alloca(n);
+	var i int;
+	for (i = 0; i < n; i = i + 1) { a[i] = i * 3; }
+	var s int;
+	for (i = n - 1; i >= 0; i = i - 1) { s = s * 2 + a[i]; }
+	return s;
+}
+
+func nest(d int) int {
+	var buf [4] int;
+	buf[0] = d;
+	if (d == 0) { return rev(5); }
+	buf[1] = nest(d - 1);
+	return buf[0] + buf[1];
+}
+
+func main() int {
+	print(nest(6));
+	return 0;
+}
+`)
+}
+
+func TestSimRegisterPressureSpills(t *testing.T) {
+	// More than 18 simultaneously-live values forces spilling.
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+func pressure(s int) int {
+	var a int; var b int; var c int; var d int; var e int;
+	var f int; var g int; var h int; var i int; var j int;
+	var k int; var l int; var m int; var n int; var o int;
+	var p int; var q int; var r int; var t int; var u int;
+	var v int; var w int;
+	a = s + 1; b = s + 2; c = s + 3; d = s + 4; e = s + 5;
+	f = s + 6; g = s + 7; h = s + 8; i = s + 9; j = s + 10;
+	k = s + 11; l = s + 12; m = s + 13; n = s + 14; o = s + 15;
+	p = s + 16; q = s + 17; r = s + 18; t = s + 19; u = s + 20;
+	v = s + 21; w = s + 22;
+	print(a+b+c+d+e+f+g+h+i+j);
+	return a*b + c*d + e*f + g*h + i*j + k*l + m*n + o*p + q*r + t*u + v*w;
+}
+func main() int {
+	print(pressure(3));
+	print(pressure(100));
+	return 0;
+}
+`)
+}
+
+func TestSimValuesLiveAcrossCalls(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+var g int;
+func bump(v int) int { g = g + v; return g; }
+func main() int {
+	var keep1 int;
+	var keep2 int;
+	var keep3 int;
+	keep1 = 11;
+	keep2 = 22;
+	keep3 = 33;
+	bump(1);
+	bump(2);
+	bump(3);
+	print(keep1 + keep2 + keep3 + g);
+	return 0;
+}
+`)
+}
+
+func TestInliningReducesCyclesAndDCacheTraffic(t *testing.T) {
+	srcs := []string{`
+module main;
+extern func print(x int) int;
+extern func get(i int) int;
+extern func set(i int, v int) int;
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 2000; i = i + 1) {
+		set(i % 128, i);
+		s = s + get(i % 128);
+	}
+	print(s);
+	return 0;
+}
+`, `
+module store;
+static var cells [128] int;
+func get(i int) int { return cells[i]; }
+func set(i int, v int) int { cells[i] = v; return v; }
+`}
+	base := testutil.MustBuild(t, srcs...)
+	mpBase, err := backend.Link(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBase, err := pa8000.Run(mpBase, pa8000.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := testutil.MustBuild(t, srcs...)
+	stats := core.Run(opt, core.WholeProgram(), core.DefaultOptions())
+	if stats.Inlines == 0 {
+		t.Fatalf("no inlining happened: %+v", stats)
+	}
+	mpOpt, err := backend.Link(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stOpt, err := pa8000.Run(mpOpt, pa8000.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stOpt.ExitCode != stBase.ExitCode || stOpt.Output[0] != stBase.Output[0] {
+		t.Fatalf("behaviour changed: %v vs %v", stOpt.Output, stBase.Output)
+	}
+	if stOpt.Cycles >= stBase.Cycles {
+		t.Errorf("inlining did not speed up: %d >= %d cycles", stOpt.Cycles, stBase.Cycles)
+	}
+	if stOpt.DAccesses >= stBase.DAccesses {
+		t.Errorf("inlining did not cut D-cache accesses: %d >= %d", stOpt.DAccesses, stBase.DAccesses)
+	}
+	if stOpt.Branches >= stBase.Branches {
+		t.Errorf("inlining did not cut branches: %d >= %d", stOpt.Branches, stBase.Branches)
+	}
+	if stOpt.Returns >= stBase.Returns {
+		t.Errorf("inlining did not cut returns: %d >= %d", stOpt.Returns, stBase.Returns)
+	}
+}
+
+func TestVarargsExtraArgsIgnored(t *testing.T) {
+	runDifferential(t, nil, `
+module main;
+extern func print(x int) int;
+extern varargs func first(a int) int;
+func main() int {
+	print(first(42, 99, 98, 97));
+	return 0;
+}
+`, `
+module lib;
+varargs func first(a int) int { return a; }
+`)
+}
+
+func TestLinkRejectsMissingMain(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module lib;
+func helper(x int) int { return x; }
+`)
+	if _, err := backend.Link(p); err == nil {
+		t.Fatal("link without main should fail")
+	}
+}
+
+func TestRuntimeThunksForAddressTakenBuiltins(t *testing.T) {
+	runDifferential(t, []int64{1, 2, 3}, `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+func main() int {
+	var p int;
+	var q int;
+	p = print;
+	q = input;
+	p(q(0) + q(1) + q(2));
+	return 0;
+}
+`)
+}
+
+var _ = ir.NoReg

@@ -1,0 +1,313 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pa8000"
+)
+
+// codegen lowers one function. Branch targets are function-relative
+// until the linker rebases them.
+type codegen struct {
+	f *ir.Func
+	a *allocation
+
+	buf       []pa8000.MInstr
+	blockAddr []int
+	fixups    []fixup
+
+	needsFrame bool
+	saveRA     bool
+	frameBase  int64 // machine-frame offset of IR frame objects
+	spillBase  int64 // machine-frame offset of spill slots
+	frameSize  int64 // total machine frame words (S)
+}
+
+type fixup struct {
+	index int // instruction index in buf
+	block int // IR block the Target must point at
+}
+
+// genFunc lowers f to machine code with function-relative branch
+// targets.
+func genFunc(f *ir.Func) ([]pa8000.MInstr, error) {
+	a := allocate(f)
+	cg := &codegen{f: f, a: a, blockAddr: make([]int, len(f.Blocks))}
+
+	nSaves := int64(len(a.usedCallee))
+	cg.frameBase = 2 + nSaves
+	cg.spillBase = cg.frameBase + f.FrameSize
+	cg.frameSize = cg.spillBase + a.spills
+	cg.saveRA = a.makesCalls
+	cg.needsFrame = a.makesCalls || f.FrameSize > 0 || a.spills > 0 || nSaves > 0 || f.UsesAlloca
+
+	cg.prologue()
+	for _, b := range f.Blocks {
+		cg.blockAddr[b.Index] = len(cg.buf)
+		next := -1
+		if b.Index+1 < len(f.Blocks) {
+			next = b.Index + 1
+		}
+		for i := range b.Instrs {
+			if err := cg.instr(&b.Instrs[i], next); err != nil {
+				return nil, fmt.Errorf("backend: %s: %v", f.QName, err)
+			}
+		}
+	}
+	for _, fx := range cg.fixups {
+		cg.buf[fx.index].Target = cg.blockAddr[fx.block]
+	}
+	return cg.buf, nil
+}
+
+func (cg *codegen) emit(in pa8000.MInstr) { cg.buf = append(cg.buf, in) }
+
+func (cg *codegen) branchTo(in pa8000.MInstr, block int) {
+	cg.fixups = append(cg.fixups, fixup{index: len(cg.buf), block: block})
+	cg.emit(in)
+}
+
+// prologue allocates the frame, saves ra/fp/callee-saved registers, and
+// receives parameters. Leaf routines with no frame needs skip all of it
+// — which is precisely why inlining away a call boundary removes memory
+// traffic.
+func (cg *codegen) prologue() {
+	if cg.needsFrame {
+		cg.emit(pa8000.MInstr{Op: pa8000.MAddI, Rd: pa8000.RSP, Rs: pa8000.RSP, Imm: -cg.frameSize})
+		if cg.saveRA {
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RSP, Imm: 0, Rt: pa8000.RRA})
+		}
+		cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RSP, Imm: 1, Rt: pa8000.RFP})
+		cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: pa8000.RFP, Rs: pa8000.RSP})
+		for i, r := range cg.a.usedCallee {
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RFP, Imm: int64(2 + i), Rt: r})
+		}
+	}
+	// Receive parameters from the argument registers.
+	for i := 0; i < cg.f.NumParams && i < pa8000.NumArgRegs; i++ {
+		v := ir.Reg(i)
+		src := pa8000.RArg0 + pa8000.Reg(i)
+		if phys, ok := cg.a.phys[v]; ok {
+			cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: phys, Rs: src})
+		} else if slot, ok := cg.a.spill[v]; ok {
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RFP, Imm: cg.spillBase + slot, Rt: src})
+		}
+	}
+}
+
+// epilogue restores saved state and returns.
+func (cg *codegen) epilogue() {
+	if cg.needsFrame {
+		for i, r := range cg.a.usedCallee {
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: r, Rs: pa8000.RFP, Imm: int64(2 + i)})
+		}
+		if cg.saveRA {
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: pa8000.RRA, Rs: pa8000.RFP, Imm: 0})
+		}
+		cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: pa8000.RT1, Rs: pa8000.RFP, Imm: 1})
+		cg.emit(pa8000.MInstr{Op: pa8000.MAddI, Rd: pa8000.RSP, Rs: pa8000.RFP, Imm: cg.frameSize})
+		cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: pa8000.RFP, Rs: pa8000.RT1})
+	}
+	cg.emit(pa8000.MInstr{Op: pa8000.MRet})
+}
+
+// loadInto emits the best sequence that puts operand o into target.
+func (cg *codegen) loadInto(target pa8000.Reg, o ir.Operand) {
+	switch o.Kind {
+	case ir.KindConst:
+		cg.emit(pa8000.MInstr{Op: pa8000.MMovI, Rd: target, Imm: o.Val})
+	case ir.KindGlobalAddr, ir.KindFuncAddr:
+		cg.emit(pa8000.MInstr{Op: pa8000.MMovI, Rd: target, Sym: o.Sym})
+	case ir.KindReg:
+		if phys, ok := cg.a.phys[o.Reg]; ok {
+			if phys != target {
+				cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: target, Rs: phys})
+			}
+			return
+		}
+		if slot, ok := cg.a.spill[o.Reg]; ok {
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: target, Rs: pa8000.RFP, Imm: cg.spillBase + slot})
+			return
+		}
+		// Never-defined register (dead code survived): zero it.
+		cg.emit(pa8000.MInstr{Op: pa8000.MMovI, Rd: target, Imm: 0})
+	default:
+		cg.emit(pa8000.MInstr{Op: pa8000.MMovI, Rd: target, Imm: 0})
+	}
+}
+
+// value returns a register currently holding o, materializing into the
+// scratch register when needed.
+func (cg *codegen) value(o ir.Operand, scratch pa8000.Reg) pa8000.Reg {
+	if o.Kind == ir.KindReg {
+		if phys, ok := cg.a.phys[o.Reg]; ok {
+			return phys
+		}
+	}
+	cg.loadInto(scratch, o)
+	return scratch
+}
+
+// dst returns the register to compute into and a flush function that
+// stores it back if the virtual register was spilled.
+func (cg *codegen) dst(d ir.Reg) (pa8000.Reg, func()) {
+	if phys, ok := cg.a.phys[d]; ok {
+		return phys, func() {}
+	}
+	if slot, ok := cg.a.spill[d]; ok {
+		return pa8000.RT1, func() {
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RFP, Imm: cg.spillBase + slot, Rt: pa8000.RT1})
+		}
+	}
+	// Dead destination: compute into scratch and drop.
+	return pa8000.RT1, func() {}
+}
+
+var aluOp = map[ir.Op]pa8000.MOp{
+	ir.Add: pa8000.MAdd, ir.Sub: pa8000.MSub, ir.Mul: pa8000.MMul,
+	ir.Div: pa8000.MDiv, ir.Rem: pa8000.MRem,
+	ir.And: pa8000.MAnd, ir.Or: pa8000.MOr, ir.Xor: pa8000.MXor,
+	ir.Shl: pa8000.MShl, ir.Shr: pa8000.MShr,
+	ir.CmpEQ: pa8000.MCmpEQ, ir.CmpNE: pa8000.MCmpNE,
+	ir.CmpLT: pa8000.MCmpLT, ir.CmpLE: pa8000.MCmpLE,
+	ir.CmpGT: pa8000.MCmpGT, ir.CmpGE: pa8000.MCmpGE,
+}
+
+func (cg *codegen) instr(in *ir.Instr, nextBlock int) error {
+	switch in.Op {
+	case ir.Nop:
+	case ir.Mov:
+		rd, flush := cg.dst(in.Dst)
+		cg.loadInto(rd, in.A)
+		flush()
+	case ir.Neg, ir.Not:
+		rs := cg.value(in.A, pa8000.RT1)
+		rd, flush := cg.dst(in.Dst)
+		op := pa8000.MNeg
+		if in.Op == ir.Not {
+			op = pa8000.MNot
+		}
+		cg.emit(pa8000.MInstr{Op: op, Rd: rd, Rs: rs})
+		flush()
+	case ir.Load:
+		rd, flush := cg.dst(in.Dst)
+		switch in.A.Kind {
+		case ir.KindGlobalAddr:
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: rd, Rs: pa8000.RZero, Sym: in.A.Sym})
+		case ir.KindConst:
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: rd, Rs: pa8000.RZero, Imm: in.A.Val})
+		default:
+			rs := cg.value(in.A, pa8000.RT1)
+			cg.emit(pa8000.MInstr{Op: pa8000.MLd, Rd: rd, Rs: rs})
+		}
+		flush()
+	case ir.Store:
+		rv := cg.value(in.B, pa8000.RT2)
+		switch in.A.Kind {
+		case ir.KindGlobalAddr:
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RZero, Sym: in.A.Sym, Rt: rv})
+		case ir.KindConst:
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: pa8000.RZero, Imm: in.A.Val, Rt: rv})
+		default:
+			ra := cg.value(in.A, pa8000.RT1)
+			cg.emit(pa8000.MInstr{Op: pa8000.MSt, Rs: ra, Rt: rv})
+		}
+	case ir.FrameAddr:
+		rd, flush := cg.dst(in.Dst)
+		cg.emit(pa8000.MInstr{Op: pa8000.MAddI, Rd: rd, Rs: pa8000.RFP, Imm: cg.frameBase + in.A.Val})
+		flush()
+	case ir.Alloca:
+		rn := cg.value(in.A, pa8000.RT1)
+		cg.emit(pa8000.MInstr{Op: pa8000.MSub, Rd: pa8000.RSP, Rs: pa8000.RSP, Rt: rn})
+		rd, flush := cg.dst(in.Dst)
+		cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: rd, Rs: pa8000.RSP})
+		flush()
+	case ir.Call:
+		for j, arg := range in.Args {
+			if j >= pa8000.NumArgRegs {
+				break
+			}
+			cg.loadInto(pa8000.RArg0+pa8000.Reg(j), arg)
+		}
+		if ir.IsRuntime(in.Callee) {
+			sys, err := sysFor(ir.RuntimeName(in.Callee))
+			if err != nil {
+				return err
+			}
+			cg.emit(pa8000.MInstr{Op: pa8000.MSys, Imm: int64(sys)})
+		} else {
+			cg.emit(pa8000.MInstr{Op: pa8000.MCall, Sym: in.Callee})
+		}
+		if in.Dst != ir.NoReg {
+			rd, flush := cg.dst(in.Dst)
+			cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: rd, Rs: pa8000.RRet})
+			flush()
+		}
+	case ir.ICall:
+		cg.loadInto(pa8000.RT1, in.A)
+		for j, arg := range in.Args {
+			if j >= pa8000.NumArgRegs {
+				break
+			}
+			cg.loadInto(pa8000.RArg0+pa8000.Reg(j), arg)
+		}
+		cg.emit(pa8000.MInstr{Op: pa8000.MCallR, Rs: pa8000.RT1})
+		if in.Dst != ir.NoReg {
+			rd, flush := cg.dst(in.Dst)
+			cg.emit(pa8000.MInstr{Op: pa8000.MMov, Rd: rd, Rs: pa8000.RRet})
+			flush()
+		}
+	case ir.Ret:
+		cg.loadInto(pa8000.RRet, in.A)
+		cg.epilogue()
+	case ir.Br:
+		rc := cg.value(in.A, pa8000.RT1)
+		switch {
+		case in.Else == nextBlock:
+			cg.branchTo(pa8000.MInstr{Op: pa8000.MBnz, Rs: rc}, in.Then)
+		case in.Then == nextBlock:
+			cg.branchTo(pa8000.MInstr{Op: pa8000.MBz, Rs: rc}, in.Else)
+		default:
+			cg.branchTo(pa8000.MInstr{Op: pa8000.MBnz, Rs: rc}, in.Then)
+			cg.branchTo(pa8000.MInstr{Op: pa8000.MJmp}, in.Else)
+		}
+	case ir.Jmp:
+		if in.Then != nextBlock {
+			cg.branchTo(pa8000.MInstr{Op: pa8000.MJmp}, in.Then)
+		}
+	default:
+		mop, ok := aluOp[in.Op]
+		if !ok {
+			return fmt.Errorf("no lowering for %s", in.Op)
+		}
+		// addi fast path for add with a constant operand.
+		if in.Op == ir.Add && in.B.IsConst() && in.A.Kind == ir.KindReg {
+			rs := cg.value(in.A, pa8000.RT1)
+			rd, flush := cg.dst(in.Dst)
+			cg.emit(pa8000.MInstr{Op: pa8000.MAddI, Rd: rd, Rs: rs, Imm: in.B.Val})
+			flush()
+			return nil
+		}
+		rs := cg.value(in.A, pa8000.RT1)
+		rt := cg.value(in.B, pa8000.RT2)
+		rd, flush := cg.dst(in.Dst)
+		cg.emit(pa8000.MInstr{Op: mop, Rd: rd, Rs: rs, Rt: rt})
+		flush()
+	}
+	return nil
+}
+
+func sysFor(name string) (int, error) {
+	switch name {
+	case "print":
+		return pa8000.SysPrint, nil
+	case "input":
+		return pa8000.SysInput, nil
+	case "ninputs":
+		return pa8000.SysNInputs, nil
+	case "halt":
+		return pa8000.SysHalt, nil
+	}
+	return 0, fmt.Errorf("unknown runtime routine %q", name)
+}

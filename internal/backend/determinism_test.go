@@ -1,0 +1,110 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+// TestCompilationDeterministic: the whole pipeline — front end, HLO with
+// its greedy heuristics, register allocation, linking — must produce an
+// identical machine image on repeated runs (map iteration must never
+// leak into decisions).
+func TestCompilationDeterministic(t *testing.T) {
+	b, err := specsuite.ByName("124.m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *pa8000.Program {
+		p := testutil.MustBuild(t, b.Sources...)
+		core.Run(p, core.WholeProgram(), core.DefaultOptions())
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mp
+	}
+	a, c := build(), build()
+	if len(a.Code) != len(c.Code) {
+		t.Fatalf("code sizes differ across identical compilations: %d vs %d", len(a.Code), len(c.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != c.Code[i] {
+			t.Fatalf("instruction %d differs: %s vs %s (%s)",
+				i, a.Code[i].String(), c.Code[i].String(), a.FuncOfAddr[i])
+		}
+	}
+	if a.DataLen != c.DataLen {
+		t.Errorf("data layouts differ")
+	}
+}
+
+// TestLeafFunctionHasNoFrame: a trivial leaf must compile to pure
+// register code — no prologue stores, no frame adjustment — because the
+// call-boundary cost that inlining removes must not be artificially
+// inflated.
+func TestLeafFunctionHasNoFrame(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+func leaf(a int, b int) int { return a * b + 1; }
+func main() int { return leaf(6, 7); }
+`)
+	mp, err := backend.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mp.FuncAddr["main:leaf"]
+	for pc := start; pc < len(mp.Code); pc++ {
+		in := mp.Code[pc]
+		if in.Op == pa8000.MSt || in.Op == pa8000.MLd {
+			t.Errorf("leaf function touches memory at %d: %s", pc, in.String())
+		}
+		if in.Op == pa8000.MRet {
+			break
+		}
+	}
+}
+
+// TestCallerWithLiveValuesSavesRegisters: a caller keeping values across
+// calls must produce prologue/epilogue memory traffic — the D-cache
+// mechanism of Figure 7.
+func TestCallerWithLiveValuesSavesRegisters(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+var g int;
+func sink(v int) int { g = g + v; return g; }
+func keeper() int {
+	var a int;
+	var b int;
+	a = 11;
+	b = 22;
+	sink(1);
+	sink(2);
+	return a + b;
+}
+func main() int { return keeper(); }
+`)
+	mp, err := backend.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := mp.FuncAddr["main:keeper"]
+	stores := 0
+	for pc := start; pc < len(mp.Code); pc++ {
+		in := mp.Code[pc]
+		if in.Op == pa8000.MSt {
+			stores++
+		}
+		if in.Op == pa8000.MRet {
+			break
+		}
+	}
+	// ra + fp + at least one callee-saved register.
+	if stores < 3 {
+		t.Errorf("caller with live-across-call values emitted only %d prologue stores", stores)
+	}
+}

@@ -1,0 +1,116 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/pa8000"
+	"repro/internal/testutil"
+)
+
+// diffOne compiles without HLO and compares interp vs sim.
+func diffOne(t *testing.T, src string, inputs ...int64) {
+	t.Helper()
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref, inputs...)
+	p := testutil.MustBuild(t, src)
+	mp, err := backend.Link(p)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	st, err := pa8000.Run(mp, pa8000.Config{}, inputs)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if len(st.Output) != len(want.Output) {
+		t.Fatalf("output = %v, want %v", st.Output, want.Output)
+	}
+	for i := range want.Output {
+		if st.Output[i] != want.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d (full %v vs %v)", i, st.Output[i], want.Output[i], st.Output, want.Output)
+		}
+	}
+}
+
+func TestDiffCmpAsValue(t *testing.T) {
+	diffOne(t, `
+module main;
+extern func print(x int) int;
+func main() int {
+	var d int;
+	var r int;
+	for (d = 0; d < 4; d = d + 1) {
+		r = 10 + (d == 0) - (d == 1);
+		print(r);
+	}
+	return 0;
+}
+`)
+}
+
+func TestDiffTernaryInCall(t *testing.T) {
+	diffOne(t, `
+module main;
+extern func print(x int) int;
+func f(v int) int { return v * 10; }
+func main() int {
+	var i int;
+	for (i = 0; i < 6; i = i + 1) {
+		print(f(i % 3 == 1 ? 2 : 1));
+	}
+	return 0;
+}
+`)
+}
+
+func TestDiffNegConstants(t *testing.T) {
+	diffOne(t, `
+module main;
+extern func print(x int) int;
+var slots [16] int;
+func main() int {
+	var i int;
+	for (i = 0; i < 16; i = i + 1) { slots[i] = 0 - 1; }
+	var h int;
+	h = 3;
+	while (slots[h] >= 0) { h = (h + 1) & 15; }
+	slots[h] = 7;
+	print(slots[3] + slots[4]);
+	print(h);
+	return 0;
+}
+`)
+}
+
+func TestDiffNotAndShifts(t *testing.T) {
+	diffOne(t, `
+module main;
+extern func print(x int) int;
+func onb(r int, c int) int { return r >= 0 && r < 13 && c >= 0 && c < 13; }
+func main() int {
+	var d int;
+	var s int;
+	for (d = 0; d < 6; d = d + 1) {
+		if (!onb(d - 2, d)) { s = s + (16 >> d); }
+	}
+	print(s);
+	return 0;
+}
+`)
+}
+
+func TestDiffMulHash(t *testing.T) {
+	diffOne(t, `
+module main;
+extern func print(x int) int;
+func main() int {
+	var id int;
+	var s int;
+	for (id = 1; id < 50; id = id + 7) {
+		s = (s + ((id * 2654435761) & 2047)) & 0xffffff;
+	}
+	print(s);
+	return 0;
+}
+`)
+}

@@ -1,0 +1,56 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+func TestDifferentialVortexTiny(t *testing.T) {
+	b, err := specsuite.ByName("147.vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for txns := int64(0); txns < 4; txns++ {
+		ref := testutil.MustBuild(t, b.Sources...)
+		want := testutil.MustRun(t, ref, txns, 43)
+		p := testutil.MustBuild(t, b.Sources...)
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := pa8000.Run(mp, pa8000.Config{}, []int64{txns, 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Output[0] != want.Output[0] || st.Output[1] != want.Output[1] {
+			t.Fatalf("txns=%d: sim %v, interp %v", txns, st.Output, want.Output)
+		}
+	}
+}
+
+func TestDifferentialGoTiny(t *testing.T) {
+	b, err := specsuite.ByName("099.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for games := int64(0); games < 3; games++ {
+		ref := testutil.MustBuild(t, b.Sources...)
+		want := testutil.MustRun(t, ref, games, 17)
+		p := testutil.MustBuild(t, b.Sources...)
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := pa8000.Run(mp, pa8000.Config{}, []int64{games, 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Output[0] != want.Output[0] {
+			t.Fatalf("games=%d: sim %v, interp %v", games, st.Output, want.Output)
+		}
+	}
+}

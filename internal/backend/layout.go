@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Layout selects the code-placement policy used by the linker.
+type Layout uint8
+
+// Layout policies.
+const (
+	// LayoutSourceOrder places functions in module/definition order.
+	LayoutSourceOrder Layout = iota
+	// LayoutCallAffinity places functions by profile-weighted call
+	// affinity, in the style of Pettis & Hansen's profile-guided code
+	// positioning (reference [12] of the paper): callers and callees
+	// that talk a lot end up adjacent, sharing I-cache lines and
+	// reducing conflict misses.
+	LayoutCallAffinity
+)
+
+// orderFuncs returns the functions of p in the chosen placement order.
+func orderFuncs(p *ir.Program, layout Layout) []*ir.Func {
+	funcs := p.AllFuncs()
+	if layout != LayoutCallAffinity || len(funcs) <= 2 {
+		return funcs
+	}
+
+	index := make(map[*ir.Func]int, len(funcs))
+	for i, f := range funcs {
+		index[f] = i
+	}
+
+	// Undirected affinity weights between function pairs. The weight of
+	// a call site is its block's profile count (or 1 statically), the
+	// same signal the inliner uses.
+	type pair struct{ a, b int }
+	weights := make(map[pair]int64)
+	for _, f := range funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.Call || ir.IsRuntime(in.Callee) {
+					continue
+				}
+				callee := p.Func(in.Callee)
+				if callee == nil || callee == f {
+					continue
+				}
+				w := b.Count
+				if w == 0 {
+					w = 1
+				}
+				x, y := index[f], index[callee]
+				if x > y {
+					x, y = y, x
+				}
+				weights[pair{x, y}] += w
+			}
+		}
+	}
+
+	type edge struct {
+		a, b int
+		w    int64
+	}
+	edges := make([]edge, 0, len(weights))
+	for pr, w := range weights {
+		edges = append(edges, edge{pr.a, pr.b, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Greedy chain merging: each function starts as its own chain;
+	// the heaviest edges glue chains together end to end.
+	chainOf := make([]int, len(funcs))
+	chains := make([][]int, len(funcs))
+	for i := range funcs {
+		chainOf[i] = i
+		chains[i] = []int{i}
+	}
+	for _, e := range edges {
+		ca, cb := chainOf[e.a], chainOf[e.b]
+		if ca == cb {
+			continue
+		}
+		// Append the smaller chain to the larger.
+		if len(chains[ca]) < len(chains[cb]) {
+			ca, cb = cb, ca
+		}
+		for _, fi := range chains[cb] {
+			chainOf[fi] = ca
+		}
+		chains[ca] = append(chains[ca], chains[cb]...)
+		chains[cb] = nil
+	}
+
+	// Emit chains: the chain containing main first, the rest by their
+	// first member's source position (stable, deterministic).
+	mainChain := -1
+	if main, err := p.MainFunc(); err == nil {
+		mainChain = chainOf[index[main]]
+	}
+	var order []int
+	emit := func(ci int) {
+		order = append(order, chains[ci]...)
+		chains[ci] = nil
+	}
+	if mainChain >= 0 && chains[mainChain] != nil {
+		emit(mainChain)
+	}
+	for ci := range chains {
+		if chains[ci] != nil {
+			emit(ci)
+		}
+	}
+	out := make([]*ir.Func, len(order))
+	for i, fi := range order {
+		out[i] = funcs[fi]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/interp"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+// TestLayoutPreservesSemantics: call-affinity placement is a pure
+// reordering — behaviour must be identical.
+func TestLayoutPreservesSemantics(t *testing.T) {
+	for _, name := range []string{"022.li", "147.vortex", "085.gcc"} {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outputs [][]int64
+		for _, layout := range []backend.Layout{backend.LayoutSourceOrder, backend.LayoutCallAffinity} {
+			p := testutil.MustBuild(t, b.Sources...)
+			// Attach a profile so affinity weights are meaningful.
+			trainP := testutil.MustBuild(t, b.Sources...)
+			res, err := interp.Run(trainP, interp.Options{Inputs: b.Train, Profile: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Profile.Attach(p)
+			mp, err := backend.LinkLayout(p, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := pa8000.Run(mp, pa8000.Config{}, b.Train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs = append(outputs, st.Output)
+		}
+		if len(outputs[0]) != len(outputs[1]) {
+			t.Fatalf("%s: layouts disagree: %v vs %v", name, outputs[0], outputs[1])
+		}
+		for i := range outputs[0] {
+			if outputs[0][i] != outputs[1][i] {
+				t.Fatalf("%s: layouts disagree at %d: %v vs %v", name, i, outputs[0], outputs[1])
+			}
+		}
+	}
+}
+
+// TestLayoutPlacesMainFirstAndKeepsAllFuncs: placement invariants.
+func TestLayoutPlacesMainFirstAndKeepsAllFuncs(t *testing.T) {
+	b, err := specsuite.ByName("124.m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testutil.MustBuild(t, b.Sources...)
+	n := len(p.AllFuncs())
+	mp, err := backend.LinkLayout(p, backend.LayoutCallAffinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for name := range mp.FuncAddr {
+		if name[:3] != "rt:" {
+			placed++
+		}
+	}
+	if placed != n {
+		t.Errorf("placed %d functions, program has %d", placed, n)
+	}
+	// main's chain comes first among program functions.
+	mainAddr := mp.FuncAddr["main:main"]
+	for name, addr := range mp.FuncAddr {
+		if name[:3] == "rt:" {
+			continue
+		}
+		if addr < mainAddr && name != "main:main" {
+			// main need not be literally first, but it must be in the
+			// first chain; allow its direct chain-mates before it.
+			// The hard invariant: nothing is placed before the stub+thunks
+			// region end (10 instructions).
+			if addr < 10 {
+				t.Errorf("%s placed inside the stub region at %d", name, addr)
+			}
+		}
+	}
+}
+
+// TestLayoutReducesICacheConflictsUnderPressure: with a tiny I-cache,
+// affinity placement should not be worse than source order on a
+// call-heavy benchmark, and usually wins.
+func TestLayoutReducesICacheConflictsUnderPressure(t *testing.T) {
+	b, err := specsuite.ByName("147.vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pa8000.Config{ICacheBytes: 1024, ICacheAssoc: 1} // brutal
+	var misses [2]int64
+	for i, layout := range []backend.Layout{backend.LayoutSourceOrder, backend.LayoutCallAffinity} {
+		p := testutil.MustBuild(t, b.Sources...)
+		trainP := testutil.MustBuild(t, b.Sources...)
+		res, err := interp.Run(trainP, interp.Options{Inputs: b.Train, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Profile.Attach(p)
+		mp, err := backend.LinkLayout(p, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := pa8000.Run(mp, cfg, b.Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		misses[i] = st.IMisses
+	}
+	t.Logf("I-cache misses: source-order=%d call-affinity=%d", misses[0], misses[1])
+	if float64(misses[1]) > 1.2*float64(misses[0]) {
+		t.Errorf("affinity layout much worse than source order: %d vs %d", misses[1], misses[0])
+	}
+}

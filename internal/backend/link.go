@@ -1,0 +1,124 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pa8000"
+)
+
+// dataBase is the address of the first global; low addresses stay null.
+const dataBase = int64(16)
+
+// Link compiles every function of the resolved program and produces an
+// executable machine image with source-order code placement. See
+// LinkLayout for profile-guided placement.
+func Link(p *ir.Program) (*pa8000.Program, error) {
+	return LinkLayout(p, LayoutSourceOrder)
+}
+
+// LinkLayout compiles every function of the resolved program and
+// produces an executable machine image: a startup stub (call main;
+// halt), one code region per function in the order chosen by the layout
+// policy, thunks for address-taken runtime routines, data addresses for
+// globals, and all relocations resolved.
+func LinkLayout(p *ir.Program, layout Layout) (*pa8000.Program, error) {
+	main, err := p.MainFunc()
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &pa8000.Program{
+		FuncAddr:   make(map[string]int),
+		GlobalAddr: make(map[string]int64),
+		FuncOfAddr: make(map[int]string),
+	}
+
+	// Data layout.
+	addr := dataBase
+	for _, m := range p.Modules {
+		for _, g := range m.Globals {
+			prog.GlobalAddr[g.QName] = addr
+			if len(g.Init) > 0 {
+				prog.InitData = append(prog.InitData, pa8000.DataInit{Addr: addr, Vals: append([]int64(nil), g.Init...)})
+			}
+			addr += g.Size
+		}
+	}
+	prog.DataLen = addr
+
+	// Startup stub.
+	prog.Entry = 0
+	prog.Code = append(prog.Code,
+		pa8000.MInstr{Op: pa8000.MCall, Sym: main.QName},
+		pa8000.MInstr{Op: pa8000.MHalt},
+	)
+
+	// Runtime thunks (targets for address-taken runtime routines).
+	for _, rt := range []string{"print", "input", "ninputs", "halt"} {
+		sys, _ := sysFor(rt)
+		prog.FuncAddr[ir.RuntimePrefix+rt] = len(prog.Code)
+		prog.FuncOfAddr[len(prog.Code)] = ir.RuntimePrefix + rt
+		prog.Code = append(prog.Code,
+			pa8000.MInstr{Op: pa8000.MSys, Imm: int64(sys)},
+			pa8000.MInstr{Op: pa8000.MRet},
+		)
+	}
+
+	// Function bodies, in layout order.
+	for _, f := range orderFuncs(p, layout) {
+		code, err := genFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		base := len(prog.Code)
+		prog.FuncAddr[f.QName] = base
+		prog.FuncOfAddr[base] = f.QName
+		for _, in := range code {
+			// Rebase intra-function branch targets.
+			switch in.Op {
+			case pa8000.MJmp, pa8000.MBz, pa8000.MBnz:
+				in.Target += base
+			}
+			prog.Code = append(prog.Code, in)
+		}
+	}
+
+	// Resolve relocations.
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Sym == "" {
+			continue
+		}
+		switch in.Op {
+		case pa8000.MCall:
+			t, ok := prog.FuncAddr[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("backend: unresolved call to %q", in.Sym)
+			}
+			in.Target = t
+		case pa8000.MMovI:
+			if t, ok := prog.FuncAddr[in.Sym]; ok {
+				in.Imm += int64(t)
+			} else if g, ok := prog.GlobalAddr[in.Sym]; ok {
+				in.Imm += g
+			} else {
+				return nil, fmt.Errorf("backend: unresolved symbol %q", in.Sym)
+			}
+		case pa8000.MLd, pa8000.MSt:
+			g, ok := prog.GlobalAddr[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("backend: unresolved global %q", in.Sym)
+			}
+			in.Imm += g
+		default:
+			return nil, fmt.Errorf("backend: relocation on unexpected op %s", in.Op)
+		}
+		in.Sym = ""
+	}
+	return prog, nil
+}
+
+// CodeSize returns the total number of machine instructions, the "text
+// size" used for code-expansion reporting.
+func CodeSize(p *pa8000.Program) int { return len(p.Code) }

@@ -1,0 +1,196 @@
+// Package backend lowers optimized IR to PA8000 machine code: liveness
+// analysis, linear-scan register allocation with the caller/callee-saved
+// split (the source of the call-boundary save/restore traffic whose
+// elimination drives the paper's D-cache result), per-function code
+// generation with prologue/epilogue synthesis, and whole-program
+// linking.
+package backend
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/pa8000"
+)
+
+// interval is the live range of one virtual register over the linear
+// instruction numbering, inclusive on both ends.
+type interval struct {
+	vreg       ir.Reg
+	start, end int
+	crossCall  bool
+}
+
+// allocation is the register assignment for one function.
+type allocation struct {
+	phys   map[ir.Reg]pa8000.Reg
+	spill  map[ir.Reg]int64 // spill slot indices, 0-based
+	spills int64
+	// usedCallee lists the callee-saved registers the function must
+	// preserve in its prologue.
+	usedCallee []pa8000.Reg
+	makesCalls bool
+}
+
+// allocate runs liveness + linear scan over f.
+func allocate(f *ir.Func) *allocation {
+	a := &allocation{
+		phys:  make(map[ir.Reg]pa8000.Reg),
+		spill: make(map[ir.Reg]int64),
+	}
+	if f.NumRegs == 0 {
+		return a
+	}
+
+	// Linear numbering of instructions in block order; record block
+	// boundaries and call positions.
+	blockStart := make([]int, len(f.Blocks))
+	blockEnd := make([]int, len(f.Blocks))
+	var callPos []int
+	pos := 0
+	for _, b := range f.Blocks {
+		blockStart[b.Index] = pos
+		for i := range b.Instrs {
+			op := b.Instrs[i].Op
+			if op == ir.Call || op == ir.ICall {
+				callPos = append(callPos, pos)
+				a.makesCalls = true
+			}
+			pos++
+		}
+		blockEnd[b.Index] = pos - 1
+	}
+
+	liveIn, liveOut := ir.Liveness(f)
+
+	// Build intervals.
+	ivs := make([]*interval, 0, f.NumRegs)
+	byReg := make(map[ir.Reg]*interval)
+	touch := func(r ir.Reg, p int) {
+		iv := byReg[r]
+		if iv == nil {
+			iv = &interval{vreg: r, start: p, end: p}
+			byReg[r] = iv
+			ivs = append(ivs, iv)
+			return
+		}
+		if p < iv.start {
+			iv.start = p
+		}
+		if p > iv.end {
+			iv.end = p
+		}
+	}
+	// Parameters are live from position 0 (they arrive at entry).
+	for i := 0; i < f.NumParams; i++ {
+		touch(ir.Reg(i), 0)
+	}
+	var uses []ir.Reg
+	pos = 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, r := range uses {
+				touch(r, pos)
+			}
+			if in.HasDst() {
+				touch(in.Dst, pos)
+			}
+			pos++
+		}
+	}
+	for bi := range f.Blocks {
+		for r := ir.Reg(0); int32(r) < f.NumRegs; r++ {
+			if liveIn[bi].Has(r) {
+				touch(r, blockStart[bi])
+			}
+			if liveOut[bi].Has(r) {
+				touch(r, blockEnd[bi])
+			}
+		}
+	}
+	// Mark call crossings. The start boundary is inclusive: a range can
+	// begin at a call's position when the value is live-in to a block
+	// whose first instruction is the call (common after inlining); such
+	// a value must survive the call. (A range that merely starts at the
+	// call because it IS the call's destination gets a callee-saved
+	// register too — harmless, just mildly pessimistic.)
+	for _, iv := range ivs {
+		for _, cp := range callPos {
+			if iv.start <= cp && cp < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+	}
+
+	// Linear scan.
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].vreg < ivs[j].vreg
+	})
+	freeCaller := append([]pa8000.Reg(nil), pa8000.CallerSaved...)
+	freeCallee := append([]pa8000.Reg(nil), pa8000.CalleeSaved...)
+	usedCallee := make(map[pa8000.Reg]bool)
+
+	type active struct {
+		end  int
+		reg  pa8000.Reg
+		pool *[]pa8000.Reg
+	}
+	var actives []active
+	expire := func(now int) {
+		kept := actives[:0]
+		for _, ac := range actives {
+			if ac.end < now {
+				*ac.pool = append(*ac.pool, ac.reg)
+			} else {
+				kept = append(kept, ac)
+			}
+		}
+		actives = kept
+	}
+	take := func(pool *[]pa8000.Reg) (pa8000.Reg, bool) {
+		if len(*pool) == 0 {
+			return 0, false
+		}
+		r := (*pool)[0]
+		*pool = (*pool)[1:]
+		return r, true
+	}
+	for _, iv := range ivs {
+		expire(iv.start)
+		var r pa8000.Reg
+		var pool *[]pa8000.Reg
+		ok := false
+		if iv.crossCall {
+			r, ok = take(&freeCallee)
+			pool = &freeCallee
+		} else {
+			if r, ok = take(&freeCaller); ok {
+				pool = &freeCaller
+			} else if r, ok = take(&freeCallee); ok {
+				pool = &freeCallee
+			}
+		}
+		if !ok {
+			a.spill[iv.vreg] = a.spills
+			a.spills++
+			continue
+		}
+		if pool == &freeCallee {
+			usedCallee[r] = true
+		}
+		a.phys[iv.vreg] = r
+		actives = append(actives, active{end: iv.end, reg: r, pool: pool})
+	}
+	for _, r := range pa8000.CalleeSaved {
+		if usedCallee[r] {
+			a.usedCallee = append(a.usedCallee, r)
+		}
+	}
+	return a
+}

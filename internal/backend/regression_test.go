@@ -1,0 +1,71 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+func checkHLOConfig(t *testing.T, name string, inline, clone, profile bool, budget int) bool {
+	b, _ := specsuite.ByName(name)
+	ref := testutil.MustBuild(t, b.Sources...)
+	want := testutil.MustRun(t, ref, b.Ref...)
+
+	p := testutil.MustBuild(t, b.Sources...)
+	if profile {
+		tr := testutil.MustBuild(t, b.Sources...)
+		res, err := interp.Run(tr, interp.Options{Inputs: b.Train, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Profile.Attach(p)
+	}
+	opts := core.DefaultOptions()
+	opts.Inline, opts.Clone, opts.Budget = inline, clone, budget
+	core.Run(p, core.WholeProgram(), opts)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	gi, err := interp.Run(p, interp.Options{Inputs: b.Ref})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if gi.Output[0] != want.Output[0] {
+		t.Fatalf("HLO broke IR semantics: %v vs %v", gi.Output, want.Output)
+	}
+	mp, err := backend.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pa8000.Run(mp, pa8000.Config{}, b.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := st.Output[0] == want.Output[0]
+	t.Logf("inline=%v clone=%v profile=%v budget=%d => sim-ok=%v (sim %v want %v)", inline, clone, profile, budget, ok, st.Output, want.Output)
+	return ok
+}
+
+// TestRegallocCallCrossingRegression guards the fix for live ranges that
+// begin exactly at a call's linear position (live-in to a block whose
+// first instruction is a call): they must get call-surviving registers.
+// The 099.go benchmark under inline-only HLO exposed the bug.
+func TestRegallocCallCrossingRegression(t *testing.T) {
+	for _, cfg := range []struct {
+		inline, clone, profile bool
+	}{
+		{true, false, false},
+		{false, true, false},
+		{true, true, false},
+		{true, true, true},
+	} {
+		if !checkHLOConfig(t, "099.go", cfg.inline, cfg.clone, cfg.profile, 100) {
+			t.Errorf("sim diverged for inline=%v clone=%v profile=%v", cfg.inline, cfg.clone, cfg.profile)
+		}
+	}
+}

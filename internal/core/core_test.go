@@ -1,0 +1,574 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/testutil"
+)
+
+// runHLO builds the program twice, runs HLO on one copy, and checks that
+// observable behaviour is preserved; returns the stats and the optimized
+// program.
+func runHLO(t *testing.T, opts core.Options, scope core.Scope, inputs []int64, srcs ...string) (*core.Stats, *ir.Program) {
+	t.Helper()
+	ref := testutil.MustBuild(t, srcs...)
+	want := testutil.MustRun(t, ref, inputs...)
+
+	p := testutil.MustBuild(t, srcs...)
+	stats := core.Run(p, scope, opts)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after HLO: %v\n%s", err, p)
+	}
+	got := testutil.MustRun(t, p, inputs...)
+	if got.ExitCode != want.ExitCode {
+		t.Errorf("exit = %d, want %d", got.ExitCode, want.ExitCode)
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("output = %v, want %v", got.Output, want.Output)
+	}
+	for i := range want.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, got.Output[i], want.Output[i])
+		}
+	}
+	if got.Steps > want.Steps {
+		t.Errorf("HLO made the program slower at IR level: %d > %d steps", got.Steps, want.Steps)
+	}
+	return stats, p
+}
+
+// withProfile builds, trains on trainInputs, attaches the profile, and
+// returns the program ready for a PBO compile.
+func withProfile(t *testing.T, trainInputs []int64, srcs ...string) *ir.Program {
+	t.Helper()
+	train := testutil.MustBuild(t, srcs...)
+	res, err := interp.Run(train, interp.Options{Inputs: trainInputs, Profile: true})
+	if err != nil {
+		t.Fatalf("training run: %v", err)
+	}
+	p := testutil.MustBuild(t, srcs...)
+	res.Profile.Attach(p)
+	return p
+}
+
+const hotLoopSrc = `
+module main;
+extern func print(x int) int;
+extern func scale(v int, k int) int;
+
+func main() int {
+	var i int;
+	var sum int;
+	for (i = 0; i < 200; i = i + 1) {
+		sum = sum + scale(i, 3);
+	}
+	print(sum);
+	return 0;
+}
+`
+
+const hotLoopLib = `
+module lib;
+func scale(v int, k int) int {
+	return v * k + 1;
+}
+`
+
+func TestInlineHotCallPreservesSemanticsAndShrinksSteps(t *testing.T) {
+	stats, p := runHLO(t, core.DefaultOptions(), core.WholeProgram(), nil, hotLoopSrc, hotLoopLib)
+	if stats.Inlines == 0 {
+		t.Errorf("expected at least one inline, got %+v", stats)
+	}
+	// scale should have been inlined and deleted (no remaining callers).
+	if p.Func("lib:scale") != nil && stats.Deletions == 0 {
+		t.Errorf("scale survived with no deletion recorded: %+v", stats)
+	}
+}
+
+func TestPerModuleScopeCannotInlineAcrossModules(t *testing.T) {
+	opts := core.DefaultOptions()
+	ref := testutil.MustBuild(t, hotLoopSrc, hotLoopLib)
+	want := testutil.MustRun(t, ref)
+
+	p := testutil.MustBuild(t, hotLoopSrc, hotLoopLib)
+	stats := core.Run(p, core.SingleModule("main"), opts)
+	if stats.Inlines != 0 {
+		t.Errorf("per-module scope inlined a cross-module call: %+v", stats)
+	}
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+}
+
+func TestCloneBindsConstantArguments(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+
+noinline func dispatch(op int, a int, b int) int {
+	if (op == 0) { return a + b; }
+	if (op == 1) { return a - b; }
+	if (op == 2) { return a * b; }
+	return 0;
+}
+
+func main() int {
+	var i int;
+	var sum int;
+	for (i = 0; i < 50; i = i + 1) {
+		sum = sum + dispatch(2, i, 3);
+	}
+	print(sum);
+	return 0;
+}
+`
+	// noinline blocks both transforms per the user-restriction rule, so
+	// first confirm nothing happens...
+	stats, _ := runHLO(t, core.DefaultOptions(), core.WholeProgram(), nil, src)
+	if stats.Inlines != 0 || stats.Clones != 0 {
+		t.Errorf("noinline was not honored: %+v", stats)
+	}
+
+	// ...then allow cloning only and check the dispatcher is specialized.
+	src2 := `
+module main;
+extern func print(x int) int;
+
+func dispatch(op int, a int, b int) int {
+	if (op == 0) { return a + b; }
+	if (op == 1) { return a - b; }
+	if (op == 2) { return a * b; }
+	return 0;
+}
+
+func main() int {
+	var i int;
+	var sum int;
+	for (i = 0; i < 50; i = i + 1) {
+		sum = sum + dispatch(2, i, 3);
+	}
+	print(sum);
+	return 0;
+}
+`
+	opts := core.DefaultOptions()
+	opts.Inline = false
+	stats2, p2 := runHLO(t, opts, core.WholeProgram(), nil, src2)
+	if stats2.Clones == 0 || stats2.CloneRepls == 0 {
+		t.Fatalf("expected cloning, got %+v", stats2)
+	}
+	// The clone must exist and have fewer parameters than the original.
+	var clone *ir.Func
+	p2.Funcs(func(f *ir.Func) bool {
+		if f.ClonedFrom == "main:dispatch" {
+			clone = f
+			return false
+		}
+		return true
+	})
+	if clone == nil {
+		t.Fatalf("no clone of dispatch found")
+	}
+	if clone.NumParams >= 3 {
+		t.Errorf("clone kept %d params, want < 3 (bound params edited out)", clone.NumParams)
+	}
+}
+
+func TestStagedOptimizationIndirectBecomesDirect(t *testing.T) {
+	// The paper's showcase: a routine receives a function pointer and
+	// calls it indirectly. Cloning with the constant code pointer plus
+	// constant propagation turns the indirect call direct; a later pass
+	// inlines it.
+	src := `
+module main;
+extern func print(x int) int;
+
+func double(x int) int { return x + x; }
+func triple(x int) int { return x * 3; }
+
+func fold(f int, n int) int {
+	var i int;
+	var acc int;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + f(i);
+	}
+	return acc;
+}
+
+func main() int {
+	print(fold(double, 100));
+	print(fold(triple, 100));
+	return 0;
+}
+`
+	opts := core.DefaultOptions()
+	opts.Budget = 400 // the demo program is tiny: each clone doubles Σ size²
+	stats, p := runHLO(t, opts, core.WholeProgram(), nil, src)
+	if stats.Clones == 0 {
+		t.Fatalf("expected fold to be cloned for its function-pointer argument: %+v", stats)
+	}
+	// After HLO no indirect call should survive anywhere.
+	indirect := 0
+	p.Funcs(func(f *ir.Func) bool {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.ICall {
+					indirect++
+				}
+			}
+		}
+		return true
+	})
+	if indirect != 0 {
+		t.Errorf("%d indirect calls survived the staged optimization\n%s", indirect, p)
+	}
+}
+
+func TestBudgetZeroBlocksEverything(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Budget = 0
+	stats, _ := runHLO(t, opts, core.WholeProgram(), nil, hotLoopSrc, hotLoopLib)
+	if stats.Inlines != 0 || stats.Clones != 0 {
+		t.Errorf("budget 0 should block transformations: %+v", stats)
+	}
+}
+
+func TestBiggerBudgetNeverSlower(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+func a1(x int) int { return x + 1; }
+func a2(x int) int { return a1(x) + 1; }
+func a3(x int) int { return a2(x) + 1; }
+func a4(x int) int { return a3(x) + 1; }
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 100; i = i + 1) { s = s + a4(i); }
+	print(s);
+	return 0;
+}
+`
+	var prevSteps int64 = 1 << 62
+	for _, budget := range []int{0, 25, 100, 400} {
+		opts := core.DefaultOptions()
+		opts.Budget = budget
+		p := testutil.MustBuild(t, src)
+		core.Run(p, core.WholeProgram(), opts)
+		res := testutil.MustRun(t, p)
+		if res.Steps > prevSteps {
+			t.Errorf("budget %d executed %d steps, more than smaller budget (%d)", budget, res.Steps, prevSteps)
+		}
+		prevSteps = res.Steps
+	}
+}
+
+func TestProfileGuidedInliningPrefersHotSite(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+
+func work(x int) int { return x * 7 % 13 + x; }
+
+func cold(x int) int { return work(x) + 1000; }
+
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 300; i = i + 1) {
+		s = s + work(i);        // hot site
+	}
+	if (input(0) > 1000) {
+		s = s + cold(5);        // cold site (never in training)
+	}
+	print(s);
+	return 0;
+}
+`
+	p := withProfile(t, []int64{0}, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 300
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines == 0 {
+		t.Fatalf("nothing was inlined: %+v", stats)
+	}
+	// The hot loop body in main must not call work anymore, while the
+	// never-trained cold path keeps its call (zero profile benefit).
+	main := p.Func("main:main")
+	for _, b := range main.Blocks {
+		if b.Count < 100 {
+			continue // cold or straight-line blocks
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call && in.Callee == "main:work" {
+				t.Errorf("hot call to work survived profile-guided inlining")
+			}
+		}
+	}
+	if cold := p.Func("main:cold"); cold != nil {
+		coldCalls := 0
+		for _, b := range cold.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.Call && b.Instrs[i].Callee == "main:work" {
+					coldCalls++
+				}
+			}
+		}
+		if coldCalls == 0 {
+			t.Errorf("zero-count cold call was inlined despite profile guidance")
+		}
+	}
+	res := testutil.MustRun(t, p, 0)
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestDeadPureCallElimination(t *testing.T) {
+	// The 072.sc curses effect: a library whose routines do nothing is
+	// deleted by side-effect analysis before inlining starts.
+	src := `
+module main;
+extern func print(x int) int;
+extern func curs_move(x int, y int) int;
+extern func curs_refresh(a int) int;
+
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 10; i = i + 1) {
+		curs_move(i, i);
+		curs_refresh(0);
+		s = s + i;
+	}
+	print(s);
+	return 0;
+}
+`
+	lib := `
+module curses;
+func curs_move(x int, y int) int { return 0; }
+func curs_refresh(a int) int { return 1; }
+`
+	stats, p := runHLO(t, core.DefaultOptions(), core.WholeProgram(), nil, src, lib)
+	if stats.DeadCalls < 2 {
+		t.Errorf("expected >= 2 dead pure calls removed, got %+v", stats)
+	}
+	main := p.Func("main:main")
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call && !ir.IsRuntime(in.Callee) {
+				t.Errorf("curses call survived: %s", in.Callee)
+			}
+		}
+	}
+	if stats.Deletions < 2 {
+		t.Errorf("do-nothing library routines should be deleted: %+v", stats)
+	}
+}
+
+func TestCrossModuleInlinePromotesStatics(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern func lookup(i int) int;
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 64; i = i + 1) { s = s + lookup(i); }
+	print(s);
+	return 0;
+}
+`
+	lib := `
+module tbl;
+static var table [64] int;
+static func fill(i int) int { return i * 3 % 17; }
+func lookup(i int) int {
+	if (table[i] == 0) { table[i] = fill(i) + 1; }
+	return table[i];
+}
+`
+	opts := core.DefaultOptions()
+	opts.Budget = 400
+	stats, _ := runHLO(t, opts, core.WholeProgram(), nil, src, lib)
+	if stats.Inlines == 0 {
+		t.Fatalf("expected cross-module inlining: %+v", stats)
+	}
+	if stats.Promotions == 0 {
+		t.Errorf("expected static promotion when code moved across modules: %+v", stats)
+	}
+}
+
+func TestVarargsAndArityMismatchNeverInlined(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern varargs func vsum(n int) int;
+extern func wrong(a int) int;
+func main() int {
+	print(vsum(3, 1, 2, 3));
+	print(wrong(9));
+	return 0;
+}
+`
+	lib := `
+module lib;
+varargs func vsum(n int) int { return n; }
+func wrong(a int, b int) int { return a + b * 100; }
+`
+	stats, p := runHLO(t, core.DefaultOptions(), core.WholeProgram(), nil, src, lib)
+	if stats.Inlines != 0 || stats.Clones != 0 {
+		t.Errorf("illegal sites transformed: %+v", stats)
+	}
+	if p.Func("lib:vsum") == nil || p.Func("lib:wrong") == nil {
+		t.Errorf("callees of illegal sites must survive")
+	}
+}
+
+func TestRelaxedMismatchBlocksInline(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+relaxed func fast(x int) int { return x * 2; }
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 50; i = i + 1) { s = s + fast(i); }
+	print(s);
+	return 0;
+}
+`
+	opts := core.DefaultOptions()
+	opts.Clone = false
+	stats, _ := runHLO(t, opts, core.WholeProgram(), nil, src)
+	if stats.Inlines != 0 {
+		t.Errorf("relaxed/strict mismatch must block inlining: %+v", stats)
+	}
+}
+
+func TestRecursiveCloningConvergesViaDatabase(t *testing.T) {
+	// A recursive routine with a pass-through constant: the clone's
+	// recursive site matches the same spec in the next pass and is
+	// redirected to the clone itself via the database.
+	src := `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+func walk(n int, step int) int {
+	if (n <= 0) { return 0; }
+	return step + walk(n - step, step);
+}
+func main() int {
+	print(walk(input(0), 2));
+	return 0;
+}
+`
+	opts := core.DefaultOptions()
+	opts.Inline = false
+	opts.Budget = 400
+	stats, p := runHLO(t, opts, core.WholeProgram(), []int64{100}, src)
+	if stats.Clones == 0 {
+		t.Fatalf("recursive routine not cloned: %+v", stats)
+	}
+	if stats.Clones > 1 {
+		t.Errorf("database should reuse the recursive clone, created %d", stats.Clones)
+	}
+	var clone *ir.Func
+	p.Funcs(func(f *ir.Func) bool {
+		if f.ClonedFrom == "main:walk" {
+			clone = f
+			return false
+		}
+		return true
+	})
+	if clone == nil {
+		t.Fatalf("clone not found")
+	}
+	// The clone's recursive call must target the clone itself.
+	selfCalls, origCalls := 0, 0
+	for _, b := range clone.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call {
+				switch in.Callee {
+				case clone.QName:
+					selfCalls++
+				case "main:walk":
+					origCalls++
+				}
+			}
+		}
+	}
+	if selfCalls == 0 || origCalls != 0 {
+		t.Errorf("recursive clone: self=%d orig=%d, want self>0 orig=0", selfCalls, origCalls)
+	}
+}
+
+func TestStopAfterLimitsOperations(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.StopAfter = 1
+	stats, _ := runHLO(t, opts, core.WholeProgram(), nil, hotLoopSrc, hotLoopLib)
+	if got := stats.Inlines + stats.CloneRepls; got > 1 {
+		t.Errorf("StopAfter=1 performed %d operations", got)
+	}
+}
+
+func TestMultiModuleProgramWithProfileAllScopes(t *testing.T) {
+	srcs := []string{`
+module main;
+extern func print(x int) int;
+extern func hash(k int) int;
+extern func probe(k int, h int) int;
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 128; i = i + 1) {
+		s = s + probe(i, hash(i));
+	}
+	print(s);
+	return 0;
+}
+`, `
+module lib;
+static var tbl [256] int;
+func hash(k int) int { return (k * 31 + 7) % 256; }
+func probe(k int, h int) int {
+	if (tbl[h] == 0) { tbl[h] = k + 1; }
+	return tbl[h] + k;
+}
+`}
+	ref := testutil.MustBuild(t, srcs...)
+	want := testutil.MustRun(t, ref)
+
+	for _, whole := range []bool{false, true} {
+		for _, prof := range []bool{false, true} {
+			var p *ir.Program
+			if prof {
+				p = withProfile(t, nil, srcs...)
+			} else {
+				p = testutil.MustBuild(t, srcs...)
+			}
+			if whole {
+				core.Run(p, core.WholeProgram(), core.DefaultOptions())
+			} else {
+				for _, m := range []string{"main", "lib"} {
+					core.Run(p, core.SingleModule(m), core.DefaultOptions())
+				}
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("whole=%v prof=%v verify: %v", whole, prof, err)
+			}
+			got := testutil.MustRun(t, p)
+			testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+		}
+	}
+}
+
+var _ = profile.New // keep the import for withProfile's documentation

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"repro/internal/ipa"
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+// hlo carries the state of one HLO invocation.
+type hlo struct {
+	prog       *ir.Program
+	scope      Scope
+	opts       Options
+	stats      *Stats
+	cost       int64 // current compile-cost model value over the scope
+	hasProfile bool
+	pure       map[string]bool
+	cloneDB    map[string]string // spec key -> clone QName
+	cloneSeq   int
+	outlineSeq int
+	ops        int
+	siteSeq    int32
+}
+
+// Run applies HLO to the program under the given scope and options and
+// returns the transformation statistics. The program must be resolved;
+// it is verified on completion in debug builds via ir.Program.Verify by
+// callers that care.
+func Run(p *ir.Program, scope Scope, opts Options) *Stats {
+	if opts.Passes <= 0 {
+		opts.Passes = 1
+	}
+	h := &hlo{
+		prog:    p,
+		scope:   scope,
+		opts:    opts,
+		stats:   &Stats{},
+		cloneDB: make(map[string]string),
+	}
+	p.Funcs(func(f *ir.Func) bool {
+		if f.EntryCount > 0 {
+			h.hasProfile = true
+			return false
+		}
+		return true
+	})
+
+	// Input stage: classic optimizations to reduce IR size, then
+	// interprocedural side-effect analysis and dead-call deletion
+	// ("they are eliminated before inlining because HLO's
+	// interprocedural analysis determines that they have no side
+	// effect").
+	h.forScope(func(f *ir.Func) { opt.Optimize(f, nil) })
+	if opts.DeadCallElim {
+		h.pure = ipa.PureFuncs(ipa.Build(p))
+		before := h.countCalls()
+		h.forScope(func(f *ir.Func) { opt.Optimize(f, h.purity) })
+		h.stats.DeadCalls = before - h.countCalls()
+	}
+
+	// Figure 2: determine the budget and its staging.
+	h.cost = h.computeCost()
+	h.stats.CostBefore = h.cost
+	h.stats.SizeBefore = h.scopeSize()
+	c0 := h.cost
+	extra := c0 * int64(opts.Budget) / 100
+	budget := c0 + extra
+
+	for pass := 0; pass < opts.Passes && h.cost < budget && !h.stopped(); pass++ {
+		stage := c0 + extra*stageFraction(pass, opts.Passes)/100
+		if opts.Clone {
+			h.siteSeq = p.AssignSites(h.siteSeq)
+			h.clonePass(stage)
+			h.reoptimize()
+		}
+		if opts.Inline {
+			h.siteSeq = p.AssignSites(h.siteSeq)
+			h.inlinePass(stage)
+			h.reoptimize()
+		}
+		h.cost = h.computeCost()
+		h.stats.Passes++
+	}
+
+	if opts.Outline {
+		if opts.OutlineMinSize <= 0 {
+			h.opts.OutlineMinSize = 6
+		}
+		if h.outlinePass() > 0 {
+			h.reoptimize()
+		}
+	}
+
+	h.stats.Deletions = h.deleteUnreachable()
+	h.cost = h.computeCost()
+	h.stats.CostAfter = h.cost
+	h.stats.SizeAfter = h.scopeSize()
+	h.stats.Ops = h.ops
+	return h.stats
+}
+
+// stageFraction apportions the budget across passes in percent:
+// the paper's Figure 2 gives the first pass 20% and the last the full
+// budget; intermediate passes interpolate.
+func stageFraction(pass, total int) int64 {
+	if total <= 1 || pass >= total-1 {
+		return 100
+	}
+	return 20 + int64(80*pass/(total-1))
+}
+
+func (h *hlo) purity(callee string) bool { return h.pure[callee] }
+
+func (h *hlo) stopped() bool {
+	return h.opts.StopAfter > 0 && h.ops >= h.opts.StopAfter
+}
+
+func (h *hlo) countOp() { h.ops++ }
+
+// costOf is the compile-time cost model of one routine: quadratic in its
+// size, like the back end's dominant algorithms (or linear under the
+// ablation flag).
+func (h *hlo) costOf(size int64) int64 {
+	if h.opts.LinearCost {
+		return size
+	}
+	return size * size
+}
+
+func (h *hlo) computeCost() int64 {
+	var c int64
+	h.forScope(func(f *ir.Func) { c += h.costOf(int64(f.Size())) })
+	return c
+}
+
+func (h *hlo) scopeSize() int {
+	n := 0
+	h.forScope(func(f *ir.Func) { n += f.Size() })
+	return n
+}
+
+func (h *hlo) countCalls() int {
+	n := 0
+	h.forScope(func(f *ir.Func) {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.Call || b.Instrs[i].Op == ir.ICall {
+					n++
+				}
+			}
+		}
+	})
+	return n
+}
+
+func (h *hlo) forScope(fn func(*ir.Func)) {
+	h.prog.Funcs(func(f *ir.Func) bool {
+		if h.scope.Contains(f) {
+			fn(f)
+		}
+		return true
+	})
+}
+
+// optimizeFunc runs the scalar pipeline with the current purity facts.
+func (h *hlo) optimizeFunc(f *ir.Func) {
+	opt.Optimize(f, h.purityOrNil())
+}
+
+func (h *hlo) purityOrNil() opt.Purity {
+	if h.pure == nil {
+		return nil
+	}
+	return h.purity
+}
+
+// reoptimize re-runs the scalar pipeline over the scope after a
+// transformation pass (Figures 3 and 4: "optimize clones/inlines and
+// recalibrate").
+func (h *hlo) reoptimize() {
+	h.forScope(func(f *ir.Func) { h.optimizeFunc(f) })
+}
+
+// deleteUnreachable removes routines that can no longer be called:
+// file-scope routines and clones whose every call was inlined or cloned
+// away, and — under whole-program scope — any routine unreachable from
+// main. Address-taken routines survive (indirect calls may reach them).
+func (h *hlo) deleteUnreachable() int {
+	// Roots: main, every function we are not allowed to delete, and
+	// address-taken functions referenced from anywhere.
+	reach := make(map[*ir.Func]bool)
+	var stack []*ir.Func
+	push := func(f *ir.Func) {
+		if f != nil && !reach[f] {
+			reach[f] = true
+			stack = append(stack, f)
+		}
+	}
+	h.prog.Funcs(func(f *ir.Func) bool {
+		if !deletable(f, h.scope) {
+			push(f)
+		}
+		return true
+	})
+	if main, err := h.prog.MainFunc(); err == nil {
+		push(main)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.Call && !ir.IsRuntime(in.Callee) {
+					push(h.prog.Func(in.Callee))
+				}
+				in.Operands(func(o *ir.Operand) {
+					if o.Kind == ir.KindFuncAddr && !ir.IsRuntime(o.Sym) {
+						push(h.prog.Func(o.Sym))
+					}
+				})
+			}
+		}
+	}
+	var dead []*ir.Func
+	h.prog.Funcs(func(f *ir.Func) bool {
+		if !reach[f] {
+			dead = append(dead, f)
+		}
+		return true
+	})
+	for _, f := range dead {
+		h.prog.RemoveFunc(f)
+	}
+	return len(dead)
+}

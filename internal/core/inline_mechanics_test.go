@@ -1,0 +1,258 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/testutil"
+)
+
+// TestInlineMergesFrames: the callee's frame objects must relocate into
+// the caller's frame without colliding with the caller's own objects.
+func TestInlineMergesFrames(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+
+func sumbuf(seed int) int {
+	var buf [6] int;
+	var i int;
+	for (i = 0; i < 6; i = i + 1) { buf[i] = seed + i * i; }
+	var s int;
+	for (i = 0; i < 6; i = i + 1) { s = s + buf[i]; }
+	return s;
+}
+
+func main() int {
+	var mine [4] int;
+	mine[0] = 100;
+	mine[3] = 7;
+	var i int;
+	var total int;
+	for (i = 0; i < 50; i = i + 1) {
+		total = total + sumbuf(i);
+	}
+	print(total + mine[0] + mine[3]);
+	return 0;
+}
+`
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref)
+
+	p := testutil.MustBuild(t, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 400
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines == 0 {
+		t.Fatalf("frame-using callee not inlined: %+v", stats)
+	}
+	main := p.Func("main:main")
+	if main.FrameSize < 10 {
+		t.Errorf("caller frame = %d words, want >= 10 (4 + 6 merged)", main.FrameSize)
+	}
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+}
+
+// TestInlineMultiReturnCallee: every return in the callee must reach the
+// continuation with the right value.
+func TestInlineMultiReturnCallee(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+
+func classify(v int) int {
+	if (v < 0) { return -1; }
+	if (v == 0) { return 0; }
+	if (v < 10) { return 1; }
+	return 2;
+}
+
+func main() int {
+	var i int;
+	var s int;
+	for (i = -5; i < 20; i = i + 1) {
+		s = s * 3 + classify(i);
+	}
+	print(s & 0xffffff);
+	return 0;
+}
+`
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref)
+	p := testutil.MustBuild(t, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 400
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines == 0 {
+		t.Fatalf("multi-return callee not inlined: %+v", stats)
+	}
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+}
+
+// TestInlineDiscardedResult: calls whose results are unused inline into
+// plain control flow (no dangling destination register writes).
+func TestInlineDiscardedResult(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+var log [8] int;
+func record(v int) int {
+	log[v & 7] = v;
+	return v * 2;
+}
+func main() int {
+	var i int;
+	for (i = 0; i < 30; i = i + 1) {
+		record(i);   // result discarded
+	}
+	print(log[3] + log[7]);
+	return 0;
+}
+`
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref)
+	p := testutil.MustBuild(t, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 400
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines == 0 {
+		t.Fatalf("not inlined: %+v", stats)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+}
+
+// TestInlineIntoMultipleSitesOfOneBlock: two calls to the same callee in
+// a single basic block must both be located and spliced despite the
+// block splitting done by the first inline.
+func TestInlineIntoMultipleSitesOfOneBlock(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+func half(v int) int { return v / 2; }
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 40; i = i + 1) {
+		s = s + half(i) + half(i + 1) + half(i + 2);
+	}
+	print(s);
+	return 0;
+}
+`
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref)
+	p := testutil.MustBuild(t, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 800
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines < 3 {
+		t.Fatalf("expected all three sites inlined, got %+v", stats)
+	}
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+	// All calls gone: the callee should be deleted too.
+	if p.Func("main:half") != nil {
+		t.Errorf("fully-inlined callee survived deletion")
+	}
+}
+
+// TestInlineChainBottomUp: A calls B calls C; the schedule must expand C
+// into B before B into A (cascaded cost), and the final result must be
+// correct.
+func TestInlineChainBottomUp(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+func c(x int) int { return x + 1; }
+func b(x int) int { return c(x) * 2; }
+func a(x int) int { return b(x) + c(x); }
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 60; i = i + 1) { s = s + a(i); }
+	print(s);
+	return 0;
+}
+`
+	ref := testutil.MustBuild(t, src)
+	want := testutil.MustRun(t, ref)
+	p := testutil.MustBuild(t, src)
+	opts := core.DefaultOptions()
+	opts.Budget = 1000
+	core.Run(p, core.WholeProgram(), opts)
+	got := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+	// With a generous budget the whole chain collapses into main.
+	calls := 0
+	main := p.Func("main:main")
+	for _, blk := range main.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.Call && !ir.IsRuntime(in.Callee) {
+				calls++
+			}
+		}
+	}
+	if calls != 0 {
+		t.Errorf("%d user calls survived in main; chain not fully collapsed:\n%s", calls, main)
+	}
+}
+
+// TestInlinePreservesProfileScaling: inlined copies inherit scaled
+// profile counts and the residual callee counts shrink.
+func TestInlinePreservesProfileScaling(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+func w(x int) int { return x * 7 & 1023; }
+func hot() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 900; i = i + 1) { s = s + w(i); }
+	return s;
+}
+func cold() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 9; i = i + 1) { s = s + w(i); }
+	return s;
+}
+func main() int {
+	print(hot() + cold());
+	return 0;
+}
+`
+	p := testutil.MustBuild(t, src)
+	trainP := testutil.MustBuild(t, src)
+	res, err := interpRun(trainP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Profile.Attach(p)
+	wEntryBefore := p.Func("main:w").EntryCount
+	if wEntryBefore != 909 {
+		t.Fatalf("training entry count = %d, want 909", wEntryBefore)
+	}
+	opts := core.DefaultOptions()
+	opts.Budget = 30 // only the hot site fits
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Inlines == 0 {
+		t.Fatalf("hot site not inlined: %+v", stats)
+	}
+	if w := p.Func("main:w"); w != nil && w.EntryCount >= wEntryBefore {
+		t.Errorf("residual callee count did not shrink: %d -> %d", wEntryBefore, w.EntryCount)
+	}
+}
+
+// interpRun is a tiny helper for profile-gathering runs.
+func interpRun(p *ir.Program) (*interp.Result, error) {
+	return interp.Run(p, interp.Options{Profile: true})
+}

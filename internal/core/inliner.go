@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+)
+
+// inlineCand is one viable inline site with its figure of merit.
+type inlineCand struct {
+	caller, callee *ir.Func
+	site           int32
+	benefit        int64
+	args           int
+}
+
+// inlinePass implements Figure 4: screen, rank by benefit, select
+// greedily under the stage budget with cascaded-cost accounting, then
+// perform the accepted inlines in bottom-up call-graph order.
+func (h *hlo) inlinePass(stageBudget int64) {
+	g := ipa.Build(h.prog)
+	var cands []*inlineCand
+	for _, e := range g.Edges {
+		if inlineLegal(e, h.scope) != OK {
+			continue
+		}
+		cands = append(cands, &inlineCand{
+			caller:  e.Caller,
+			callee:  e.Callee,
+			site:    e.Instr().Site,
+			benefit: h.inlineBenefit(e),
+			args:    len(e.Instr().Args),
+		})
+	}
+	// Rank by benefit; deterministic tie-break.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.benefit != b.benefit {
+			return a.benefit > b.benefit
+		}
+		if a.caller.QName != b.caller.QName {
+			return a.caller.QName < b.caller.QName
+		}
+		return a.site < b.site
+	})
+
+	// Greedy selection with cascaded cost: est tracks the projected size
+	// of each routine as accepted inlines expand it, so the cost of
+	// inlining B into A reflects B's own accepted inlines (the paper's
+	// schedule insertion).
+	est := make(map[*ir.Func]int64)
+	sizeOf := func(f *ir.Func) int64 {
+		if s, ok := est[f]; ok {
+			return s
+		}
+		s := int64(f.Size())
+		est[f] = s
+		return s
+	}
+	var accepted []*inlineCand
+	c := h.cost
+	for _, cand := range cands {
+		if cand.benefit <= 0 {
+			continue
+		}
+		callerSz, calleeSz := sizeOf(cand.caller), sizeOf(cand.callee)
+		x := h.costOf(callerSz+calleeSz) - h.costOf(callerSz)
+		if c+x > stageBudget {
+			continue
+		}
+		c += x
+		est[cand.caller] = callerSz + calleeSz
+		accepted = append(accepted, cand)
+	}
+
+	// Perform bottom-up: callers that are themselves callees of later
+	// inlines must be expanded first, so schedule by post-order index.
+	order := postOrder(g)
+	sort.SliceStable(accepted, func(i, j int) bool {
+		return order[accepted[i].caller] < order[accepted[j].caller]
+	})
+	for _, cand := range accepted {
+		if h.stopped() {
+			return
+		}
+		if err := h.performInline(cand); err == nil {
+			h.stats.Inlines++
+			h.countOp()
+		}
+	}
+}
+
+// inlineBenefit is the figure of merit of Section 2.4: profile frequency
+// first, with a penalty for sites colder than the caller's entry, plus
+// credit for constant actuals (optimization opportunity) and the
+// always-inline pragma.
+func (h *hlo) inlineBenefit(e *ipa.Edge) int64 {
+	in := e.Instr()
+	var freq int64
+	if h.hasProfile {
+		freq = e.Count()
+	} else {
+		freq = ipa.BlockWeight(e.Caller, e.Block) / 16
+		if freq == 0 {
+			freq = 1
+		}
+	}
+	nconst := 0
+	for _, a := range in.Args {
+		if a.Kind == ir.KindConst || a.Kind == ir.KindFuncAddr || a.Kind == ir.KindGlobalAddr {
+			nconst++
+		}
+	}
+	// Per-call savings: call overhead (frame, save/restore, branch) plus
+	// the scalar-optimization opportunity from constants.
+	b := freq * int64(10+2*len(in.Args)+6*nconst)
+	if h.opts.ColdPenalty && h.hasProfile && e.Count() < e.Caller.EntryCount {
+		b /= 4
+	}
+	if e.Callee.AlwaysInline {
+		b = b*1000 + 1000
+	}
+	return b
+}
+
+// postOrder numbers functions so that callees come before callers
+// (cycles broken arbitrarily but deterministically).
+func postOrder(g *ipa.Graph) map[*ir.Func]int {
+	order := make(map[*ir.Func]int)
+	visited := make(map[*ir.Func]bool)
+	next := 0
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if visited[f] {
+			return
+		}
+		visited[f] = true
+		for _, e := range g.CalleesOf[f] {
+			if e.Callee != nil {
+				visit(e.Callee)
+			}
+		}
+		order[f] = next
+		next++
+	}
+	g.Prog.Funcs(func(f *ir.Func) bool {
+		visit(f)
+		return true
+	})
+	return order
+}
+
+// performInline splices the callee body into the caller at the site,
+// remapping registers, frame offsets and block indices, binding formals
+// to actuals, turning returns into jumps to the continuation, scaling
+// profile counts, and promoting cross-module statics.
+func (h *hlo) performInline(cand *inlineCand) error {
+	caller, callee := cand.caller, cand.callee
+	blk, idx, ok := ir.FindSite(caller, cand.site)
+	if !ok {
+		return fmt.Errorf("core: site %d vanished from %s", cand.site, caller.QName)
+	}
+	call := blk.Instrs[idx].Clone()
+	if call.Op != ir.Call || call.Callee != callee.QName {
+		// The site was retargeted (e.g. to a clone) since the graph was
+		// built; skip rather than inline the wrong body.
+		return fmt.Errorf("core: site %d retargeted", cand.site)
+	}
+
+	regBase := ir.Reg(caller.NumRegs)
+	caller.NumRegs += callee.NumRegs
+	frameBase := caller.FrameSize
+	caller.FrameSize += callee.FrameSize
+	blockBase := len(caller.Blocks)
+	contIndex := blockBase + len(callee.Blocks)
+
+	siteCount := blk.Count
+	calleeEntry := callee.EntryCount
+
+	// Copy and remap the callee body.
+	copies := make([]*ir.Block, 0, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := cb.Clone()
+		nb.Index = blockBase + cb.Index
+		nb.Depth = cb.Depth + blk.Depth
+		if calleeEntry > 0 {
+			nb.Count = cb.Count * siteCount / calleeEntry
+		} else {
+			nb.Count = 0
+		}
+		remapped := nb.Instrs[:0]
+		for _, in := range nb.Instrs {
+			in.Site = 0
+			if in.HasDst() {
+				in.Dst += regBase
+			}
+			in.Operands(func(o *ir.Operand) {
+				if o.Kind == ir.KindReg {
+					o.Reg += regBase
+				}
+			})
+			switch in.Op {
+			case ir.FrameAddr:
+				in.A = ir.ConstOp(in.A.Val + frameBase)
+			case ir.Br:
+				in.Then += blockBase
+				in.Else += blockBase
+			case ir.Jmp:
+				in.Then += blockBase
+			case ir.Ret:
+				// Return value lands in the call's destination; control
+				// transfers to the continuation.
+				if call.Dst != ir.NoReg {
+					remapped = append(remapped, ir.Instr{Op: ir.Mov, Dst: call.Dst, A: in.A, Pos: in.Pos})
+				}
+				in = ir.Instr{Op: ir.Jmp, Then: contIndex, Pos: in.Pos}
+			}
+			remapped = append(remapped, in)
+		}
+		nb.Instrs = remapped
+		copies = append(copies, nb)
+	}
+
+	// Continuation block takes the remainder of the split block.
+	cont := &ir.Block{
+		Index:  contIndex,
+		Count:  blk.Count,
+		Depth:  blk.Depth,
+		Instrs: append([]ir.Instr(nil), blk.Instrs[idx+1:]...),
+	}
+
+	// The split block binds formals and jumps into the copied entry.
+	head := blk.Instrs[:idx:idx]
+	for i := 0; i < callee.NumParams; i++ {
+		var a ir.Operand
+		if i < len(call.Args) {
+			a = call.Args[i]
+		} else {
+			a = ir.ConstOp(0)
+		}
+		head = append(head, ir.Instr{Op: ir.Mov, Dst: regBase + ir.Reg(i), A: a, Pos: call.Pos})
+	}
+	head = append(head, ir.Instr{Op: ir.Jmp, Then: blockBase, Pos: call.Pos})
+	blk.Instrs = head
+
+	caller.Blocks = append(caller.Blocks, copies...)
+	caller.Blocks = append(caller.Blocks, cont)
+
+	// Adapt the callee's residual profile: the inlined portion of its
+	// execution no longer flows through the original body.
+	if calleeEntry > 0 && siteCount > 0 {
+		for _, cb := range callee.Blocks {
+			cb.Count -= cb.Count * siteCount / calleeEntry
+			if cb.Count < 0 {
+				cb.Count = 0
+			}
+		}
+		callee.EntryCount -= siteCount
+		if callee.EntryCount < 0 {
+			callee.EntryCount = 0
+		}
+	}
+
+	if callee.Module != caller.Module {
+		h.promoteStatics(copies, callee.Module)
+	}
+	return nil
+}
+
+// promoteStatics marks module-static symbols referenced by code that
+// moved into another module as promoted to global scope, mirroring the
+// paper's unique renaming of file statics. Canonical names are already
+// program-unique, so promotion is pure bookkeeping here.
+func (h *hlo) promoteStatics(blocks []*ir.Block, fromModule string) {
+	promoteFunc := func(sym string) {
+		if f := h.prog.Func(sym); f != nil && f.Module == fromModule && f.Static && !f.Promoted {
+			f.Promoted = true
+			h.stats.Promotions++
+		}
+	}
+	promoteGlobal := func(sym string) {
+		if g := h.prog.Global(sym); g != nil && g.Module == fromModule && g.Static && !g.Promoted {
+			g.Promoted = true
+			h.stats.Promotions++
+		}
+	}
+	for _, b := range blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Call && !ir.IsRuntime(in.Callee) {
+				promoteFunc(in.Callee)
+			}
+			in.Operands(func(o *ir.Operand) {
+				switch o.Kind {
+				case ir.KindFuncAddr:
+					if !ir.IsRuntime(o.Sym) {
+						promoteFunc(o.Sym)
+					}
+				case ir.KindGlobalAddr:
+					promoteGlobal(o.Sym)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/ipa"
+)
+
+// Reason explains why a call site was rejected, mirroring the paper's
+// four restriction classes plus the structural ones.
+type Reason uint8
+
+// Rejection reasons.
+const (
+	OK               Reason = iota
+	NotDirect               // indirect or external: no known callee body
+	OutOfScope              // callee not visible under the compilation scope
+	IllegalArity            // gross mismatch between actuals and formals
+	IllegalVarargs          // callee accepts variable arguments
+	TechnicalRelaxed        // relaxed-arithmetic IR flags disagree
+	PragmaticAlloca         // callee allocates stack dynamically
+	PragmaticSelf           // direct self-recursive site
+	UserNoInline            // user pragma
+	NotCloneworthy          // no parameters / entry point
+)
+
+func (r Reason) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case NotDirect:
+		return "not-direct"
+	case OutOfScope:
+		return "out-of-scope"
+	case IllegalArity:
+		return "illegal-arity"
+	case IllegalVarargs:
+		return "illegal-varargs"
+	case TechnicalRelaxed:
+		return "technical-relaxed"
+	case PragmaticAlloca:
+		return "pragmatic-alloca"
+	case PragmaticSelf:
+		return "pragmatic-self"
+	case UserNoInline:
+		return "user-noinline"
+	case NotCloneworthy:
+		return "not-cloneworthy"
+	}
+	return "?"
+}
+
+// inlineLegal screens one call site for inlining (the paper's legal,
+// technical, pragmatic and user-imposed restriction classes).
+func inlineLegal(e *ipa.Edge, scope Scope) Reason {
+	if e.Callee == nil {
+		return NotDirect
+	}
+	callee := e.Callee
+	// The caller must be transformable and the callee's body visible.
+	if !scope.Contains(e.Caller) || !scope.Contains(callee) {
+		return OutOfScope
+	}
+	if callee.Varargs {
+		return IllegalVarargs
+	}
+	if len(e.Instr().Args) != callee.NumParams {
+		return IllegalArity
+	}
+	if callee.Relaxed != e.Caller.Relaxed {
+		return TechnicalRelaxed
+	}
+	if callee.UsesAlloca {
+		return PragmaticAlloca
+	}
+	if callee == e.Caller {
+		return PragmaticSelf
+	}
+	if callee.NoInline {
+		return UserNoInline
+	}
+	return OK
+}
+
+// cloneLegal screens a call site for cloning. Cloning is less
+// restricted than inlining (no body merge happens): alloca users and
+// relaxed-arithmetic mismatches are fine, and recursive sites are
+// explicitly supported (the clone database makes multi-pass recursive
+// cloning converge).
+func cloneLegal(e *ipa.Edge, scope Scope) Reason {
+	if e.Callee == nil {
+		return NotDirect
+	}
+	callee := e.Callee
+	if !scope.Contains(e.Caller) || !scope.Contains(callee) {
+		return OutOfScope
+	}
+	if callee.Varargs {
+		return IllegalVarargs
+	}
+	if len(e.Instr().Args) != callee.NumParams {
+		return IllegalArity
+	}
+	if callee.NoInline {
+		return UserNoInline
+	}
+	if callee.NumParams == 0 || callee.Name == "main" && !callee.Static {
+		return NotCloneworthy
+	}
+	return OK
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+)
+
+// legalFixture builds a program with one call site per legality class.
+func legalFixture(t *testing.T) (*ir.Program, map[string]*ipa.Edge) {
+	t.Helper()
+	mkFunc := func(mod, name string, params int, mutate func(*ir.Func)) *ir.Func {
+		f := &ir.Func{
+			Name: name, Module: mod, NumParams: params,
+			NumRegs: int32(params + 1),
+			Blocks: []*ir.Block{{Index: 0, Instrs: []ir.Instr{
+				{Op: ir.Ret, A: ir.ConstOp(0)},
+			}}},
+		}
+		if mutate != nil {
+			mutate(f)
+		}
+		return f
+	}
+	lib := &ir.Module{Name: "lib"}
+	lib.Funcs = append(lib.Funcs,
+		mkFunc("lib", "plain", 1, nil),
+		mkFunc("lib", "va", 1, func(f *ir.Func) { f.Varargs = true }),
+		mkFunc("lib", "rel", 1, func(f *ir.Func) { f.Relaxed = true }),
+		mkFunc("lib", "alloc", 1, func(f *ir.Func) {
+			f.UsesAlloca = true
+			f.FrameSize = 0
+			f.Blocks[0].Instrs = []ir.Instr{
+				{Op: ir.Alloca, Dst: 1, A: ir.ConstOp(4)},
+				{Op: ir.Ret, A: ir.RegOp(1)},
+			}
+		}),
+		mkFunc("lib", "noinl", 1, func(f *ir.Func) { f.NoInline = true }),
+		mkFunc("lib", "zero", 0, nil),
+	)
+
+	mainMod := &ir.Module{Name: "main"}
+	callerBlocks := []ir.Instr{
+		{Op: ir.Call, Dst: 0, Callee: "plain", Args: []ir.Operand{ir.ConstOp(1)}},             // ok
+		{Op: ir.Call, Dst: 0, Callee: "va", Args: []ir.Operand{ir.ConstOp(1), ir.ConstOp(2)}}, // varargs
+		{Op: ir.Call, Dst: 0, Callee: "plain", Args: nil},                                     // arity
+		{Op: ir.Call, Dst: 0, Callee: "rel", Args: []ir.Operand{ir.ConstOp(1)}},               // relaxed mismatch
+		{Op: ir.Call, Dst: 0, Callee: "alloc", Args: []ir.Operand{ir.ConstOp(1)}},             // alloca
+		{Op: ir.Call, Dst: 0, Callee: "noinl", Args: []ir.Operand{ir.ConstOp(1)}},             // user
+		{Op: ir.Call, Dst: 0, Callee: "self", Args: []ir.Operand{ir.ConstOp(1)}},              // self
+		{Op: ir.Call, Dst: 0, Callee: "zero", Args: nil},                                      // zero-arg (clone-unworthy)
+		{Op: ir.Call, Dst: 0, Callee: "print", Args: []ir.Operand{ir.ConstOp(1)}},             // external
+		{Op: ir.ICall, Dst: 0, A: ir.RegOp(0), Args: nil},                                     // indirect
+		{Op: ir.Ret, A: ir.ConstOp(0)},
+	}
+	self := &ir.Func{
+		Name: "self", Module: "main", NumParams: 1, NumRegs: 2,
+		Blocks: []*ir.Block{{Index: 0, Instrs: callerBlocks}},
+	}
+	mainMod.Funcs = append(mainMod.Funcs, self)
+
+	p := ir.NewProgram(mainMod, lib)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	g := ipa.Build(p)
+	edges := map[string]*ipa.Edge{}
+	for _, e := range g.Edges {
+		in := e.Instr()
+		key := ""
+		switch {
+		case in.Op == ir.ICall:
+			key = "indirect"
+		case ir.IsRuntime(in.Callee):
+			key = "external"
+		case in.Callee == "lib:plain" && len(in.Args) == 1:
+			key = "ok"
+		case in.Callee == "lib:plain":
+			key = "arity"
+		case in.Callee == "lib:va":
+			key = "varargs"
+		case in.Callee == "lib:rel":
+			key = "relaxed"
+		case in.Callee == "lib:alloc":
+			key = "alloca"
+		case in.Callee == "lib:noinl":
+			key = "user"
+		case in.Callee == "main:self":
+			key = "self"
+		case in.Callee == "lib:zero":
+			key = "zero"
+		}
+		edges[key] = e
+	}
+	return p, edges
+}
+
+func TestInlineLegality(t *testing.T) {
+	_, edges := legalFixture(t)
+	whole := WholeProgram()
+	cases := map[string]Reason{
+		"ok":       OK,
+		"varargs":  IllegalVarargs,
+		"arity":    IllegalArity,
+		"relaxed":  TechnicalRelaxed,
+		"alloca":   PragmaticAlloca,
+		"user":     UserNoInline,
+		"self":     PragmaticSelf,
+		"external": NotDirect,
+		"indirect": NotDirect,
+		"zero":     OK,
+	}
+	for key, want := range cases {
+		e, ok := edges[key]
+		if !ok {
+			t.Fatalf("fixture missing edge %q", key)
+		}
+		if got := inlineLegal(e, whole); got != want {
+			t.Errorf("inlineLegal(%s) = %s, want %s", key, got, want)
+		}
+	}
+	// Per-module scope rejects the cross-module call.
+	if got := inlineLegal(edges["ok"], SingleModule("main")); got != OutOfScope {
+		t.Errorf("per-module scope: got %s, want out-of-scope", got)
+	}
+}
+
+func TestCloneLegality(t *testing.T) {
+	_, edges := legalFixture(t)
+	whole := WholeProgram()
+	cases := map[string]Reason{
+		"ok":       OK,
+		"varargs":  IllegalVarargs,
+		"arity":    IllegalArity,
+		"relaxed":  OK, // cloning does not merge bodies
+		"alloca":   OK, // nor move allocas
+		"user":     UserNoInline,
+		"self":     OK, // recursive cloning is supported
+		"external": NotDirect,
+		"indirect": NotDirect,
+		"zero":     NotCloneworthy,
+	}
+	for key, want := range cases {
+		if got := cloneLegal(edges[key], whole); got != want {
+			t.Errorf("cloneLegal(%s) = %s, want %s", key, got, want)
+		}
+	}
+}
+
+func TestStageFraction(t *testing.T) {
+	// Single pass gets everything; multi-pass ramps from 20% to 100%.
+	if got := stageFraction(0, 1); got != 100 {
+		t.Errorf("single pass fraction = %d", got)
+	}
+	fracs := []int64{}
+	for p := 0; p < 4; p++ {
+		fracs = append(fracs, stageFraction(p, 4))
+	}
+	if fracs[0] != 20 || fracs[3] != 100 {
+		t.Errorf("4-pass staging = %v, want 20..100", fracs)
+	}
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] < fracs[i-1] {
+			t.Errorf("staging not monotone: %v", fracs)
+		}
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r := OK; r <= NotCloneworthy; r++ {
+		if r.String() == "?" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/testutil"
+)
+
+// outlineSrc has a hot loop with an embedded cold error path big enough
+// to outline.
+const outlineSrc = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+var errlog [64] int;
+
+noinline func process(v int, bad int) int {
+	var r int;
+	r = v * 3 + 1;
+	if (bad) {
+		// Cold error path: straight-line, no frame access.
+		var code int;
+		code = (v ^ 12345) * 7;
+		code = code + (v << 3);
+		code = code - (v >> 2);
+		code = code * 31 + 17;
+		errlog[code & 63] = code;
+		errlog[(code + 1) & 63] = v;
+		r = 0 - code;
+	}
+	return r;
+}
+
+func main() int {
+	var i int;
+	var s int;
+	var n int;
+	n = input(0);
+	for (i = 0; i < n; i = i + 1) {
+		s = (s + process(i, i == 999999)) & 0xffffff;
+	}
+	print(s);
+	return 0;
+}
+`
+
+func trainAndOutline(t *testing.T, budget int, outline bool) (*ir.Program, *core.Stats) {
+	t.Helper()
+	trainP := testutil.MustBuild(t, outlineSrc)
+	res, err := interp.Run(trainP, interp.Options{Inputs: []int64{200}, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testutil.MustBuild(t, outlineSrc)
+	res.Profile.Attach(p)
+	opts := core.DefaultOptions()
+	opts.Budget = budget
+	opts.Outline = outline
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, p)
+	}
+	return p, stats
+}
+
+func TestOutlineExtractsColdPath(t *testing.T) {
+	p, stats := trainAndOutline(t, 0, true) // budget 0: keep process intact
+	if stats.Outlines == 0 {
+		t.Fatalf("nothing outlined: %+v", stats)
+	}
+	var outFn *ir.Func
+	p.Funcs(func(f *ir.Func) bool {
+		if strings.Contains(f.QName, "$out") {
+			outFn = f
+			return false
+		}
+		return true
+	})
+	if outFn == nil {
+		t.Fatal("outlined routine not found")
+	}
+	if !outFn.Static || !outFn.NoInline {
+		t.Errorf("outlined routine should be static and noinline: %+v", outFn)
+	}
+	// The hot routine must have shrunk.
+	process := p.Func("main:process")
+	if process == nil {
+		t.Fatal("process vanished")
+	}
+	callsOut := 0
+	for _, b := range process.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.Call && b.Instrs[i].Callee == outFn.QName {
+				callsOut++
+			}
+		}
+	}
+	if callsOut != 1 {
+		t.Errorf("process calls the outlined routine %d times, want 1", callsOut)
+	}
+
+	// Behaviour preserved, including on inputs that TAKE the cold path.
+	ref := testutil.MustBuild(t, outlineSrc)
+	for _, n := range []int64{10, 1000000} {
+		want := testutil.MustRun(t, ref, n)
+		got := testutil.MustRun(t, p, n)
+		testutil.EqualOutput(t, got, want.ExitCode, want.Output...)
+	}
+}
+
+func TestOutlineShrinksHotFunction(t *testing.T) {
+	pOff, _ := trainAndOutline(t, 0, false)
+	pOn, _ := trainAndOutline(t, 0, true)
+	off := pOff.Func("main:process").Size()
+	on := pOn.Func("main:process").Size()
+	if on >= off {
+		t.Errorf("outlining did not shrink the hot routine: %d >= %d", on, off)
+	}
+}
+
+func TestOutlineRequiresProfile(t *testing.T) {
+	p := testutil.MustBuild(t, outlineSrc)
+	opts := core.DefaultOptions()
+	opts.Outline = true
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Outlines != 0 {
+		t.Errorf("outlining without profile data should be a no-op: %+v", stats)
+	}
+}
+
+func TestOutlineSkipsFrameCode(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+noinline func withframe(v int, bad int) int {
+	var buf [4] int;
+	buf[0] = v;
+	if (bad) {
+		// Cold but touches the frame: must not be outlined.
+		buf[1] = v * 3;
+		buf[2] = buf[1] + buf[0];
+		buf[3] = buf[2] ^ buf[1];
+		buf[0] = buf[3] * 7 + 1;
+		buf[1] = buf[0] - v;
+		buf[2] = buf[1] & 1023;
+	}
+	return buf[0];
+}
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < input(0); i = i + 1) { s = s + withframe(i, 0); }
+	print(s & 0xffffff);
+	return 0;
+}
+`
+	trainP := testutil.MustBuild(t, src)
+	res, err := interp.Run(trainP, interp.Options{Inputs: []int64{50}, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testutil.MustBuild(t, src)
+	res.Profile.Attach(p)
+	opts := core.DefaultOptions()
+	opts.Budget = 0
+	opts.Outline = true
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Outlines != 0 {
+		t.Errorf("frame-touching code was outlined: %+v", stats)
+	}
+}

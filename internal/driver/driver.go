@@ -1,0 +1,192 @@
+// Package driver orchestrates the full compilation pipeline of the
+// paper's Figure 1: front end → (optional isom buffering) → HLO →
+// back end → linked executable, under the four scope configurations of
+// Table 1 (base, cross-module, profile, cross-module+profile), including
+// the PBO loop (instrumented build → training run → profile database →
+// final build).
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/pa8000"
+	"repro/internal/profile"
+)
+
+// Options selects a compilation configuration.
+type Options struct {
+	// CrossModule routes compilation through the link-time isom path:
+	// HLO sees every module at once (the paper's "c").
+	CrossModule bool
+	// Profile runs an instrumented training build first and feeds the
+	// block counts to HLO (the paper's "p"). TrainInputs is the training
+	// data set; ExtraTrainInputs optionally adds more training runs whose
+	// profiles are merged in (the paper's "profile information from a
+	// variety of sources" future-work item).
+	Profile          bool
+	TrainInputs      []int64
+	ExtraTrainInputs [][]int64
+	// ProfileData, when non-nil, is attached directly instead of running
+	// a training build (a stored profile database, e.g. from hlocc
+	// -use-profile). Implies Profile semantics for HLO.
+	ProfileData *profile.Data
+	// HLO carries the inliner/cloner options (budget, passes, toggles).
+	HLO core.Options
+	// Layout selects the linker's code-placement policy (source order or
+	// profile-guided call affinity à la Pettis-Hansen).
+	Layout backend.Layout
+	// Machine configures the PA8000 model used by Run.
+	Machine pa8000.Config
+}
+
+// DefaultOptions is the paper's peak configuration: cross-module,
+// profile-fed, budget 100, inlining and cloning both on.
+func DefaultOptions(trainInputs []int64) Options {
+	return Options{
+		CrossModule: true,
+		Profile:     true,
+		TrainInputs: trainInputs,
+		HLO:         core.DefaultOptions(),
+	}
+}
+
+// Compilation is a fully built executable plus everything measured on
+// the way.
+type Compilation struct {
+	IR      *ir.Program
+	Machine *pa8000.Program
+	Stats   core.Stats // HLO transformation statistics (Table 1 columns)
+	// CompileCost models compile time: the Σ size² cost of every HLO
+	// scope that ran, plus the instrumented build's cost when profiling
+	// (the paper's compile times include the instrumenting compile).
+	CompileCost int64
+	// TrainResult is the training run outcome (nil without Profile).
+	TrainResult *interp.Result
+	CodeSize    int
+}
+
+// Frontend parses, checks and lowers MiniC sources into a resolved
+// program.
+func Frontend(sources []string) (*ir.Program, error) {
+	files := make([]*minic.File, 0, len(sources))
+	for i, src := range sources {
+		f, err := minic.Parse(fmt.Sprintf("module%d.mc", i), src)
+		if err != nil {
+			return nil, err
+		}
+		if err := minic.Check(f); err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return lower.Program(files)
+}
+
+// Compile builds the sources under the given configuration.
+func Compile(sources []string, opts Options) (*Compilation, error) {
+	p, err := Frontend(sources)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compilation{IR: p}
+
+	if opts.ProfileData != nil {
+		opts.ProfileData.Attach(p)
+	} else if opts.Profile {
+		// Instrumented build + training run. The instrumented build is a
+		// plain front-end build (block counting needs unoptimized block
+		// identities), so its compile cost is the unoptimized cost.
+		trainProg, err := Frontend(sources)
+		if err != nil {
+			return nil, err
+		}
+		c.CompileCost += programCost(trainProg, opts.HLO.LinearCost)
+		res, err := interp.Run(trainProg, interp.Options{Inputs: opts.TrainInputs, Profile: true})
+		if err != nil {
+			return nil, fmt.Errorf("driver: training run: %w", err)
+		}
+		c.TrainResult = res
+		db := res.Profile
+		for _, extra := range opts.ExtraTrainInputs {
+			res2, err := interp.Run(trainProg, interp.Options{Inputs: extra, Profile: true})
+			if err != nil {
+				return nil, fmt.Errorf("driver: extra training run: %w", err)
+			}
+			db.Merge(res2.Profile, 100)
+		}
+		db.Attach(p)
+	}
+
+	if opts.CrossModule {
+		st := core.Run(p, core.WholeProgram(), opts.HLO)
+		c.Stats = *st
+	} else {
+		// Traditional path: HLO buffers one module at a time.
+		for _, m := range p.Modules {
+			st := core.Run(p, core.SingleModule(m.Name), opts.HLO)
+			c.Stats.Inlines += st.Inlines
+			c.Stats.Clones += st.Clones
+			c.Stats.CloneRepls += st.CloneRepls
+			c.Stats.Deletions += st.Deletions
+			c.Stats.Promotions += st.Promotions
+			c.Stats.DeadCalls += st.DeadCalls
+			c.Stats.CostBefore += st.CostBefore
+			c.Stats.CostAfter += st.CostAfter
+			c.Stats.SizeBefore += st.SizeBefore
+			c.Stats.SizeAfter += st.SizeAfter
+			c.Stats.Ops += st.Ops
+		}
+	}
+	c.CompileCost += c.Stats.CostAfter
+
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("driver: post-HLO verification: %w", err)
+	}
+	mp, err := backend.LinkLayout(p, opts.Layout)
+	if err != nil {
+		return nil, err
+	}
+	c.Machine = mp
+	c.CodeSize = backend.CodeSize(mp)
+	return c, nil
+}
+
+// Run executes the compiled program on the machine model.
+func (c *Compilation) Run(opts Options, inputs []int64) (*pa8000.Stats, error) {
+	return pa8000.Run(c.Machine, opts.Machine, inputs)
+}
+
+// TrainProfile builds the program, runs it instrumented on the training
+// inputs, and returns the profile database (exposed for tools that store
+// profiles in files).
+func TrainProfile(sources []string, trainInputs []int64) (*profile.Data, error) {
+	p, err := Frontend(sources)
+	if err != nil {
+		return nil, err
+	}
+	res, err := interp.Run(p, interp.Options{Inputs: trainInputs, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Profile, nil
+}
+
+func programCost(p *ir.Program, linear bool) int64 {
+	var c int64
+	p.Funcs(func(f *ir.Func) bool {
+		s := int64(f.Size())
+		if linear {
+			c += s
+		} else {
+			c += s * s
+		}
+		return true
+	})
+	return c
+}

@@ -1,0 +1,334 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 3) on the synthetic SPEC suite:
+//
+//	Figure 5  static call-site classification
+//	Table 1   inline/clone/deletion statistics and compile/run time under
+//	          the four scopes (base, c, p, cp)
+//	Figure 6  relative speedup with inline-only / clone-only / both
+//	Figure 7  machine-level simulation detail (cycles, CPI, caches,
+//	          branches) for neither/inline/clone/both
+//	Figure 8  incremental benefit of successive inline and clone
+//	          operations at budgets 25/100/200/1000 on 022.li
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// machine model); the claims reproduced are the shapes: who wins, by
+// roughly what factor, and where the curves flatten.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/ipa"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+)
+
+// compileAndRun builds one benchmark under the given options and times
+// it on its ref input.
+func compileAndRun(b *specsuite.Benchmark, opts driver.Options) (*driver.Compilation, *pa8000.Stats, error) {
+	opts.TrainInputs = b.Train
+	c, err := driver.Compile(b.Sources, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	st, err := c.Run(opts, b.Ref)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: run: %w", b.Name, err)
+	}
+	return c, st, nil
+}
+
+// Figure5Row is one bar of Figure 5.
+type Figure5Row struct {
+	Name   string
+	Suite  string
+	Counts ipa.SiteCounts
+}
+
+// Figure5 classifies the static call sites of every benchmark.
+func Figure5() ([]Figure5Row, error) {
+	var rows []Figure5Row
+	for _, b := range specsuite.All() {
+		p, err := driver.Frontend(b.Sources)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, Figure5Row{Name: b.Name, Suite: b.Suite, Counts: ipa.Classify(p)})
+	}
+	return rows, nil
+}
+
+// Table1Row is one configuration line of Table 1.
+type Table1Row struct {
+	Name        string
+	Scope       string // "", "c", "p", "cp"
+	Inlines     int
+	Clones      int
+	CloneRepls  int
+	Deletions   int
+	CompileCost int64 // compile-time model units (Σ size², + instrumented build for p)
+	RunCycles   int64
+}
+
+// Table1 reproduces the paper's per-scope transformation statistics for
+// the Table 1 benchmark subset.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range specsuite.Table1Names() {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range []struct {
+			scope       string
+			cross, prof bool
+		}{
+			{"", false, false},
+			{"c", true, false},
+			{"p", false, true},
+			{"cp", true, true},
+		} {
+			opts := driver.Options{
+				CrossModule: cfg.cross,
+				Profile:     cfg.prof,
+				HLO:         core.DefaultOptions(),
+			}
+			c, st, err := compileAndRun(b, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{
+				Name:        b.Name,
+				Scope:       cfg.scope,
+				Inlines:     c.Stats.Inlines,
+				Clones:      c.Stats.Clones,
+				CloneRepls:  c.Stats.CloneRepls,
+				Deletions:   c.Stats.Deletions,
+				CompileCost: c.CompileCost,
+				RunCycles:   st.Cycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Figure6Row is one benchmark's bar group in Figure 6.
+type Figure6Row struct {
+	Name  string
+	Suite string
+	// Speedups relative to the neither-inline-nor-clone build; the
+	// baseline compile uses cross-module and profile-based optimization,
+	// as in the paper.
+	Inline float64
+	Clone  float64
+	Both   float64
+}
+
+// Figure6 measures the relative speedup of inlining, cloning, and both.
+func Figure6() ([]Figure6Row, error) {
+	var rows []Figure6Row
+	for _, b := range specsuite.All() {
+		cycles := map[string]int64{}
+		for _, cfg := range []struct {
+			key           string
+			inline, clone bool
+		}{
+			{"neither", false, false},
+			{"inline", true, false},
+			{"clone", false, true},
+			{"both", true, true},
+		} {
+			opts := driver.DefaultOptions(b.Train)
+			opts.HLO.Inline = cfg.inline
+			opts.HLO.Clone = cfg.clone
+			_, st, err := compileAndRun(b, opts)
+			if err != nil {
+				return nil, err
+			}
+			cycles[cfg.key] = st.Cycles
+		}
+		base := float64(cycles["neither"])
+		rows = append(rows, Figure6Row{
+			Name:   b.Name,
+			Suite:  b.Suite,
+			Inline: base / float64(cycles["inline"]),
+			Clone:  base / float64(cycles["clone"]),
+			Both:   base / float64(cycles["both"]),
+		})
+	}
+	return rows, nil
+}
+
+// GeoMeans returns the geometric-mean speedups per suite for a Figure 6
+// result set (the paper's "SPECint92"/"SPECint95" summary bars).
+func GeoMeans(rows []Figure6Row) map[string]Figure6Row {
+	out := make(map[string]Figure6Row)
+	prod := map[string]*Figure6Row{}
+	count := map[string]int{}
+	for _, r := range rows {
+		p, ok := prod[r.Suite]
+		if !ok {
+			p = &Figure6Row{Name: "geomean", Suite: r.Suite, Inline: 1, Clone: 1, Both: 1}
+			prod[r.Suite] = p
+		}
+		p.Inline *= r.Inline
+		p.Clone *= r.Clone
+		p.Both *= r.Both
+		count[r.Suite]++
+	}
+	for suite, p := range prod {
+		n := float64(count[suite])
+		out[suite] = Figure6Row{
+			Name:   "geomean",
+			Suite:  suite,
+			Inline: nthRoot(p.Inline, n),
+			Clone:  nthRoot(p.Clone, n),
+			Both:   nthRoot(p.Both, n),
+		}
+	}
+	return out
+}
+
+// Figure7Row is one benchmark × configuration sample of the simulation
+// study.
+type Figure7Row struct {
+	Name   string
+	Config string // neither / inline / clone / both
+
+	RelCycles   float64 // relative to the neither build
+	CPI         float64
+	RelInstrs   float64
+	RelIAcc     float64
+	IMissRate   float64 // misses per 1000 accesses
+	RelDAcc     float64
+	DMissRate   float64 // misses per 100 accesses
+	RelBranches float64
+	BranchMiss  float64 // mispredicts per predicted-capable branch
+}
+
+// Figure7 runs the machine-level study over the SPEC95-like subset with
+// simplified (train-sized) inputs, as the paper did ("simplified input
+// sets designed to closely mimic the behavior of the benchmark").
+func Figure7() ([]Figure7Row, error) {
+	var rows []Figure7Row
+	for _, name := range specsuite.Figure7Names() {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var base *pa8000.Stats
+		for _, cfg := range []struct {
+			key           string
+			inline, clone bool
+		}{
+			{"neither", false, false},
+			{"inline", true, false},
+			{"clone", false, true},
+			{"both", true, true},
+		} {
+			opts := driver.DefaultOptions(b.Train)
+			opts.HLO.Inline = cfg.inline
+			opts.HLO.Clone = cfg.clone
+			c, err := driver.Compile(b.Sources, opts)
+			if err != nil {
+				return nil, err
+			}
+			st, err := c.Run(opts, b.Train) // simplified inputs
+			if err != nil {
+				return nil, err
+			}
+			if cfg.key == "neither" {
+				base = st
+			}
+			rows = append(rows, Figure7Row{
+				Name:        b.Name,
+				Config:      cfg.key,
+				RelCycles:   ratio(st.Cycles, base.Cycles),
+				CPI:         st.CPI(),
+				RelInstrs:   ratio(st.Instrs, base.Instrs),
+				RelIAcc:     ratio(st.IAccesses, base.IAccesses),
+				IMissRate:   st.IMissRate() * 1000,
+				RelDAcc:     ratio(st.DAccesses, base.DAccesses),
+				DMissRate:   st.DMissRate() * 100,
+				RelBranches: ratio(st.Branches, base.Branches),
+				BranchMiss:  st.BranchMissRate(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Figure8Point is one sample of the incremental-benefit sweep.
+type Figure8Point struct {
+	Budget    int
+	Ops       int   // inline + clone-replacement operations allowed
+	RunCycles int64 // resulting run time
+}
+
+// Figure8 reproduces the incremental-benefit experiment on 022.li: for
+// each budget level, HLO is artificially stopped after N operations and
+// the resulting binary is timed.
+func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
+	if len(budgets) == 0 {
+		budgets = []int{25, 100, 200, 1000}
+	}
+	b, err := specsuite.ByName("022.li")
+	if err != nil {
+		return nil, err
+	}
+	var points []Figure8Point
+	for _, budget := range budgets {
+		// First learn how many operations the budget allows in total.
+		full := driver.DefaultOptions(b.Train)
+		full.HLO.Budget = budget
+		c, err := driver.Compile(b.Sources, full)
+		if err != nil {
+			return nil, err
+		}
+		total := c.Stats.Ops
+		stride := 1
+		if maxPoints > 0 && total > maxPoints {
+			stride = (total + maxPoints - 1) / maxPoints
+		}
+		for ops := 0; ; ops += stride {
+			if ops > total {
+				ops = total
+			}
+			opts := driver.DefaultOptions(b.Train)
+			opts.HLO.Budget = budget
+			opts.HLO.StopAfter = ops
+			if ops == 0 {
+				// StopAfter=0 means unlimited; use inline/clone off for
+				// the zero-operations point instead.
+				opts.HLO.Inline = false
+				opts.HLO.Clone = false
+			}
+			_, st, err := compileAndRun(b, opts)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, Figure8Point{Budget: budget, Ops: ops, RunCycles: st.Cycles})
+			if ops >= total {
+				break
+			}
+		}
+	}
+	return points, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func nthRoot(x, n float64) float64 {
+	if x <= 0 || n <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1/n)
+}

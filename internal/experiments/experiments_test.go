@@ -1,0 +1,140 @@
+package experiments_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFigure5Shapes checks the static-site classification invariants the
+// paper's Figure 5 exhibits: every program has external sites (library
+// calls), cross-module calls are a significant share, and li-like and
+// gcc-like programs have recursive sites.
+func TestFigure5Shapes(t *testing.T) {
+	rows, err := experiments.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("got %d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if r.Counts.External == 0 {
+			t.Errorf("%s: no external sites", r.Name)
+		}
+		if r.Counts.CrossModule == 0 {
+			t.Errorf("%s: no cross-module sites (the paper: their presence is crucial)", r.Name)
+		}
+		if r.Counts.Total() < 15 {
+			t.Errorf("%s: suspiciously few call sites (%d)", r.Name, r.Counts.Total())
+		}
+	}
+	byName := map[string]experiments.Figure5Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["022.li"].Counts.Recursive == 0 {
+		t.Error("022.li must have recursive sites (eval/apply recursion)")
+	}
+	if byName["023.eqntott"].Counts.Indirect == 0 {
+		t.Error("023.eqntott must have indirect sites (comparator pointer)")
+	}
+	out := experiments.RenderFigure5(rows)
+	if !strings.Contains(out, "099.go") || !strings.Contains(out, "within-module") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+// TestTable1Shapes verifies the paper's Table 1 claims on the subset:
+// cp always beats base at run time, widening scope increases compile
+// cost, and profile configurations pay for the instrumented compile.
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 regeneration is slow")
+	}
+	rows, err := experiments.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScope := map[string]map[string]experiments.Table1Row{}
+	for _, r := range rows {
+		if byScope[r.Name] == nil {
+			byScope[r.Name] = map[string]experiments.Table1Row{}
+		}
+		byScope[r.Name][r.Scope] = r
+	}
+	for name, m := range byScope {
+		base, c, p, cp := m[""], m["c"], m["p"], m["cp"]
+		if cp.RunCycles >= base.RunCycles {
+			t.Errorf("%s: cp (%d cycles) does not beat base (%d)", name, cp.RunCycles, base.RunCycles)
+		}
+		if p.CompileCost <= base.CompileCost {
+			t.Errorf("%s: profile compile cost must include instrumentation (p=%d base=%d)", name, p.CompileCost, base.CompileCost)
+		}
+		if c.Inlines < base.Inlines {
+			t.Errorf("%s: cross-module scope found fewer inlines (%d) than base (%d)", name, c.Inlines, base.Inlines)
+		}
+	}
+}
+
+// TestFigure8Saturates reproduces the asymptote property: performance
+// stops improving once the budget is large enough, and more operations
+// never hurt much.
+func TestFigure8Saturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 8 sweep is slow")
+	}
+	points, err := experiments.Figure8([]int{25, 100, 400}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]int64{}
+	first := map[int]int64{}
+	for _, p := range points {
+		if _, ok := first[p.Budget]; !ok {
+			first[p.Budget] = p.RunCycles
+		}
+		last[p.Budget] = p.RunCycles
+	}
+	for budget, f := range first {
+		if last[budget] > f {
+			t.Errorf("budget %d: full transformation set (%d cycles) slower than none (%d)", budget, last[budget], f)
+		}
+	}
+	// Saturation: the default budget of 100 captures most (>= 70%) of
+	// the win available at budget 400 (the paper: "once the budget has
+	// reached a sufficiently large value there is no additional
+	// performance increase" — qualitatively, diminishing returns).
+	f100, l100, l400 := first[100], last[100], last[400]
+	if l400 > 0 && f100 > l400 {
+		captured := float64(f100-l100) / float64(f100-l400)
+		if captured < 0.70 {
+			t.Errorf("budget 100 captured only %.0f%% of the achievable win (f100=%d l100=%d l400=%d)",
+				captured*100, f100, l100, l400)
+		}
+	}
+}
+
+// TestProductionShapes reproduces Section 3.5: the speedups carry over
+// to large generated programs, and behaviour is preserved.
+func TestProductionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production sweep is slow")
+	}
+	rows, err := experiments.Production(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	product := 1.0
+	for _, r := range rows {
+		if r.Speedup < 0.97 {
+			t.Errorf("seed %d: HLO slowed a large program down: %.3f", r.Seed, r.Speedup)
+		}
+		product *= r.Speedup
+	}
+	if gm := math.Pow(product, 1/float64(len(rows))); gm <= 1.02 {
+		t.Errorf("no significant speedup on large programs: geomean %.3f", gm)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigure5 formats Figure 5 as a text table.
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: static characteristics of call sites\n")
+	fmt.Fprintf(&b, "%-14s %-10s %9s %9s %13s %14s %10s %7s\n",
+		"benchmark", "suite", "external", "indirect", "cross-module", "within-module", "recursive", "total")
+	for _, r := range rows {
+		c := r.Counts
+		fmt.Fprintf(&b, "%-14s %-10s %9d %9d %13d %14d %10d %7d\n",
+			r.Name, r.Suite, c.External, c.Indirect, c.CrossModule, c.WithinModule, c.Recursive, c.Total())
+	}
+	return b.String()
+}
+
+// RenderTable1 formats Table 1 as a text table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: inline and clone information for selected benchmarks\n")
+	b.WriteString("(scope: blank = per-module, c = cross-module, p = profile, cp = both)\n")
+	fmt.Fprintf(&b, "%-14s %-5s %8s %7s %11s %10s %13s %12s\n",
+		"benchmark", "scope", "inlines", "clones", "clone-repls", "deletions", "compile-cost", "run-cycles")
+	prev := ""
+	for _, r := range rows {
+		name := r.Name
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(&b, "%-14s %-5s %8d %7d %11d %10d %13d %12d\n",
+			name, r.Scope, r.Inlines, r.Clones, r.CloneRepls, r.Deletions, r.CompileCost, r.RunCycles)
+	}
+	return b.String()
+}
+
+// RenderFigure6 formats Figure 6 as a text table with suite geomeans.
+func RenderFigure6(rows []Figure6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: relative speedup with inlining, cloning, or both\n")
+	b.WriteString("(baseline compile uses cross-module and profile-based optimization)\n")
+	fmt.Fprintf(&b, "%-14s %-10s %8s %8s %8s\n", "benchmark", "suite", "inline", "clone", "both")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %8.3f %8.3f %8.3f\n", r.Name, r.Suite, r.Inline, r.Clone, r.Both)
+	}
+	gms := GeoMeans(rows)
+	suites := make([]string, 0, len(gms))
+	for s := range gms {
+		suites = append(suites, s)
+	}
+	sort.Strings(suites)
+	for _, s := range suites {
+		g := gms[s]
+		fmt.Fprintf(&b, "%-14s %-10s %8.3f %8.3f %8.3f\n", "geomean", s, g.Inline, g.Clone, g.Both)
+	}
+	return b.String()
+}
+
+// RenderFigure7 formats Figure 7 as a text table.
+func RenderFigure7(rows []Figure7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: PA8000 simulation results (relative to the neither build)\n")
+	fmt.Fprintf(&b, "%-14s %-8s %7s %6s %7s %7s %8s %7s %8s %7s %7s\n",
+		"benchmark", "config", "cycles", "CPI", "instrs", "I-acc", "I-mr/1k", "D-acc", "D-mr/100", "branch", "br-miss")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-8s %7.3f %6.3f %7.3f %7.3f %8.2f %7.3f %8.2f %7.3f %7.3f\n",
+			r.Name, r.Config, r.RelCycles, r.CPI, r.RelInstrs, r.RelIAcc, r.IMissRate,
+			r.RelDAcc, r.DMissRate, r.RelBranches, r.BranchMiss)
+	}
+	return b.String()
+}
+
+// RenderFigure8 formats Figure 8 as one series per budget.
+func RenderFigure8(points []Figure8Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: incremental benefit of inlines and clone replacements in 022.li\n")
+	byBudget := map[int][]Figure8Point{}
+	var budgets []int
+	for _, p := range points {
+		if _, ok := byBudget[p.Budget]; !ok {
+			budgets = append(budgets, p.Budget)
+		}
+		byBudget[p.Budget] = append(byBudget[p.Budget], p)
+	}
+	sort.Ints(budgets)
+	for _, budget := range budgets {
+		fmt.Fprintf(&b, "budget %d:\n", budget)
+		fmt.Fprintf(&b, "  %6s %12s\n", "ops", "run-cycles")
+		for _, p := range byBudget[budget] {
+			fmt.Fprintf(&b, "  %6d %12d\n", p.Ops, p.RunCycles)
+		}
+	}
+	return b.String()
+}

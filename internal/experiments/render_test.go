@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMeans(t *testing.T) {
+	rows := []Figure6Row{
+		{Name: "a", Suite: "S", Inline: 2, Clone: 1, Both: 2},
+		{Name: "b", Suite: "S", Inline: 8, Clone: 1, Both: 0.5},
+		{Name: "c", Suite: "T", Inline: 3, Clone: 3, Both: 3},
+	}
+	gms := GeoMeans(rows)
+	s := gms["S"]
+	if math.Abs(s.Inline-4) > 1e-9 { // sqrt(2*8) = 4
+		t.Errorf("S inline geomean = %v, want 4", s.Inline)
+	}
+	if math.Abs(s.Both-1) > 1e-9 { // sqrt(2*0.5) = 1
+		t.Errorf("S both geomean = %v, want 1", s.Both)
+	}
+	if math.Abs(gms["T"].Clone-3) > 1e-9 {
+		t.Errorf("T clone geomean = %v, want 3", gms["T"].Clone)
+	}
+}
+
+func TestRenderersIncludeEveryRow(t *testing.T) {
+	f6 := RenderFigure6([]Figure6Row{
+		{Name: "x.bench", Suite: "SPECint95", Inline: 1.5, Clone: 1.0, Both: 1.6},
+	})
+	for _, want := range []string{"x.bench", "1.500", "1.600", "geomean"} {
+		if !strings.Contains(f6, want) {
+			t.Errorf("figure 6 rendering missing %q:\n%s", want, f6)
+		}
+	}
+	f7 := RenderFigure7([]Figure7Row{
+		{Name: "y", Config: "inline", RelCycles: 0.5, CPI: 1.25, RelDAcc: 0.25},
+	})
+	if !strings.Contains(f7, "y") || !strings.Contains(f7, "0.500") {
+		t.Errorf("figure 7 rendering incomplete:\n%s", f7)
+	}
+	f8 := RenderFigure8([]Figure8Point{
+		{Budget: 25, Ops: 0, RunCycles: 1000},
+		{Budget: 25, Ops: 5, RunCycles: 900},
+		{Budget: 100, Ops: 0, RunCycles: 1000},
+	})
+	if !strings.Contains(f8, "budget 25") || !strings.Contains(f8, "budget 100") {
+		t.Errorf("figure 8 rendering missing budget sections:\n%s", f8)
+	}
+	t1 := RenderTable1([]Table1Row{
+		{Name: "z", Scope: "", Inlines: 1, RunCycles: 7},
+		{Name: "z", Scope: "cp", Inlines: 2, RunCycles: 5},
+	})
+	// Repeated benchmark names are blanked after the first row.
+	if strings.Count(t1, "z") != 1 {
+		t.Errorf("table 1 should print each benchmark name once:\n%s", t1)
+	}
+	prod := RenderProduction([]ProductionRow{{Seed: 9, Modules: 3, IRSize: 100, BaseCycle: 10, HLOCycle: 5, Speedup: 2}})
+	if !strings.Contains(prod, "2.000") {
+		t.Errorf("production rendering missing speedup:\n%s", prod)
+	}
+}
+
+func TestNthRoot(t *testing.T) {
+	if v := nthRoot(8, 3); math.Abs(v-2) > 1e-9 {
+		t.Errorf("nthRoot(8,3) = %v", v)
+	}
+	if v := nthRoot(0, 3); v != 0 {
+		t.Errorf("nthRoot(0,3) = %v, want 0", v)
+	}
+	if v := nthRoot(-1, 2); v != 0 {
+		t.Errorf("nthRoot(-1,2) = %v, want 0", v)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(4, 2) != 2 || ratio(1, 0) != 0 {
+		t.Error("ratio arithmetic wrong")
+	}
+}

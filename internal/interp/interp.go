@@ -1,0 +1,461 @@
+// Package interp executes IR programs directly. It is the reference
+// semantics for the whole toolchain: the PA8000 simulator must produce
+// the same outputs, and every HLO transformation must preserve what this
+// interpreter computes. It doubles as the paper's instrumented training
+// build: with Options.Profile set it collects basic-block execution
+// counts that feed profile-based optimization.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// Options configures a run.
+type Options struct {
+	Inputs  []int64 // the run's input vector (read by the input() runtime routine)
+	MemSize int64   // words of data memory; 0 means DefaultMemSize
+	Fuel    int64   // instruction budget; 0 means DefaultFuel
+	Profile bool    // collect block execution counts
+}
+
+// DefaultMemSize is the data memory size in words.
+const DefaultMemSize = 1 << 22
+
+// DefaultFuel is the instruction execution budget.
+const DefaultFuel = 500_000_000
+
+// Result is the outcome of a run.
+type Result struct {
+	Output   []int64 // values passed to print(), in order
+	ExitCode int64   // main's return value, or halt()'s argument
+	Steps    int64   // IR instructions executed
+	Profile  *profile.Data
+}
+
+// ErrFuel is returned when the instruction budget is exhausted.
+var ErrFuel = errors.New("interp: fuel exhausted")
+
+// Run executes the resolved program from main.
+func Run(p *ir.Program, opts Options) (*Result, error) {
+	main, err := p.MainFunc()
+	if err != nil {
+		return nil, err
+	}
+	m := newMachine(p, opts)
+	ret, err := m.call(main, nil)
+	if err != nil {
+		var h haltSignal
+		if !errors.As(err, &h) {
+			return nil, err
+		}
+		ret = h.code
+	}
+	m.res.ExitCode = ret
+	m.res.Steps = m.stepsUsed()
+	if m.prof != nil {
+		m.res.Profile = profile.New()
+		for name, counts := range m.prof {
+			m.res.Profile.Blocks[name] = counts
+		}
+	}
+	return m.res, nil
+}
+
+type haltSignal struct{ code int64 }
+
+func (h haltSignal) Error() string { return fmt.Sprintf("halt(%d)", h.code) }
+
+type machine struct {
+	prog   *ir.Program
+	mem    []int64
+	sp     int64 // stack pointer (grows down); frame bases are sp values
+	limit  int64 // lowest legal stack address (top of globals)
+	fuel   int64
+	fuel0  int64
+	inputs []int64
+	res    *Result
+
+	globalBase  map[string]int64
+	funcID      map[string]int64
+	funcByID    map[int64]*ir.Func
+	runtimeByID map[int64]string
+
+	prof map[string][]int64 // block counts by function QName
+}
+
+// funcIDBase keeps function "addresses" disjoint from data addresses so
+// that stray integers rarely alias a valid function.
+const funcIDBase = int64(1) << 40
+
+func newMachine(p *ir.Program, opts Options) *machine {
+	memSize := opts.MemSize
+	if memSize == 0 {
+		memSize = DefaultMemSize
+	}
+	fuel := opts.Fuel
+	if fuel == 0 {
+		fuel = DefaultFuel
+	}
+	m := &machine{
+		prog:        p,
+		mem:         make([]int64, memSize),
+		sp:          memSize,
+		fuel:        fuel,
+		fuel0:       fuel,
+		inputs:      opts.Inputs,
+		res:         &Result{},
+		globalBase:  make(map[string]int64),
+		funcID:      make(map[string]int64),
+		funcByID:    make(map[int64]*ir.Func),
+		runtimeByID: make(map[int64]string),
+	}
+	// Lay out globals from address 16 (0 stays "null").
+	addr := int64(16)
+	for _, mod := range p.Modules {
+		for _, g := range mod.Globals {
+			m.globalBase[g.QName] = addr
+			copy(m.mem[addr:addr+g.Size], g.Init)
+			addr += g.Size
+		}
+	}
+	m.limit = addr
+	id := funcIDBase
+	p.Funcs(func(f *ir.Func) bool {
+		id++
+		m.funcID[f.QName] = id
+		m.funcByID[id] = f
+		return true
+	})
+	// Runtime routines are addressable too (the machine gives them
+	// thunks); a nil entry in funcByID marks them.
+	for name := range ir.RuntimeSigs() {
+		id++
+		m.funcID[ir.RuntimePrefix+name] = id
+		m.runtimeByID[id] = name
+	}
+	if opts.Profile {
+		m.prof = make(map[string][]int64)
+	}
+	return m
+}
+
+func (m *machine) stepsUsed() int64 { return m.fuel0 - m.fuel }
+
+func (m *machine) load(addr int64) (int64, error) {
+	if addr < 0 || addr >= int64(len(m.mem)) {
+		return 0, fmt.Errorf("interp: load from invalid address %d", addr)
+	}
+	return m.mem[addr], nil
+}
+
+func (m *machine) store(addr, v int64) error {
+	if addr < 0 || addr >= int64(len(m.mem)) {
+		return fmt.Errorf("interp: store to invalid address %d", addr)
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// call executes f with the given arguments (extra arguments are dropped,
+// missing ones are zero — the machine-level behaviour of arity-mismatched
+// calls) and returns its return value.
+func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
+	regs := make([]int64, f.NumRegs)
+	for i := 0; i < f.NumParams && i < len(args); i++ {
+		regs[i] = args[i]
+	}
+	savedSP := m.sp
+	m.sp -= f.FrameSize
+	frameBase := m.sp
+	if m.sp < m.limit {
+		return 0, fmt.Errorf("interp: stack overflow in %s", f.QName)
+	}
+	defer func() { m.sp = savedSP }()
+
+	var counts []int64
+	if m.prof != nil {
+		counts = m.prof[f.QName]
+		if counts == nil {
+			counts = make([]int64, len(f.Blocks))
+			m.prof[f.QName] = counts
+		} else if len(counts) < len(f.Blocks) {
+			nc := make([]int64, len(f.Blocks))
+			copy(nc, counts)
+			counts = nc
+			m.prof[f.QName] = counts
+		}
+	}
+
+	b := f.Blocks[0]
+	for {
+		if counts != nil {
+			counts[b.Index]++
+		}
+		next := -1
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			m.fuel--
+			if m.fuel < 0 {
+				return 0, ErrFuel
+			}
+			switch in.Op {
+			case ir.Nop:
+			case ir.Mov:
+				v, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case ir.Neg:
+				v, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = -v
+			case ir.Not:
+				v, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				if v == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case ir.Load:
+				a, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				v, err := m.load(a)
+				if err != nil {
+					return 0, fmt.Errorf("%w (in %s at %s)", err, f.QName, in.Pos)
+				}
+				regs[in.Dst] = v
+			case ir.Store:
+				a, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				v, err := m.operand(in.B, regs)
+				if err != nil {
+					return 0, err
+				}
+				if err := m.store(a, v); err != nil {
+					return 0, fmt.Errorf("%w (in %s at %s)", err, f.QName, in.Pos)
+				}
+			case ir.FrameAddr:
+				regs[in.Dst] = frameBase + in.A.Val
+			case ir.Alloca:
+				n, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				if n < 0 {
+					n = 0
+				}
+				m.sp -= n
+				if m.sp < m.limit {
+					return 0, fmt.Errorf("interp: stack overflow (alloca %d) in %s", n, f.QName)
+				}
+				regs[in.Dst] = m.sp
+			case ir.Call:
+				v, err := m.directCall(in, regs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+			case ir.ICall:
+				target, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				args, err := m.evalArgs(in.Args, regs)
+				if err != nil {
+					return 0, err
+				}
+				var v int64
+				if callee := m.funcByID[target]; callee != nil {
+					v, err = m.call(callee, args)
+				} else if name, ok := m.runtimeByID[target]; ok {
+					v, err = m.runtimeCall(name, args)
+				} else {
+					return 0, fmt.Errorf("interp: indirect call to invalid address %d (in %s at %s)", target, f.QName, in.Pos)
+				}
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+			case ir.Ret:
+				v, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				return v, nil
+			case ir.Br:
+				v, err := m.operand(in.A, regs)
+				if err != nil {
+					return 0, err
+				}
+				if v != 0 {
+					next = in.Then
+				} else {
+					next = in.Else
+				}
+			case ir.Jmp:
+				next = in.Then
+			default:
+				if in.Op.IsBinary() {
+					x, err := m.operand(in.A, regs)
+					if err != nil {
+						return 0, err
+					}
+					y, err := m.operand(in.B, regs)
+					if err != nil {
+						return 0, err
+					}
+					regs[in.Dst] = EvalBinary(in.Op, x, y)
+				} else {
+					return 0, fmt.Errorf("interp: unknown op %s in %s", in.Op, f.QName)
+				}
+			}
+		}
+		if next < 0 {
+			return 0, fmt.Errorf("interp: block %d of %s fell through", b.Index, f.QName)
+		}
+		b = f.Blocks[next]
+	}
+}
+
+func (m *machine) directCall(in *ir.Instr, regs []int64) (int64, error) {
+	args, err := m.evalArgs(in.Args, regs)
+	if err != nil {
+		return 0, err
+	}
+	if ir.IsRuntime(in.Callee) {
+		return m.runtimeCall(ir.RuntimeName(in.Callee), args)
+	}
+	callee := m.prog.Func(in.Callee)
+	if callee == nil {
+		return 0, fmt.Errorf("interp: call to unknown function %q", in.Callee)
+	}
+	return m.call(callee, args)
+}
+
+func (m *machine) runtimeCall(name string, args []int64) (int64, error) {
+	arg := func(i int) int64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch name {
+	case "print":
+		m.res.Output = append(m.res.Output, arg(0))
+		return arg(0), nil
+	case "input":
+		i := arg(0)
+		if i < 0 || i >= int64(len(m.inputs)) {
+			return 0, nil
+		}
+		return m.inputs[i], nil
+	case "ninputs":
+		return int64(len(m.inputs)), nil
+	case "halt":
+		return 0, haltSignal{code: arg(0)}
+	}
+	return 0, fmt.Errorf("interp: unknown runtime routine %q", name)
+}
+
+func (m *machine) evalArgs(ops []ir.Operand, regs []int64) ([]int64, error) {
+	args := make([]int64, len(ops))
+	for i, o := range ops {
+		v, err := m.operand(o, regs)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+func (m *machine) operand(o ir.Operand, regs []int64) (int64, error) {
+	switch o.Kind {
+	case ir.KindConst:
+		return o.Val, nil
+	case ir.KindReg:
+		return regs[o.Reg], nil
+	case ir.KindGlobalAddr:
+		base, ok := m.globalBase[o.Sym]
+		if !ok {
+			return 0, fmt.Errorf("interp: unknown global %q", o.Sym)
+		}
+		return base, nil
+	case ir.KindFuncAddr:
+		id, ok := m.funcID[o.Sym]
+		if !ok {
+			return 0, fmt.Errorf("interp: unknown function %q", o.Sym)
+		}
+		return id, nil
+	}
+	return 0, fmt.Errorf("interp: invalid operand")
+}
+
+// EvalBinary applies a binary IR op with the machine's semantics.
+func EvalBinary(op ir.Op, x, y int64) int64 {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.Add:
+		return x + y
+	case ir.Sub:
+		return x - y
+	case ir.Mul:
+		return x * y
+	case ir.Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case ir.Rem:
+		if y == 0 {
+			return x
+		}
+		return x % y
+	case ir.And:
+		return x & y
+	case ir.Or:
+		return x | y
+	case ir.Xor:
+		return x ^ y
+	case ir.Shl:
+		return x << (uint64(y) & 63)
+	case ir.Shr:
+		return x >> (uint64(y) & 63)
+	case ir.CmpEQ:
+		return b2i(x == y)
+	case ir.CmpNE:
+		return b2i(x != y)
+	case ir.CmpLT:
+		return b2i(x < y)
+	case ir.CmpLE:
+		return b2i(x <= y)
+	case ir.CmpGT:
+		return b2i(x > y)
+	case ir.CmpGE:
+		return b2i(x >= y)
+	}
+	return 0
+}

@@ -1,0 +1,197 @@
+package ipa_test
+
+import (
+	"testing"
+
+	"repro/internal/ipa"
+	"repro/internal/testutil"
+)
+
+func TestClassifySites(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func libwork(a int) int;
+
+func local(a int) int { return a + 1; }
+
+func selfrec(n int) int {
+	if (n == 0) { return 0; }
+	return selfrec(n - 1);       // recursive
+}
+
+func mutualA(n int) int {
+	if (n == 0) { return 0; }
+	return mutualB(n - 1);       // recursive (cycle)
+}
+
+func mutualB(n int) int { return mutualA(n); } // recursive (cycle)
+
+func main() int {
+	var f int;
+	f = local;
+	print(local(1));             // within-module (print is external)
+	print(libwork(2));           // cross-module
+	print(f(3));                 // indirect
+	print(selfrec(3));
+	print(mutualA(4));
+	return 0;
+}
+`, `
+module lib;
+func libwork(a int) int { return a * 2; }
+`)
+	c := ipa.Classify(p)
+	if c.External != 5 {
+		t.Errorf("external = %d, want 5", c.External)
+	}
+	if c.Indirect != 1 {
+		t.Errorf("indirect = %d, want 1", c.Indirect)
+	}
+	if c.CrossModule != 1 {
+		t.Errorf("cross-module = %d, want 1", c.CrossModule)
+	}
+	// local(1), selfrec(3), mutualA(4) from main are within-module;
+	// selfrec→selfrec, mutualA→mutualB, mutualB→mutualA are recursive.
+	if c.WithinModule != 3 {
+		t.Errorf("within-module = %d, want 3", c.WithinModule)
+	}
+	if c.Recursive != 3 {
+		t.Errorf("recursive = %d, want 3", c.Recursive)
+	}
+	if c.Total() != 13 {
+		t.Errorf("total = %d, want 13", c.Total())
+	}
+}
+
+func TestPureFuncs(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+var g int;
+
+func pureLeaf(a int, b int) int { return a * b + 1; }
+func pureNested(a int) int { return pureLeaf(a, a) - 1; }
+func impureStore(a int) int { g = a; return a; }
+func impureCallsStore(a int) int { return impureStore(a); }
+func impureExtern(a int) int { return print(a); }
+func looping(a int) int {
+	var i int;
+	var s int;
+	for (i = 0; i < a; i = i + 1) { s = s + i; }
+	return s;
+}
+func recursive(n int) int {
+	if (n == 0) { return 1; }
+	return recursive(n - 1);
+}
+func main() int { print(pureNested(2)); return 0; }
+`)
+	g := ipa.Build(p)
+	pure := ipa.PureFuncs(g)
+	wantPure := map[string]bool{
+		"main:pureLeaf":         true,
+		"main:pureNested":       true,
+		"main:impureStore":      false,
+		"main:impureCallsStore": false,
+		"main:impureExtern":     false,
+		"main:looping":          false, // has a loop: termination not proven
+		"main:recursive":        false, // in a cycle
+		"main:main":             false,
+	}
+	for name, want := range wantPure {
+		if got := pure[name]; got != want {
+			t.Errorf("pure[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParamUsage(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+
+func usesAll(sel int, fp int, addr int, dead int, reassigned int) int {
+	reassigned = 7;
+	if (sel) {
+		return fp(addr[0]);
+	}
+	return reassigned;
+}
+
+func main() int {
+	print(usesAll(1, &print, 0, 9, 9));
+	return 0;
+}
+`)
+	f := p.Func("main:usesAll")
+	u := ipa.ParamUsageOf(f)
+	if len(u.Weights) != 5 {
+		t.Fatalf("got %d weights, want 5", len(u.Weights))
+	}
+	if !u.Interesting(0) {
+		t.Errorf("sel (branch condition) should be interesting")
+	}
+	if !u.Interesting(1) {
+		t.Errorf("fp (indirect call target) should be interesting")
+	}
+	if u.Weights[1] <= u.Weights[0] {
+		t.Errorf("indirect-call-target weight (%d) should dominate branch weight (%d)", u.Weights[1], u.Weights[0])
+	}
+	if !u.Interesting(2) {
+		t.Errorf("addr (load address) should be interesting")
+	}
+	if u.Interesting(3) {
+		t.Errorf("dead parameter should have zero weight, got %d", u.Weights[3])
+	}
+	if u.Interesting(4) {
+		t.Errorf("reassigned parameter should be unanalyzable, got %d", u.Weights[4])
+	}
+}
+
+func TestContextMatchesAndIntersect(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func callee(a int, b int, c int) int { return a + b + c; }
+func main() int {
+	var x int;
+	x = input_like();
+	print(callee(1, x, 3));
+	print(callee(1, 5, 3));
+	print(callee(2, 5, 3));
+	return 0;
+}
+func input_like() int { return 4; }
+`)
+	g := ipa.Build(p)
+	var ctxs []ipa.Context
+	for _, e := range g.Edges {
+		if e.Callee != nil && e.Callee.Name == "callee" {
+			ctxs = append(ctxs, ipa.ContextOf(e))
+		}
+	}
+	if len(ctxs) != 3 {
+		t.Fatalf("got %d callee edges, want 3", len(ctxs))
+	}
+	// Site 0: (1, ?, 3); site 1: (1, 5, 3); site 2: (2, 5, 3).
+	if !ctxs[0].HasInfo() || !ctxs[0].Known(0) || ctxs[0].Known(1) || !ctxs[0].Known(2) {
+		t.Errorf("ctx0 = %v: want known const at positions 0 and 2 only", ctxs[0])
+	}
+	// A spec built from site 0 should accept site 1 (supplies strictly
+	// more info) but reject site 2 (different constant at position 0).
+	spec := ctxs[0]
+	if !ctxs[1].Matches(spec) {
+		t.Errorf("site1 should match spec from site0")
+	}
+	if ctxs[2].Matches(spec) {
+		t.Errorf("site2 must not match spec from site0")
+	}
+	inter := ctxs[1].Intersect(ctxs[2])
+	if inter.Known(0) {
+		t.Errorf("intersect should drop differing constants at position 0")
+	}
+	if !inter.Known(1) || !inter.Known(2) {
+		t.Errorf("intersect should keep agreeing constants: %v", inter)
+	}
+}

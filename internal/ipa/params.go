@@ -1,0 +1,176 @@
+package ipa
+
+import "repro/internal/ir"
+
+// BlockWeight estimates how often block b executes per entry of f,
+// scaled by 16. With profile data it is the block count relative to the
+// entry count (the paper: "the compiler computes the profile count of
+// the block relative to the routine entry"); without, a loop-nesting
+// heuristic guesses ("without such data it uses heuristics").
+func BlockWeight(f *ir.Func, b *ir.Block) int64 {
+	if f.EntryCount > 0 {
+		w := b.Count * 16 / f.EntryCount
+		if w == 0 && b.Count > 0 {
+			w = 1
+		}
+		return w
+	}
+	d := b.Depth
+	if d > 3 {
+		d = 3
+	}
+	return 16 << (3 * uint(d)) // 16, 128, 1024, 8192
+}
+
+// ParamUsage is the paper's P(R): per-parameter benefit weights
+// describing how much the callee would gain from knowing a parameter's
+// value. A parameter that is reassigned anywhere in the body is
+// unanalyzable (weight 0) — the paper's implementation is "relatively
+// simplistic" in the same way.
+type ParamUsage struct {
+	Weights []int64
+}
+
+// Interesting reports whether knowing parameter i helps at all.
+func (u *ParamUsage) Interesting(i int) bool {
+	return i < len(u.Weights) && u.Weights[i] > 0
+}
+
+// Use-kind bonuses: how valuable a constant is at each kind of use.
+const (
+	weightICallTarget = 50 // enables indirect-to-direct conversion: the staged optimization
+	weightBranchCond  = 8  // enables branch folding and dead-arm removal
+	weightCompare     = 6
+	weightArith       = 4
+	weightAddress     = 2
+	weightCallArg     = 2 // pass-through constant potential
+	weightOther       = 1
+)
+
+// ParamUsageOf computes P(R) for one function.
+func ParamUsageOf(f *ir.Func) *ParamUsage {
+	u := &ParamUsage{Weights: make([]int64, f.NumParams)}
+	if f.NumParams == 0 {
+		return u
+	}
+	reassigned := make([]bool, f.NumParams)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.HasDst() && int(in.Dst) < f.NumParams {
+				reassigned[in.Dst] = true
+			}
+		}
+	}
+	isParam := func(o ir.Operand) int {
+		if o.Kind == ir.KindReg && int(o.Reg) < f.NumParams && !reassigned[o.Reg] {
+			return int(o.Reg)
+		}
+		return -1
+	}
+	for _, b := range f.Blocks {
+		bw := BlockWeight(f, b)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			bump := func(o ir.Operand, kind int64) {
+				if p := isParam(o); p >= 0 {
+					u.Weights[p] += bw * kind
+				}
+			}
+			switch {
+			case in.Op == ir.ICall:
+				bump(in.A, weightICallTarget)
+				for _, a := range in.Args {
+					bump(a, weightCallArg)
+				}
+			case in.Op == ir.Call:
+				for _, a := range in.Args {
+					bump(a, weightCallArg)
+				}
+			case in.Op == ir.Br:
+				bump(in.A, weightBranchCond)
+			case in.Op == ir.Load:
+				bump(in.A, weightAddress)
+			case in.Op == ir.Store:
+				bump(in.A, weightAddress)
+				bump(in.B, weightOther)
+			case in.Op.IsCompare():
+				bump(in.A, weightCompare)
+				bump(in.B, weightCompare)
+			case in.Op.IsBinary():
+				bump(in.A, weightArith)
+				bump(in.B, weightArith)
+			case in.Op == ir.Mov || in.Op == ir.Neg || in.Op == ir.Not || in.Op == ir.Ret:
+				bump(in.A, weightOther)
+			}
+		}
+	}
+	return u
+}
+
+// Context is the paper's S(E): what the caller knows about each actual
+// argument at a call site. An entry with Kind == ir.KindInvalid is
+// unknown; constants, global addresses and function addresses are
+// link-time constants the callee could exploit.
+type Context []ir.Operand
+
+// ContextOf extracts S(E) from a direct call edge.
+func ContextOf(e *Edge) Context {
+	in := e.Instr()
+	ctx := make(Context, len(in.Args))
+	for i, a := range in.Args {
+		switch a.Kind {
+		case ir.KindConst, ir.KindGlobalAddr, ir.KindFuncAddr:
+			ctx[i] = a
+		default:
+			ctx[i] = ir.Operand{} // unknown
+		}
+	}
+	return ctx
+}
+
+// Known reports whether argument i carries usable information.
+func (c Context) Known(i int) bool {
+	return i < len(c) && c[i].Kind != ir.KindInvalid
+}
+
+// HasInfo reports whether any argument is known.
+func (c Context) HasInfo() bool {
+	for i := range c {
+		if c.Known(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether this context supplies at least the information
+// in spec: for every argument spec knows, c must pass the identical
+// operand. This is the compatibility test used when growing a clone
+// group greedily (Figure 3's "matches(S(E'), CS)").
+func (c Context) Matches(spec Context) bool {
+	if len(c) != len(spec) {
+		return false
+	}
+	for i := range spec {
+		if spec.Known(i) && (!c.Known(i) || !c[i].Eq(spec[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the information common to both contexts (Figure 3's
+// "intersect(S(E), P(R))" pairs this with the usage weights).
+func (c Context) Intersect(o Context) Context {
+	if len(c) != len(o) {
+		return nil
+	}
+	out := make(Context, len(c))
+	for i := range c {
+		if c.Known(i) && o.Known(i) && c[i].Eq(o[i]) {
+			out[i] = c[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package ipa_test
+
+import (
+	"testing"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+)
+
+func TestBlockWeightProfile(t *testing.T) {
+	f := &ir.Func{Name: "f", Module: "m", QName: "m:f", EntryCount: 100}
+	cases := []struct {
+		count int64
+		want  int64
+	}{
+		{0, 0},     // never executed
+		{1, 1},     // executed but far colder than entry: floor of 1
+		{100, 16},  // as often as entry: weight 16 (scale factor)
+		{800, 128}, // loop body: 8x entry
+	}
+	for _, c := range cases {
+		b := &ir.Block{Count: c.count}
+		if got := ipa.BlockWeight(f, b); got != c.want {
+			t.Errorf("BlockWeight(count=%d) = %d, want %d", c.count, got, c.want)
+		}
+	}
+}
+
+func TestBlockWeightStaticHeuristic(t *testing.T) {
+	f := &ir.Func{Name: "f", Module: "m", QName: "m:f"} // no profile
+	weights := map[int]int64{0: 16, 1: 128, 2: 1024, 3: 8192, 9: 8192}
+	for depth, want := range weights {
+		b := &ir.Block{Depth: depth}
+		if got := ipa.BlockWeight(f, b); got != want {
+			t.Errorf("BlockWeight(depth=%d) = %d, want %d", depth, got, want)
+		}
+	}
+}

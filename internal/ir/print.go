@@ -1,0 +1,174 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as a canonical textual listing. The format
+// is stable and machine-parseable; package isom uses it as the on-disk
+// "isom" object format.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, m := range p.Modules {
+		m.write(&b)
+	}
+	return b.String()
+}
+
+// String renders one module.
+func (m *Module) String() string {
+	var b strings.Builder
+	m.write(&b)
+	return b.String()
+}
+
+func (m *Module) write(b *strings.Builder) {
+	fmt.Fprintf(b, "module %s\n", m.Name)
+	for _, e := range sortedExterns(m.Externs) {
+		fmt.Fprintf(b, "extern %s params=%d varargs=%v\n", e.name, e.sig.NumParams, e.sig.Varargs)
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(b, "global %s size=%d", g.Name, g.Size)
+		if g.Static {
+			b.WriteString(" static")
+		}
+		if g.Promoted {
+			b.WriteString(" promoted")
+		}
+		if len(g.Init) > 0 {
+			b.WriteString(" init=")
+			writeInts(b, g.Init)
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		f.write(b)
+	}
+}
+
+type namedExtern struct {
+	name string
+	sig  ExternSig
+}
+
+func sortedExterns(ex map[string]ExternSig) []namedExtern {
+	out := make([]namedExtern, 0, len(ex))
+	for name, sig := range ex {
+		out = append(out, namedExtern{name, sig})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func writeInts(b *strings.Builder, vals []int64) {
+	b.WriteByte('[')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d", v)
+	}
+	b.WriteByte(']')
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	f.write(&b)
+	return b.String()
+}
+
+func (f *Func) write(b *strings.Builder) {
+	fmt.Fprintf(b, "func %s params=%d regs=%d frame=%d", f.Name, f.NumParams, f.NumRegs, f.FrameSize)
+	var flags []string
+	for _, fl := range []struct {
+		on   bool
+		name string
+	}{
+		{f.Static, "static"}, {f.Promoted, "promoted"}, {f.Varargs, "varargs"},
+		{f.NoInline, "noinline"}, {f.AlwaysInline, "alwaysinline"},
+		{f.Relaxed, "relaxed"}, {f.UsesAlloca, "alloca"},
+	} {
+		if fl.on {
+			flags = append(flags, fl.name)
+		}
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(b, " flags=%s", strings.Join(flags, "+"))
+	}
+	if f.EntryCount != 0 {
+		fmt.Fprintf(b, " entrycount=%d", f.EntryCount)
+	}
+	if f.ClonedFrom != "" {
+		fmt.Fprintf(b, " clonedfrom=%s", f.ClonedFrom)
+	}
+	if len(f.ParamNames) > 0 {
+		fmt.Fprintf(b, " names=%s", strings.Join(f.ParamNames, ","))
+	}
+	b.WriteByte('\n')
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "block %d", blk.Index)
+		if blk.Count != 0 {
+			fmt.Fprintf(b, " count=%d", blk.Count)
+		}
+		if blk.Depth != 0 {
+			fmt.Fprintf(b, " depth=%d", blk.Depth)
+		}
+		b.WriteByte('\n')
+		for i := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(blk.Instrs[i].String())
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("end\n")
+}
+
+// String renders one instruction in the canonical listing syntax.
+func (in *Instr) String() string {
+	switch in.Op {
+	case Nop:
+		return "nop"
+	case Mov, Neg, Not, Load, FrameAddr, Alloca:
+		return fmt.Sprintf("r%d = %s %s", in.Dst, in.Op, in.A)
+	case Store:
+		return fmt.Sprintf("store %s, %s", in.A, in.B)
+	case Call, ICall:
+		var b strings.Builder
+		if in.Dst != NoReg {
+			fmt.Fprintf(&b, "r%d = ", in.Dst)
+		}
+		b.WriteString(in.Op.String())
+		b.WriteByte(' ')
+		if in.Op == Call {
+			b.WriteString(in.Callee)
+		} else {
+			b.WriteString(in.A.String())
+		}
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+		return b.String()
+	case Ret:
+		return fmt.Sprintf("ret %s", in.A)
+	case Br:
+		return fmt.Sprintf("br %s, %d, %d", in.A, in.Then, in.Else)
+	case Jmp:
+		return fmt.Sprintf("jmp %d", in.Then)
+	default:
+		if in.Op.IsBinary() {
+			return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+		}
+		return fmt.Sprintf("?%s?", in.Op)
+	}
+}

@@ -1,0 +1,192 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RuntimePrefix marks canonical names of runtime (library) routines.
+// Calls to runtime routines are the paper's "external" call sites: they
+// are executed by the runtime and can never be inlined or cloned.
+const RuntimePrefix = "rt:"
+
+// RuntimeSig describes a runtime routine.
+type RuntimeSig struct {
+	Name      string
+	NumParams int
+}
+
+// Runtime is the fixed library visible to every program:
+//
+//	print(x)  — record x in the program's output stream; returns x
+//	input(i)  — i'th word of the run's input vector (0 if out of range)
+//	ninputs() — length of the input vector
+//	halt(c)   — stop execution with exit code c
+type Runtime = map[string]RuntimeSig
+
+// RuntimeSigs returns the runtime routine table.
+func RuntimeSigs() Runtime {
+	return Runtime{
+		"print":   {Name: "print", NumParams: 1},
+		"input":   {Name: "input", NumParams: 1},
+		"ninputs": {Name: "ninputs", NumParams: 0},
+		"halt":    {Name: "halt", NumParams: 1},
+	}
+}
+
+// IsRuntime reports whether the canonical name names a runtime routine.
+func IsRuntime(qname string) bool { return strings.HasPrefix(qname, RuntimePrefix) }
+
+// RuntimeName strips the runtime prefix.
+func RuntimeName(qname string) string { return strings.TrimPrefix(qname, RuntimePrefix) }
+
+// Resolve binds every symbolic reference in the program to a canonical
+// name and builds the program symbol tables. Front ends emit Call
+// instructions and address operands whose Sym is a source-level name;
+// Resolve rewrites them to canonical "module:name" (or "rt:name") form
+// using the paper's linking rules: a name resolves to the defining
+// module's own symbol first (statics shadow exports), then to a unique
+// exported symbol from another module, then to the runtime library.
+//
+// Resolve is idempotent: already-canonical names (containing ':') are
+// kept, merely validated.
+func (p *Program) Resolve() error {
+	p.funcs = make(map[string]*Func)
+	p.globals = make(map[string]*Global)
+	rts := RuntimeSigs()
+
+	// Pass 1: canonicalize definitions and index them.
+	expFuncs := make(map[string][]*Func) // exported source name -> defs
+	expGlobals := make(map[string][]*Global)
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if f.QName == "" {
+				f.QName = QualName(f.Module, f.Name)
+			}
+			if prev, dup := p.funcs[f.QName]; dup {
+				return fmt.Errorf("ir: duplicate function %q (modules %q, %q)", f.QName, prev.Module, f.Module)
+			}
+			p.funcs[f.QName] = f
+			if !f.Static || f.Promoted {
+				expFuncs[f.Name] = append(expFuncs[f.Name], f)
+			}
+		}
+		for _, g := range m.Globals {
+			if g.QName == "" {
+				g.QName = QualName(g.Module, g.Name)
+			}
+			if _, dup := p.globals[g.QName]; dup {
+				return fmt.Errorf("ir: duplicate global %q", g.QName)
+			}
+			p.globals[g.QName] = g
+			if !g.Static || g.Promoted {
+				expGlobals[g.Name] = append(expGlobals[g.Name], g)
+			}
+		}
+	}
+
+	resolveFunc := func(mod *Module, name string) (string, error) {
+		if strings.Contains(name, ":") {
+			if IsRuntime(name) {
+				if _, ok := rts[RuntimeName(name)]; !ok {
+					return "", fmt.Errorf("unknown runtime routine %q", name)
+				}
+				return name, nil
+			}
+			if p.funcs[name] == nil {
+				return "", fmt.Errorf("unresolved function %q", name)
+			}
+			return name, nil
+		}
+		// Same-module definition shadows everything.
+		if f := p.funcs[QualName(mod.Name, name)]; f != nil {
+			return f.QName, nil
+		}
+		if defs := expFuncs[name]; len(defs) == 1 {
+			return defs[0].QName, nil
+		} else if len(defs) > 1 {
+			mods := make([]string, len(defs))
+			for i, d := range defs {
+				mods[i] = d.Module
+			}
+			sort.Strings(mods)
+			return "", fmt.Errorf("function %q multiply defined (modules %s)", name, strings.Join(mods, ", "))
+		}
+		if _, ok := rts[name]; ok {
+			return RuntimePrefix + name, nil
+		}
+		return "", fmt.Errorf("unresolved function %q", name)
+	}
+
+	resolveGlobal := func(mod *Module, name string) (string, error) {
+		if strings.Contains(name, ":") {
+			if p.globals[name] == nil {
+				return "", fmt.Errorf("unresolved global %q", name)
+			}
+			return name, nil
+		}
+		if g := p.globals[QualName(mod.Name, name)]; g != nil {
+			return g.QName, nil
+		}
+		if defs := expGlobals[name]; len(defs) == 1 {
+			return defs[0].QName, nil
+		} else if len(defs) > 1 {
+			return "", fmt.Errorf("global %q multiply defined", name)
+		}
+		return "", fmt.Errorf("unresolved global %q", name)
+	}
+
+	// Pass 2: rewrite references.
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					var err error
+					if in.Op == Call {
+						in.Callee, err = resolveFunc(m, in.Callee)
+						if err != nil {
+							return fmt.Errorf("ir: %s: in %s: %v", in.Pos, f.QName, err)
+						}
+					}
+					in.Operands(func(o *Operand) {
+						if err != nil {
+							return
+						}
+						switch o.Kind {
+						case KindFuncAddr:
+							o.Sym, err = resolveFunc(m, o.Sym)
+						case KindGlobalAddr:
+							o.Sym, err = resolveGlobal(m, o.Sym)
+						}
+					})
+					if err != nil {
+						return fmt.Errorf("ir: %s: in %s: %v", in.Pos, f.QName, err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MainFunc returns the program entry point: the unique exported function
+// named "main".
+func (p *Program) MainFunc() (*Func, error) {
+	var main *Func
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if f.Name == "main" && !f.Static {
+				if main != nil {
+					return nil, fmt.Errorf("ir: multiple main functions (%q, %q)", main.QName, f.QName)
+				}
+				main = f
+			}
+		}
+	}
+	if main == nil {
+		return nil, fmt.Errorf("ir: no main function")
+	}
+	return main, nil
+}

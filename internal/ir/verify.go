@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verify checks structural invariants of the whole program. It is meant
+// to run after every transformation in tests; production paths call it
+// at phase boundaries.
+func (p *Program) Verify() error {
+	if p.funcs == nil {
+		return fmt.Errorf("ir: program not resolved")
+	}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if err := p.VerifyFunc(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks structural invariants of one function.
+func (p *Program) VerifyFunc(f *Func) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("ir: %s: %s", f.QName, fmt.Sprintf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return bad("no blocks")
+	}
+	if f.NumParams > int(f.NumRegs) {
+		return bad("%d params exceed %d registers", f.NumParams, f.NumRegs)
+	}
+	rts := RuntimeSigs()
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			return bad("block %d has index %d", i, b.Index)
+		}
+		if len(b.Instrs) == 0 {
+			return bad("block %d is empty", i)
+		}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			isLast := j == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return bad("block %d not terminated (ends with %s)", i, in.Op)
+				}
+				return bad("block %d has terminator %s mid-block at %d", i, in.Op, j)
+			}
+			if in.HasDst() && (in.Dst < 0 || int32(in.Dst) >= f.NumRegs) {
+				return bad("block %d instr %d: dst r%d out of range (%d regs)", i, j, in.Dst, f.NumRegs)
+			}
+			var operr error
+			in.Operands(func(o *Operand) {
+				if operr != nil {
+					return
+				}
+				switch o.Kind {
+				case KindReg:
+					if o.Reg < 0 || int32(o.Reg) >= f.NumRegs {
+						operr = bad("block %d instr %d: use of r%d out of range", i, j, o.Reg)
+					}
+				case KindGlobalAddr:
+					if !strings.Contains(o.Sym, ":") || p.globals[o.Sym] == nil {
+						operr = bad("block %d instr %d: unresolved global %q", i, j, o.Sym)
+					}
+				case KindFuncAddr:
+					if operr = checkFuncSym(p, rts, o.Sym); operr != nil {
+						operr = bad("block %d instr %d: %v", i, j, operr)
+					}
+				case KindConst:
+				default:
+					operr = bad("block %d instr %d: invalid operand", i, j)
+				}
+			})
+			if operr != nil {
+				return operr
+			}
+			switch in.Op {
+			case Call:
+				if err := checkFuncSym(p, rts, in.Callee); err != nil {
+					return bad("block %d instr %d: %v", i, j, err)
+				}
+			case Br:
+				if !validBlock(f, in.Then) || !validBlock(f, in.Else) {
+					return bad("block %d: br targets %d/%d out of range", i, in.Then, in.Else)
+				}
+			case Jmp:
+				if !validBlock(f, in.Then) {
+					return bad("block %d: jmp target %d out of range", i, in.Then)
+				}
+			case FrameAddr:
+				if !in.A.IsConst() {
+					return bad("block %d instr %d: frameaddr needs constant offset", i, j)
+				}
+				if in.A.Val < 0 || in.A.Val >= f.FrameSize {
+					return bad("block %d instr %d: frame offset %d outside frame of %d", i, j, in.A.Val, f.FrameSize)
+				}
+			case Alloca:
+				if !f.UsesAlloca {
+					return bad("block %d instr %d: alloca in function not marked UsesAlloca", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkFuncSym(p *Program, rts Runtime, sym string) error {
+	if IsRuntime(sym) {
+		if _, ok := rts[RuntimeName(sym)]; !ok {
+			return fmt.Errorf("unknown runtime routine %q", sym)
+		}
+		return nil
+	}
+	if !strings.Contains(sym, ":") || p.funcs[sym] == nil {
+		return fmt.Errorf("unresolved function %q", sym)
+	}
+	return nil
+}
+
+func validBlock(f *Func, idx int) bool { return idx >= 0 && idx < len(f.Blocks) }

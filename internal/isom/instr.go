@@ -1,0 +1,197 @@
+package isom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+var opByName = buildOpTable()
+
+func buildOpTable() map[string]ir.Op {
+	t := make(map[string]ir.Op)
+	for op := ir.Nop; op < ir.NumOps; op++ {
+		t[op.String()] = op
+	}
+	return t
+}
+
+// parseInstr parses one instruction in the canonical listing syntax.
+func parseInstr(s string) (ir.Instr, error) {
+	var in ir.Instr
+	s = strings.TrimSpace(s)
+
+	// Optional destination: "rN = ".
+	dst := ir.NoReg
+	if strings.HasPrefix(s, "r") {
+		if eq := strings.Index(s, " = "); eq > 0 {
+			regTok := s[:eq]
+			r, err := parseReg(regTok)
+			if err == nil {
+				dst = r
+				s = s[eq+3:]
+			}
+		}
+	}
+
+	// Mnemonic.
+	sp := strings.IndexByte(s, ' ')
+	mnemonic := s
+	rest := ""
+	if sp >= 0 {
+		mnemonic = s[:sp]
+		rest = strings.TrimSpace(s[sp+1:])
+	}
+	// Calls carry their target glued to the argument list.
+	if i := strings.IndexByte(mnemonic, '('); i >= 0 {
+		rest = mnemonic[i:] + " " + rest
+		mnemonic = mnemonic[:i]
+	}
+
+	switch mnemonic {
+	case "nop":
+		return ir.Instr{Op: ir.Nop}, nil
+	case "store":
+		ops, err := parseOperandList(rest)
+		if err != nil || len(ops) != 2 {
+			return in, fmt.Errorf("malformed store")
+		}
+		return ir.Instr{Op: ir.Store, A: ops[0], B: ops[1]}, nil
+	case "ret":
+		op, err := parseOperand(rest)
+		if err != nil {
+			return in, err
+		}
+		return ir.Instr{Op: ir.Ret, A: op}, nil
+	case "jmp":
+		t, err := strconv.Atoi(rest)
+		if err != nil {
+			return in, fmt.Errorf("malformed jmp target %q", rest)
+		}
+		return ir.Instr{Op: ir.Jmp, Then: t}, nil
+	case "br":
+		parts := splitOperands(rest)
+		if len(parts) != 3 {
+			return in, fmt.Errorf("malformed br")
+		}
+		cond, err := parseOperand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		then, err1 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		els, err2 := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err1 != nil || err2 != nil {
+			return in, fmt.Errorf("malformed br targets")
+		}
+		return ir.Instr{Op: ir.Br, A: cond, Then: then, Else: els}, nil
+	case "call", "icall":
+		return parseCall(mnemonic, dst, rest)
+	}
+
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return in, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch {
+	case op == ir.Mov || op == ir.Neg || op == ir.Not || op == ir.Load ||
+		op == ir.FrameAddr || op == ir.Alloca:
+		a, err := parseOperand(rest)
+		if err != nil {
+			return in, err
+		}
+		return ir.Instr{Op: op, Dst: dst, A: a}, nil
+	case op.IsBinary():
+		ops, err := parseOperandList(rest)
+		if err != nil || len(ops) != 2 {
+			return in, fmt.Errorf("malformed %s", mnemonic)
+		}
+		return ir.Instr{Op: op, Dst: dst, A: ops[0], B: ops[1]}, nil
+	}
+	return in, fmt.Errorf("cannot parse %q", mnemonic)
+}
+
+// parseCall parses "call NAME(args)" / "icall OPND(args)"; the dst was
+// stripped by the caller. rest begins with the callee or "(".
+func parseCall(kind string, dst ir.Reg, rest string) (ir.Instr, error) {
+	var in ir.Instr
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return in, fmt.Errorf("malformed %s", kind)
+	}
+	head := strings.TrimSpace(rest[:open])
+	argsStr := rest[open+1 : len(rest)-1]
+	var args []ir.Operand
+	if strings.TrimSpace(argsStr) != "" {
+		var err error
+		args, err = parseOperandList(argsStr)
+		if err != nil {
+			return in, err
+		}
+	}
+	if kind == "call" {
+		return ir.Instr{Op: ir.Call, Dst: dst, Callee: head, Args: args}, nil
+	}
+	target, err := parseOperand(head)
+	if err != nil {
+		return in, err
+	}
+	return ir.Instr{Op: ir.ICall, Dst: dst, A: target, Args: args}, nil
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseOperandList(s string) ([]ir.Operand, error) {
+	parts := splitOperands(s)
+	ops := make([]ir.Operand, 0, len(parts))
+	for _, p := range parts {
+		op, err := parseOperand(p)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func parseReg(s string) (ir.Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return ir.Reg(n), nil
+}
+
+func parseOperand(s string) (ir.Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return ir.Operand{}, fmt.Errorf("empty operand")
+	case s[0] == '&':
+		return ir.GlobalOp(s[1:]), nil
+	case s[0] == '@':
+		return ir.FuncOp(s[1:]), nil
+	case s[0] == 'r' && len(s) > 1 && s[1] >= '0' && s[1] <= '9':
+		r, err := parseReg(s)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.RegOp(r), nil
+	default:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return ir.Operand{}, fmt.Errorf("bad operand %q", s)
+		}
+		return ir.ConstOp(v), nil
+	}
+}

@@ -1,0 +1,169 @@
+package isom_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/isom"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+// roundTrip serializes every module of p and reads it back into a new
+// resolved program.
+func roundTrip(t *testing.T, p *ir.Program) *ir.Program {
+	t.Helper()
+	var mods []*ir.Module
+	for _, m := range p.Modules {
+		var buf strings.Builder
+		if err := isom.Write(&buf, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		m2, err := isom.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("read: %v\n--- isom ---\n%s", err, buf.String())
+		}
+		mods = append(mods, m2)
+	}
+	p2 := ir.NewProgram(mods...)
+	if err := p2.Resolve(); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if err := p2.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p2
+}
+
+func TestRoundTripIsTextuallyStable(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern varargs func v(a int) int;
+static var tab [4] int = {1, 2, 3, 4};
+var counter int = 9;
+
+noinline func helper(a int, b int) int {
+	var buf [3] int;
+	buf[0] = a & b;
+	if (a < b) { return buf[0]; }
+	while (a > 0) { a = a - 1; }
+	return a ? b : -b;
+}
+
+func main() int {
+	var f int;
+	f = helper;
+	print(f(3, 4));
+	print(helper(tab[1], counter));
+	print(v(1, 2, 3));
+	return 0;
+}
+`, `
+module lib;
+varargs func v(a int) int { return a * 2; }
+relaxed func fast(x int) int { return alloca(x)[0]; }
+`)
+	p2 := roundTrip(t, p)
+	if got, want := p2.String(), p.String(); got != want {
+		t.Errorf("round trip changed the listing:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// And a second trip must be a fixpoint.
+	p3 := roundTrip(t, p2)
+	if p3.String() != p2.String() {
+		t.Errorf("second round trip not a fixpoint")
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	for _, name := range []string{"022.li", "124.m88ksim", "147.vortex"} {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testutil.MustBuild(t, b.Sources...)
+		want := testutil.MustRun(t, p, b.Train...)
+
+		p2 := roundTrip(t, testutil.MustBuild(t, b.Sources...))
+		got, err := interp.Run(p2, interp.Options{Inputs: b.Train})
+		if err != nil {
+			t.Fatalf("%s: run after round trip: %v", name, err)
+		}
+		if got.ExitCode != want.ExitCode || len(got.Output) != len(want.Output) {
+			t.Fatalf("%s: behaviour changed: %v vs %v", name, got.Output, want.Output)
+		}
+		for i := range want.Output {
+			if got.Output[i] != want.Output[i] {
+				t.Fatalf("%s: output[%d] = %d, want %d", name, i, got.Output[i], want.Output[i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"global x size=4\n",
+		"module m\nglobal x size=z\n",
+		"module m\nfunc f params=1 regs=1 frame=0\n  r0 = mov 1\n", // missing end + terminator is fine structurally, but no end
+		"module m\nfunc f params=1\nend\n",
+		"module m\nfunc f params=1 regs=1 frame=0\nblock 1\nend\n", // wrong block index
+		"module m\nfunc f params=1 regs=1 frame=0\nblock 0\n  r0 = bogus 1\nend\n",
+		"module m\nextern foo\n",
+	}
+	for i, src := range cases {
+		if _, err := isom.Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestInstrSyntaxCorpus(t *testing.T) {
+	// One module exercising every instruction form the printer emits.
+	src := `module m
+func f params=2 regs=9 frame=4 flags=alloca
+block 0
+  nop
+  r2 = mov -7
+  r3 = add r0, r1
+  r4 = cmple r3, 100
+  r5 = neg r4
+  r6 = not r5
+  r7 = frameaddr 2
+  store r7, r6
+  r8 = load r7
+  r2 = alloca 3
+  r2 = call m:g(r8, 5, &m:gv, @m:g)
+  r2 = icall r2(r2)
+  call rt:print(r2)
+  br r2, 1, 2
+block 1 count=5 depth=1
+  jmp 2
+block 2
+  ret r2
+end
+func g params=4 regs=4 frame=0
+block 0
+  ret 0
+end
+global gv size=2 static init=[7,-9]
+`
+	// Note: the canonical order puts globals before funcs; Read must
+	// still accept them in any order.
+	m, err := isom.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(m.Funcs) != 2 || len(m.Globals) != 1 {
+		t.Fatalf("got %d funcs, %d globals", len(m.Funcs), len(m.Globals))
+	}
+	p := ir.NewProgram(m)
+	if err := p.Resolve(); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

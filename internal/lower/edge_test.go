@@ -1,0 +1,199 @@
+package lower_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/testutil"
+)
+
+// TestNestedTernaryAndShortCircuit: value-producing control flow nests.
+func TestNestedTernaryAndShortCircuit(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func pick(a int, b int, c int) int {
+	return a ? (b ? 1 : b || c ? 2 : 3) : (c && a ? 4 : 5);
+}
+func main() int {
+	var a int;
+	var b int;
+	var c int;
+	for (a = 0; a < 2; a = a + 1) {
+		for (b = 0; b < 2; b = b + 1) {
+			for (c = 0; c < 2; c = c + 1) {
+				print(pick(a, b, c));
+			}
+		}
+	}
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	// Truth table: a=0 -> (c&&a ? 4 : 5) = 5 always; a=1,b=1 -> 1;
+	// a=1,b=0 -> (b||c ? 2 : 3): c=0 -> 3, c=1 -> 2.
+	testutil.EqualOutput(t, res, 0, 5, 5, 5, 5, 3, 2, 1, 1)
+}
+
+// TestForVariants: all omitted-clause combinations of for.
+func TestForVariants(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func main() int {
+	var i int;
+	var n int;
+	i = 0;
+	for (; i < 3; i = i + 1) { n = n + 1; }     // no init
+	for (i = 0; ; i = i + 1) {                  // no cond
+		if (i >= 2) { break; }
+		n = n + 10;
+	}
+	for (i = 0; i < 2;) { i = i + 1; n = n + 100; } // no post
+	i = 0;
+	for (;;) {                                   // bare
+		i = i + 1;
+		if (i == 3) { break; }
+	}
+	print(n + i);
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 226)
+}
+
+// TestDeadCodeAfterReturnIsHarmless: statements after return lower into
+// unreachable blocks that the verifier accepts and cleanup removes.
+func TestDeadCodeAfterReturnIsHarmless(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func f(x int) int {
+	return x;
+	print(999);
+	x = x + 1;
+	return x;
+}
+func main() int {
+	print(f(7));
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 7)
+}
+
+// TestInfiniteLoopWithHalt: a while(1) with no break terminates via the
+// runtime halt; the unreachable loop exit block must verify.
+func TestInfiniteLoopWithHalt(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func halt(c int) int;
+func main() int {
+	var i int;
+	while (1) {
+		i = i + 1;
+		if (i == 4) { print(i); halt(3); }
+	}
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 3, 4)
+}
+
+// TestShadowingScopes: block-scoped redeclaration shadows correctly.
+func TestShadowingScopes(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+var x int = 100;
+func main() int {
+	print(x);          // global: 100
+	var x int = 1;
+	print(x);          // local: 1
+	{
+		var x int = 2;
+		print(x);      // inner: 2
+	}
+	print(x);          // back to local: 1
+	if (1) {
+		var x int = 3;
+		print(x);      // arm-scoped: 3
+	}
+	print(x);          // still local: 1
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 100, 1, 2, 1, 3, 1)
+}
+
+// TestGlobalInitializers: scalar and array initialization, including
+// constant expressions, reach memory before main runs.
+func TestGlobalInitializers(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+var a int = 3 * 4 + 1;
+static var b int = -(1 << 5);
+var tab [5] int = {10, 20, 30};
+func main() int {
+	print(a);
+	print(b);
+	print(tab[0] + tab[1] + tab[2] + tab[3] + tab[4]);
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 13, -32, 60)
+}
+
+// TestCharLiteralsAndHex: lexer value forms flow through to runtime.
+func TestCharLiteralsAndHex(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func main() int {
+	print('A' + 1);
+	print(0xff & 0x0f);
+	print('\n');
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 66, 15, 10)
+}
+
+// TestEntryBlockIsParameterHome: lowering must keep parameters in their
+// dedicated registers at function entry (the cloner and outliner rely on
+// register i holding parameter i at block 0).
+func TestEntryBlockIsParameterHome(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+func f(a int, b int, c int) int { return a + b + c; }
+func main() int { return f(1, 2, 3); }
+`)
+	f := p.Func("main:f")
+	if f.NumParams != 3 {
+		t.Fatalf("params = %d", f.NumParams)
+	}
+	// The first use of each parameter must read registers 0..2.
+	seen := map[ir.Reg]bool{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			for _, r := range b.Instrs[i].Uses(nil) {
+				if int(r) < f.NumParams {
+					seen[r] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !seen[ir.Reg(i)] {
+			t.Errorf("parameter register r%d never read", i)
+		}
+	}
+}

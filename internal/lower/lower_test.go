@@ -1,0 +1,251 @@
+package lower_test
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+
+func main() int {
+	var i int;
+	for (i = 0; i < 10; i = i + 1) {
+		print(fib(i));
+	}
+	return 42;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 42, 0, 1, 1, 2, 3, 5, 8, 13, 21, 34)
+}
+
+func TestGlobalsArraysAndWhile(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+static var buf [16] int;
+var total int = 7;
+
+func main() int {
+	var i int;
+	i = 0;
+	while (i < 16) {
+		buf[i] = i * i;
+		i = i + 1;
+	}
+	i = 0;
+	while (i < 16) {
+		total = total + buf[i];
+		i = i + 1;
+	}
+	print(total);
+	return 0;
+}
+`)
+	// 7 + sum of squares 0..15 = 7 + 1240.
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 1247)
+}
+
+func TestShortCircuitAndTernary(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+var hits int;
+
+func bump(v int) int {
+	hits = hits + 1;
+	return v;
+}
+
+func main() int {
+	print(0 && bump(1));   // bump not evaluated
+	print(1 && bump(2));   // evaluates, prints 1
+	print(1 || bump(3));   // bump not evaluated
+	print(0 || bump(0));   // evaluates, prints 0
+	print(hits);           // exactly 2 evaluations
+	print(5 > 3 ? 10 : 20);
+	print(5 < 3 ? 10 : 20);
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 0, 1, 1, 0, 2, 10, 20)
+}
+
+func TestCrossModuleCallsAndStatics(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func helper(a int, b int) int;
+
+func main() int {
+	print(helper(20, 22));
+	return 0;
+}
+`, `
+module lib;
+static var secret int = 100;
+
+static func scaled(v int) int { return v + secret; }
+
+func helper(a int, b int) int {
+	return scaled(a + b) - 100;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 42)
+}
+
+func TestIndirectCallsThroughValues(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+var ops [2] int;
+
+func add1(x int) int { return x + 1; }
+func dbl(x int) int { return x * 2; }
+
+func apply(f int, x int) int { return f(x); }
+
+func main() int {
+	ops[0] = &add1;
+	ops[1] = &dbl;
+	print(apply(ops[0], 10));
+	print(apply(ops[1], 10));
+	var g int;
+	g = dbl;
+	print(g(21));
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 11, 20, 42)
+}
+
+func TestInputAndHalt(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func ninputs() int;
+extern func halt(c int) int;
+
+func main() int {
+	var i int;
+	var sum int;
+	for (i = 0; i < ninputs(); i = i + 1) {
+		sum = sum + input(i);
+	}
+	print(sum);
+	halt(sum % 10);
+	print(999); // never reached
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p, 10, 20, 3)
+	testutil.EqualOutput(t, res, 3, 33)
+}
+
+func TestLocalArraysAndAlloca(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+
+func sumN(n int) int {
+	var scratch int;
+	var a int;
+	a = alloca(n);
+	var i int;
+	for (i = 0; i < n; i = i + 1) { a[i] = i + 1; }
+	scratch = 0;
+	for (i = 0; i < n; i = i + 1) { scratch = scratch + a[i]; }
+	return scratch;
+}
+
+func main() int {
+	var local [4] int;
+	local[0] = 5;
+	local[3] = 7;
+	print(local[0] + local[1] + local[3]);
+	print(sumN(10));
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 12, 55)
+}
+
+func TestArityMismatchAcrossModules(t *testing.T) {
+	// main's extern declaration promises 1 parameter, but the definition
+	// takes 2: the call still executes (missing args are zero) but is
+	// flagged illegal for inlining by HLO.
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func f(a int) int;
+func main() int {
+	print(f(5));
+	return 0;
+}
+`, `
+module lib;
+func f(a int, b int) int { return a * 10 + b; }
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 50)
+}
+
+func TestRecursionDeep(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func down(n int, acc int) int {
+	if (n == 0) { return acc; }
+	return down(n - 1, acc + n);
+}
+func main() int {
+	print(down(1000, 0));
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 500500)
+}
+
+func TestBreakContinue(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+func main() int {
+	var i int;
+	var sum int;
+	sum = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+		sum = sum + i;
+	}
+	print(sum); // 1+3+5+7+9 = 25
+	var j int;
+	j = 0;
+	while (1) {
+		j = j + 1;
+		if (j == 5) { break; }
+	}
+	print(j);
+	return 0;
+}
+`)
+	res := testutil.MustRun(t, p)
+	testutil.EqualOutput(t, res, 0, 25, 5)
+}

@@ -1,0 +1,196 @@
+package minic
+
+import "repro/internal/source"
+
+// File is one parsed MiniC source file (one module).
+type File struct {
+	Module  string
+	Pos     source.Pos
+	Externs []*ExternDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// ExternDecl declares a routine defined elsewhere (another module or the
+// runtime library). The arity recorded here is what THIS module believes;
+// the definition may disagree, which makes the call sites illegal for
+// inlining/cloning (the paper's "gross type mismatch" legality class)
+// while remaining executable.
+type ExternDecl struct {
+	Name      string
+	NumParams int
+	Varargs   bool
+	Pos       source.Pos
+}
+
+// VarDecl declares a module-level or local variable. ArraySize < 0 means
+// a scalar. Module-level initializers must be constant.
+type VarDecl struct {
+	Name      string
+	Static    bool
+	ArraySize int64 // -1 for scalar
+	Init      Expr  // scalar initializer or nil
+	InitList  []Expr
+	Pos       source.Pos
+}
+
+// FuncAttrs are the user pragmas on a function.
+type FuncAttrs struct {
+	Static   bool
+	NoInline bool
+	Inline   bool // request aggressive inlining
+	Varargs  bool
+	Relaxed  bool
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Attrs  FuncAttrs
+	Body   *BlockStmt
+	Pos    source.Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ StmtPos() source.Pos }
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   source.Pos
+}
+
+// DeclStmt declares a local variable (scalar or fixed-size array).
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt stores RHS into LHS (an identifier or an index expression).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos source.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Pos  source.Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  source.Pos
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // AssignStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+	Pos  source.Pos
+}
+
+// ReturnStmt returns a value (nil means return 0).
+type ReturnStmt struct {
+	Value Expr
+	Pos   source.Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos source.Pos }
+
+// ContinueStmt re-tests the innermost loop.
+type ContinueStmt struct{ Pos source.Pos }
+
+// ExprStmt evaluates an expression for effect (normally a call).
+type ExprStmt struct {
+	X   Expr
+	Pos source.Pos
+}
+
+func (s *BlockStmt) StmtPos() source.Pos    { return s.Pos }
+func (s *DeclStmt) StmtPos() source.Pos     { return s.Decl.Pos }
+func (s *AssignStmt) StmtPos() source.Pos   { return s.Pos }
+func (s *IfStmt) StmtPos() source.Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() source.Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() source.Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() source.Pos   { return s.Pos }
+func (s *BreakStmt) StmtPos() source.Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() source.Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() source.Pos     { return s.Pos }
+
+// Expr is an expression node.
+type Expr interface{ ExprPos() source.Pos }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Val int64
+	Pos source.Pos
+}
+
+// Ident is a name use.
+type Ident struct {
+	Name string
+	Pos  source.Pos
+}
+
+// IndexExpr is base[index]: a load of mem[base+index] (or a store when
+// used as an assignment target).
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Pos   source.Pos
+}
+
+// CallExpr calls Fun with Args. If Fun is an Ident naming a function or
+// extern, the call is direct; otherwise indirect through the value.
+type CallExpr struct {
+	Fun  Expr
+	Args []Expr
+	Pos  source.Pos
+}
+
+// AllocaExpr reserves Size words of stack dynamically and yields the
+// address (restricts the enclosing function from being inlined).
+type AllocaExpr struct {
+	Size Expr
+	Pos  source.Pos
+}
+
+// UnExpr is unary: MINUS, BANG, TILDE, or AMP (address of a global or
+// function).
+type UnExpr struct {
+	Op  Tok
+	X   Expr
+	Pos source.Pos
+}
+
+// BinExpr is a binary operation (including && and ||, which
+// short-circuit).
+type BinExpr struct {
+	Op   Tok
+	X, Y Expr
+	Pos  source.Pos
+}
+
+// CondExpr is the ternary ?: operator.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              source.Pos
+}
+
+func (e *NumLit) ExprPos() source.Pos     { return e.Pos }
+func (e *Ident) ExprPos() source.Pos      { return e.Pos }
+func (e *IndexExpr) ExprPos() source.Pos  { return e.Pos }
+func (e *CallExpr) ExprPos() source.Pos   { return e.Pos }
+func (e *AllocaExpr) ExprPos() source.Pos { return e.Pos }
+func (e *UnExpr) ExprPos() source.Pos     { return e.Pos }
+func (e *BinExpr) ExprPos() source.Pos    { return e.Pos }
+func (e *CondExpr) ExprPos() source.Pos   { return e.Pos }

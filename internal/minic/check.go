@@ -1,0 +1,413 @@
+package minic
+
+import (
+	"repro/internal/source"
+)
+
+// MaxParams is the register-argument limit of the PA-like calling
+// convention; the front end rejects functions with more parameters.
+const MaxParams = 8
+
+// Check performs semantic analysis of a parsed file: name resolution,
+// direct-call arity checks against this module's own declarations,
+// assignability, loop-context checks and constancy of module-level
+// initializers. It returns a non-nil error if any diagnostic is
+// produced.
+func Check(f *File) error {
+	var errs source.ErrorList
+	c := &checker{file: f, errs: &errs}
+	c.run()
+	return errs.Err()
+}
+
+type symKind uint8
+
+const (
+	symExtern symKind = iota
+	symGlobal         // module-level var (scalar or array)
+	symFunc
+	symLocal // local scalar
+	symArray // local array
+	symParam
+)
+
+type symbol struct {
+	kind      symKind
+	name      string
+	arraySize int64 // symGlobal/symArray
+	numParams int   // symFunc/symExtern
+	varargs   bool
+	pos       source.Pos
+}
+
+type checker struct {
+	file    *File
+	errs    *source.ErrorList
+	module  map[string]*symbol
+	scopes  []map[string]*symbol
+	loopDep int
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Add(pos, format, args...)
+}
+
+func (c *checker) run() {
+	c.module = make(map[string]*symbol)
+	declare := func(s *symbol) {
+		if prev, dup := c.module[s.name]; dup {
+			c.errorf(s.pos, "%s redeclared (previous declaration at %s)", s.name, prev.pos)
+			return
+		}
+		c.module[s.name] = s
+	}
+	for _, e := range c.file.Externs {
+		declare(&symbol{kind: symExtern, name: e.Name, numParams: e.NumParams, varargs: e.Varargs, pos: e.Pos})
+	}
+	for _, g := range c.file.Globals {
+		declare(&symbol{kind: symGlobal, name: g.Name, arraySize: g.ArraySize, pos: g.Pos})
+	}
+	for _, fn := range c.file.Funcs {
+		declare(&symbol{kind: symFunc, name: fn.Name, numParams: len(fn.Params), varargs: fn.Attrs.Varargs, pos: fn.Pos})
+	}
+
+	for _, g := range c.file.Globals {
+		c.checkGlobalInit(g)
+	}
+	for _, fn := range c.file.Funcs {
+		c.checkFunc(fn)
+	}
+}
+
+func (c *checker) checkGlobalInit(g *VarDecl) {
+	if g.ArraySize == 0 || g.ArraySize < -1 {
+		c.errorf(g.Pos, "array %s has invalid size %d", g.Name, g.ArraySize)
+	}
+	if g.Init != nil {
+		if _, ok := ConstEval(g.Init); !ok {
+			c.errorf(g.Init.ExprPos(), "initializer of %s is not constant", g.Name)
+		}
+	}
+	if int64(len(g.InitList)) > g.ArraySize && g.ArraySize >= 0 {
+		c.errorf(g.Pos, "%d initializers for array %s of size %d", len(g.InitList), g.Name, g.ArraySize)
+	}
+	for _, e := range g.InitList {
+		if _, ok := ConstEval(e); !ok {
+			c.errorf(e.ExprPos(), "initializer of %s is not constant", g.Name)
+		}
+	}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	if len(fn.Params) > MaxParams {
+		c.errorf(fn.Pos, "function %s has %d parameters; the calling convention allows at most %d", fn.Name, len(fn.Params), MaxParams)
+	}
+	if fn.Attrs.NoInline && fn.Attrs.Inline {
+		c.errorf(fn.Pos, "function %s marked both inline and noinline", fn.Name)
+	}
+	c.scopes = []map[string]*symbol{make(map[string]*symbol)}
+	for _, p := range fn.Params {
+		c.declareLocal(&symbol{kind: symParam, name: p, pos: fn.Pos})
+	}
+	c.loopDep = 0
+	c.checkBlock(fn.Body)
+	c.scopes = nil
+}
+
+func (c *checker) declareLocal(s *symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if prev, dup := top[s.name]; dup {
+		c.errorf(s.pos, "%s redeclared in this scope (previous at %s)", s.name, prev.pos)
+		return
+	}
+	top[s.name] = s
+}
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.module[name]
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) checkBlock(b *BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(s)
+	case *DeclStmt:
+		d := s.Decl
+		if d.ArraySize == 0 || d.ArraySize < -1 {
+			c.errorf(d.Pos, "array %s has invalid size %d", d.Name, d.ArraySize)
+		}
+		if d.Init != nil {
+			c.checkExpr(d.Init)
+		}
+		if len(d.InitList) > 0 {
+			c.errorf(d.Pos, "local array %s cannot have an initializer list", d.Name)
+		}
+		kind := symLocal
+		if d.ArraySize >= 0 {
+			kind = symArray
+		}
+		c.declareLocal(&symbol{kind: kind, name: d.Name, arraySize: d.ArraySize, pos: d.Pos})
+	case *AssignStmt:
+		c.checkAssignable(s.LHS)
+		c.checkExpr(s.LHS)
+		c.checkExpr(s.RHS)
+	case *IfStmt:
+		c.checkExpr(s.Cond)
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *WhileStmt:
+		c.checkExpr(s.Cond)
+		c.loopDep++
+		c.checkBlock(s.Body)
+		c.loopDep--
+	case *ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond)
+		}
+		c.loopDep++
+		c.checkBlock(s.Body)
+		c.loopDep--
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.popScope()
+	case *ReturnStmt:
+		if s.Value != nil {
+			c.checkExpr(s.Value)
+		}
+	case *BreakStmt:
+		if c.loopDep == 0 {
+			c.errorf(s.Pos, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loopDep == 0 {
+			c.errorf(s.Pos, "continue outside loop")
+		}
+	case *ExprStmt:
+		c.checkExpr(s.X)
+	}
+}
+
+// checkAssignable validates the shape of an assignment target: a scalar
+// variable or an index expression.
+func (c *checker) checkAssignable(lhs Expr) {
+	switch lhs := lhs.(type) {
+	case *Ident:
+		sym := c.lookup(lhs.Name)
+		if sym == nil {
+			return // undefined; reported by checkExpr
+		}
+		switch sym.kind {
+		case symFunc, symExtern:
+			c.errorf(lhs.Pos, "cannot assign to function %s", lhs.Name)
+		case symArray:
+			c.errorf(lhs.Pos, "cannot assign to array %s", lhs.Name)
+		case symGlobal:
+			if sym.arraySize >= 0 {
+				c.errorf(lhs.Pos, "cannot assign to array %s", lhs.Name)
+			}
+		}
+	case *IndexExpr:
+		// Any index expression is a store target.
+	default:
+		c.errorf(lhs.ExprPos(), "invalid assignment target")
+	}
+}
+
+func (c *checker) checkExpr(e Expr) {
+	switch e := e.(type) {
+	case *NumLit:
+	case *Ident:
+		if c.lookup(e.Name) == nil {
+			c.errorf(e.Pos, "undefined: %s", e.Name)
+		}
+	case *IndexExpr:
+		c.checkExpr(e.Base)
+		c.checkExpr(e.Index)
+	case *CallExpr:
+		c.checkCall(e)
+	case *AllocaExpr:
+		c.checkExpr(e.Size)
+	case *UnExpr:
+		if e.Op == AMP {
+			id, ok := e.X.(*Ident)
+			if !ok {
+				c.errorf(e.Pos, "& requires a global or function name")
+				return
+			}
+			sym := c.lookup(id.Name)
+			if sym == nil {
+				c.errorf(id.Pos, "undefined: %s", id.Name)
+				return
+			}
+			switch sym.kind {
+			case symGlobal, symFunc, symExtern, symArray:
+			default:
+				c.errorf(e.Pos, "cannot take the address of local %s", id.Name)
+			}
+			return
+		}
+		c.checkExpr(e.X)
+	case *BinExpr:
+		c.checkExpr(e.X)
+		c.checkExpr(e.Y)
+	case *CondExpr:
+		c.checkExpr(e.Cond)
+		c.checkExpr(e.Then)
+		c.checkExpr(e.Else)
+	}
+}
+
+func (c *checker) checkCall(e *CallExpr) {
+	for _, a := range e.Args {
+		c.checkExpr(a)
+	}
+	if id, ok := e.Fun.(*Ident); ok {
+		sym := c.lookup(id.Name)
+		if sym == nil {
+			c.errorf(id.Pos, "undefined: %s", id.Name)
+			return
+		}
+		switch sym.kind {
+		case symFunc, symExtern:
+			if sym.varargs {
+				if len(e.Args) < sym.numParams {
+					c.errorf(e.Pos, "call of varargs %s with %d args, needs at least %d", id.Name, len(e.Args), sym.numParams)
+				}
+			} else if len(e.Args) != sym.numParams {
+				c.errorf(e.Pos, "call of %s with %d args, declared with %d", id.Name, len(e.Args), sym.numParams)
+			}
+		default:
+			// Indirect call through a value; no static arity check.
+		}
+		return
+	}
+	c.checkExpr(e.Fun)
+}
+
+// ConstEval evaluates a constant expression (literals, unary -, ~, !,
+// and binary arithmetic over constants). It reports false for anything
+// referencing a name.
+func ConstEval(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *NumLit:
+		return e.Val, true
+	case *UnExpr:
+		v, ok := ConstEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case MINUS:
+			return -v, true
+		case TILDE:
+			return ^v, true
+		case BANG:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinExpr:
+		x, ok := ConstEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := ConstEval(e.Y)
+		if !ok {
+			return 0, false
+		}
+		return EvalBinary(e.Op, x, y)
+	case *CondExpr:
+		cond, ok := ConstEval(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if cond != 0 {
+			return ConstEval(e.Then)
+		}
+		return ConstEval(e.Else)
+	}
+	return 0, false
+}
+
+// EvalBinary applies a binary operator with the language's semantics:
+// 64-bit wrapping arithmetic, division by zero yields 0 (remainder
+// yields the dividend), shifts are masked to 6 bits, comparisons and
+// logical operators yield 0/1.
+func EvalBinary(op Tok, x, y int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case PLUS:
+		return x + y, true
+	case MINUS:
+		return x - y, true
+	case STAR:
+		return x * y, true
+	case SLASH:
+		if y == 0 {
+			return 0, true
+		}
+		return x / y, true
+	case PERCENT:
+		if y == 0 {
+			return x, true
+		}
+		return x % y, true
+	case AMP:
+		return x & y, true
+	case PIPE:
+		return x | y, true
+	case CARET:
+		return x ^ y, true
+	case SHL:
+		return x << (uint64(y) & 63), true
+	case SHR:
+		return x >> (uint64(y) & 63), true
+	case LT:
+		return b2i(x < y), true
+	case LE:
+		return b2i(x <= y), true
+	case GT:
+		return b2i(x > y), true
+	case GE:
+		return b2i(x >= y), true
+	case EQ:
+		return b2i(x == y), true
+	case NE:
+		return b2i(x != y), true
+	case ANDAND:
+		return b2i(x != 0 && y != 0), true
+	case OROR:
+		return b2i(x != 0 || y != 0), true
+	}
+	return 0, false
+}

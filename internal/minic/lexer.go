@@ -1,0 +1,253 @@
+package minic
+
+import (
+	"strconv"
+
+	"repro/internal/source"
+)
+
+// lexer turns MiniC source text into tokens.
+type lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+	errs *source.ErrorList
+
+	tok   Tok
+	lit   string
+	val   int64
+	pos   source.Pos
+	count int // tokens scanned; used by the parser's progress guards
+}
+
+func newLexer(file, src string, errs *source.ErrorList) *lexer {
+	l := &lexer{file: file, src: src, line: 1, col: 1, errs: errs}
+	l.next()
+	return l
+}
+
+func (l *lexer) errorf(format string, args ...any) {
+	l.errs.Add(l.here(), format, args...)
+}
+
+func (l *lexer) here() source.Pos {
+	return source.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.peekByte(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errs.Add(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token into l.tok/l.lit/l.val/l.pos.
+func (l *lexer) next() {
+	l.count++
+	l.skipSpace()
+	l.pos = l.here()
+	l.lit = ""
+	l.val = 0
+	if l.off >= len(l.src) {
+		l.tok = EOF
+		return
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		l.lit = l.src[start:l.off]
+		if kw, ok := keywords[l.lit]; ok {
+			l.tok = kw
+		} else {
+			l.tok = IDENT
+		}
+		return
+	case isDigit(c):
+		start := l.off
+		if c == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) && isHex(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		l.lit = l.src[start:l.off]
+		v, err := strconv.ParseInt(l.lit, 0, 64)
+		if err != nil {
+			l.errorf("bad number %q: %v", l.lit, err)
+		}
+		l.tok, l.val = NUMBER, v
+		return
+	case c == '\'':
+		l.advance()
+		if l.off >= len(l.src) {
+			l.errorf("unterminated character literal")
+			l.tok = NUMBER
+			return
+		}
+		ch := l.advance()
+		if ch == '\\' && l.off < len(l.src) {
+			switch e := l.advance(); e {
+			case 'n':
+				ch = '\n'
+			case 't':
+				ch = '\t'
+			case '0':
+				ch = 0
+			case '\\', '\'':
+				ch = e
+			default:
+				l.errorf("unknown escape '\\%c'", e)
+				ch = e
+			}
+		}
+		if l.off >= len(l.src) || l.advance() != '\'' {
+			l.errorf("unterminated character literal")
+		}
+		l.tok, l.val = NUMBER, int64(ch)
+		return
+	}
+	l.advance()
+	two := func(second byte, t2, t1 Tok) {
+		if l.peekByte() == second {
+			l.advance()
+			l.tok = t2
+		} else {
+			l.tok = t1
+		}
+	}
+	switch c {
+	case '(':
+		l.tok = LPAREN
+	case ')':
+		l.tok = RPAREN
+	case '{':
+		l.tok = LBRACE
+	case '}':
+		l.tok = RBRACE
+	case '[':
+		l.tok = LBRACK
+	case ']':
+		l.tok = RBRACK
+	case ',':
+		l.tok = COMMA
+	case ';':
+		l.tok = SEMI
+	case '+':
+		l.tok = PLUS
+	case '-':
+		l.tok = MINUS
+	case '*':
+		l.tok = STAR
+	case '/':
+		l.tok = SLASH
+	case '%':
+		l.tok = PERCENT
+	case '^':
+		l.tok = CARET
+	case '~':
+		l.tok = TILDE
+	case '?':
+		l.tok = QUESTION
+	case ':':
+		l.tok = COLON
+	case '=':
+		two('=', EQ, ASSIGN)
+	case '!':
+		two('=', NE, BANG)
+	case '&':
+		two('&', ANDAND, AMP)
+	case '|':
+		two('|', OROR, PIPE)
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			l.tok = SHL
+		} else {
+			two('=', LE, LT)
+		}
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			l.tok = SHR
+		} else {
+			two('=', GE, GT)
+		}
+	default:
+		l.errorf("unexpected character %q", string(c))
+		l.next()
+	}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,266 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/source"
+)
+
+func lexAll(t *testing.T, src string) []Tok {
+	t.Helper()
+	var errs source.ErrorList
+	l := newLexer("test.mc", src, &errs)
+	var toks []Tok
+	for l.tok != EOF {
+		toks = append(toks, l.tok)
+		l.next()
+	}
+	if errs.Len() > 0 {
+		t.Fatalf("lex errors: %v", errs.Err())
+	}
+	return toks
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, `module m; func f(a int) int { return a + 0x1f - 'A'; }`)
+	want := []Tok{MODULE, IDENT, SEMI, FUNC, IDENT, LPAREN, IDENT, INT, RPAREN,
+		INT, LBRACE, RETURN, IDENT, PLUS, NUMBER, MINUS, NUMBER, SEMI, RBRACE}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks := lexAll(t, `== != <= >= << >> && || < > = ! & | ^ ~ ? :`)
+	want := []Tok{EQ, NE, LE, GE, SHL, SHR, ANDAND, OROR, LT, GT, ASSIGN,
+		BANG, AMP, PIPE, CARET, TILDE, QUESTION, COLON}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, `
+// line comment
+module /* block
+comment */ m;`)
+	want := []Tok{MODULE, IDENT, SEMI}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	var errs source.ErrorList
+	l := newLexer("t", "42 0x2a 0 '\\n' 'z'", &errs)
+	var vals []int64
+	for l.tok != EOF {
+		if l.tok != NUMBER {
+			t.Fatalf("expected number, got %s", l.tok)
+		}
+		vals = append(vals, l.val)
+		l.next()
+	}
+	want := []int64{42, 42, 0, 10, 122}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("value %d = %d, want %d", i, vals[i], want[i])
+		}
+	}
+}
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := Parse("test.mc", src)
+	if err == nil {
+		err = Check(f)
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	f := parseOK(t, `
+module demo;
+extern func print(x int) int;
+extern varargs func v(a int, b int) int;
+static var s int = -3;
+var arr [8] int = {1, 2, 3};
+noinline static func helper(a int, b int) int { return a; }
+inline func tiny(x int) int { return x; }
+relaxed varargs func odd(n int) int { return n; }
+func main() int { return tiny(helper(1, 2)); }
+`)
+	if f.Module != "demo" {
+		t.Errorf("module = %q", f.Module)
+	}
+	if len(f.Externs) != 2 || !f.Externs[1].Varargs || f.Externs[1].NumParams != 2 {
+		t.Errorf("externs parsed wrong: %+v", f.Externs)
+	}
+	if len(f.Globals) != 2 || !f.Globals[0].Static || f.Globals[1].ArraySize != 8 {
+		t.Errorf("globals parsed wrong")
+	}
+	if len(f.Funcs) != 4 {
+		t.Fatalf("got %d funcs", len(f.Funcs))
+	}
+	if !f.Funcs[0].Attrs.NoInline || !f.Funcs[0].Attrs.Static {
+		t.Errorf("helper attrs wrong: %+v", f.Funcs[0].Attrs)
+	}
+	if !f.Funcs[1].Attrs.Inline {
+		t.Errorf("tiny should be inline")
+	}
+	if !f.Funcs[2].Attrs.Relaxed || !f.Funcs[2].Attrs.Varargs {
+		t.Errorf("odd attrs wrong: %+v", f.Funcs[2].Attrs)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, `
+module m;
+func f(a int, b int) int {
+	return a + b * 2 == a | b && b;
+}
+`)
+	// ((a + (b*2)) == a | b) && b  → top node must be &&.
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	top, ok := ret.Value.(*BinExpr)
+	if !ok || top.Op != ANDAND {
+		t.Fatalf("top operator = %T %v, want &&", ret.Value, top)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `func f() int { return 0; }`, "expected module")
+	parseErr(t, `module m; func f( int { return 0; }`, "expected")
+	parseErr(t, `module m; func f() int { if 1) {} }`, "expected (")
+	parseErr(t, `module m; var a [x] int;`, "array size")
+}
+
+func TestCheckErrors(t *testing.T) {
+	parseErr(t, `module m; func f() int { return y; }`, "undefined: y")
+	parseErr(t, `module m; func f() int { return 0; } func f() int { return 1; }`, "redeclared")
+	parseErr(t, `module m; func f(a int, a int) int { return a; }`, "redeclared")
+	parseErr(t, `module m; func f() int { break; }`, "break outside loop")
+	parseErr(t, `module m; func f() int { continue; }`, "continue outside loop")
+	parseErr(t, `module m; func g(a int) int { return a; } func f() int { return g(); }`, "with 0 args")
+	parseErr(t, `module m; func g(a int) int { return a; } func f() int { g = 3; return 0; }`, "cannot assign to function")
+	parseErr(t, `module m; var a [4] int; func f() int { a = 3; return 0; }`, "cannot assign to array")
+	parseErr(t, `module m; func f() int { var x int; return &x; }`, "address of local")
+	parseErr(t, `module m; var g int = f(); func f() int { return 1; }`, "not constant")
+	parseErr(t, `module m; inline noinline func f() int { return 0; }`, "both inline and noinline")
+	parseErr(t, `module m; func f(p0 int, p1 int, p2 int, p3 int, p4 int, p5 int, p6 int, p7 int, p8 int) int { return 0; }`, "at most 8")
+	parseErr(t, `module m; varargs func v(n int) int { return n; } func f() int { return v(); }`, "at least 1")
+}
+
+func TestConstEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"-5 % 3", -2},
+		{"10 / 0", 0},
+		{"7 % 0", 7},
+		{"1 << 4", 16},
+		{"~0", -1},
+		{"!7", 0},
+		{"!0", 1},
+		{"3 < 5 ? 'a' : 'b'", 97},
+		{"1 && 0", 0},
+		{"0 || 9", 1},
+	}
+	for _, c := range cases {
+		f, err := Parse("t", "module m; var g int = "+c.src+";")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		got, ok := ConstEval(f.Globals[0].Init)
+		if !ok {
+			t.Errorf("%q: not constant", c.src)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// TestEvalBinaryTotal checks with testing/quick that every binary
+// operator is total: defined output for all inputs, and boolean results
+// are 0/1.
+func TestEvalBinaryTotal(t *testing.T) {
+	ops := []Tok{PLUS, MINUS, STAR, SLASH, PERCENT, AMP, PIPE, CARET,
+		SHL, SHR, LT, LE, GT, GE, EQ, NE, ANDAND, OROR}
+	prop := func(x, y int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		v, ok := EvalBinary(op, x, y)
+		if !ok {
+			return false
+		}
+		switch op {
+		case LT, LE, GT, GE, EQ, NE, ANDAND, OROR:
+			return v == 0 || v == 1
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverHangs feeds pathological inputs that previously made
+// error recovery spin without consuming tokens.
+func TestParserNeverHangs(t *testing.T) {
+	cases := []string{
+		`module m; func f( int { return 0; }`,
+		`module m; func f(;) int { return 0; }`,
+		`module m; var a [4] int = {1,; 2};`,
+		`module m; func f() int { g(1,;2); }`,
+		`module m; func f() int { ) }`,
+		`module m; func f() int { ( }`,
+		`module m; ] ] ] ]`,
+		`module m; func f() int { if () {} }`,
+	}
+	for i, src := range cases {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			Parse("t", src)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("case %d: parser hung on %q", i, src)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package minic
+
+import (
+	"repro/internal/source"
+)
+
+// Parse parses one MiniC source file. The returned *File is non-nil even
+// when errors were found, so callers can report as many diagnostics as
+// possible; err is non-nil if any diagnostic was produced.
+func Parse(filename, src string) (*File, error) {
+	var errs source.ErrorList
+	p := &parser{lex: newLexer(filename, src, &errs), errs: &errs}
+	f := p.parseFile()
+	return f, errs.Err()
+}
+
+type parser struct {
+	lex  *lexer
+	errs *source.ErrorList
+}
+
+func (p *parser) tok() Tok        { return p.lex.tok }
+func (p *parser) lit() string     { return p.lex.lit }
+func (p *parser) val() int64      { return p.lex.val }
+func (p *parser) pos() source.Pos { return p.lex.pos }
+func (p *parser) next()           { p.lex.next() }
+
+func (p *parser) errorf(pos source.Pos, format string, args ...any) {
+	p.errs.Add(pos, format, args...)
+}
+
+func (p *parser) expect(t Tok) source.Pos {
+	pos := p.pos()
+	if p.tok() != t {
+		p.errorf(pos, "expected %s, found %s", t, p.describe())
+	} else {
+		p.next()
+	}
+	return pos
+}
+
+func (p *parser) describe() string {
+	switch p.tok() {
+	case IDENT:
+		return "identifier " + p.lit()
+	case NUMBER:
+		return "number " + p.lit()
+	default:
+		return p.tok().String()
+	}
+}
+
+func (p *parser) accept(t Tok) bool {
+	if p.tok() == t {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() string {
+	name := p.lit()
+	if p.tok() != IDENT {
+		p.errorf(p.pos(), "expected identifier, found %s", p.describe())
+		name = "_error_"
+		// Do not consume: let the caller resynchronize.
+		if p.tok() != EOF && p.tok() != SEMI && p.tok() != RBRACE {
+			p.next()
+		}
+		return name
+	}
+	p.next()
+	return name
+}
+
+func (p *parser) parseFile() *File {
+	f := &File{Pos: p.pos()}
+	p.expect(MODULE)
+	f.Module = p.ident()
+	p.expect(SEMI)
+	for p.tok() != EOF {
+		start := p.pos()
+		var attrs FuncAttrs
+	attrLoop:
+		for {
+			switch p.tok() {
+			case STATIC:
+				attrs.Static = true
+			case NOINLINE:
+				attrs.NoInline = true
+			case INLINE:
+				attrs.Inline = true
+			case VARARGS:
+				attrs.Varargs = true
+			case RELAXED:
+				attrs.Relaxed = true
+			default:
+				break attrLoop
+			}
+			p.next()
+		}
+		switch p.tok() {
+		case EXTERN:
+			p.next()
+			ext := p.parseExtern(attrs)
+			f.Externs = append(f.Externs, ext)
+		case VAR:
+			d := p.parseVarDecl(attrs.Static, true)
+			f.Globals = append(f.Globals, d)
+		case FUNC:
+			fd := p.parseFunc(attrs)
+			f.Funcs = append(f.Funcs, fd)
+		default:
+			p.errorf(start, "expected declaration, found %s", p.describe())
+			p.next()
+		}
+	}
+	return f
+}
+
+func (p *parser) parseExtern(attrs FuncAttrs) *ExternDecl {
+	pos := p.pos()
+	// "extern [varargs] func name(params) int;"
+	if p.tok() == VARARGS {
+		attrs.Varargs = true
+		p.next()
+	}
+	p.expect(FUNC)
+	name := p.ident()
+	params := p.parseParams()
+	p.expect(INT)
+	p.expect(SEMI)
+	return &ExternDecl{Name: name, NumParams: len(params), Varargs: attrs.Varargs, Pos: pos}
+}
+
+func (p *parser) parseParams() []string {
+	p.expect(LPAREN)
+	var params []string
+	for p.tok() != RPAREN && p.tok() != EOF {
+		mark := p.lex.count
+		if len(params) > 0 {
+			p.expect(COMMA)
+		}
+		params = append(params, p.ident())
+		p.expect(INT)
+		if p.lex.count == mark {
+			// Error recovery made no progress; skip a token.
+			p.next()
+		}
+	}
+	p.expect(RPAREN)
+	return params
+}
+
+// parseVarDecl parses "var name int [= e];" or
+// "var name [N] int [= {list}];". The leading qualifiers were consumed by
+// the caller.
+func (p *parser) parseVarDecl(static, global bool) *VarDecl {
+	pos := p.pos()
+	p.expect(VAR)
+	d := &VarDecl{Name: p.ident(), Static: static, ArraySize: -1, Pos: pos}
+	if p.accept(LBRACK) {
+		if p.tok() == NUMBER {
+			d.ArraySize = p.val()
+			p.next()
+		} else {
+			p.errorf(p.pos(), "array size must be a number literal")
+		}
+		p.expect(RBRACK)
+	}
+	p.expect(INT)
+	if p.accept(ASSIGN) {
+		if d.ArraySize >= 0 {
+			p.expect(LBRACE)
+			for p.tok() != RBRACE && p.tok() != EOF {
+				mark := p.lex.count
+				if len(d.InitList) > 0 {
+					p.expect(COMMA)
+				}
+				d.InitList = append(d.InitList, p.parseExpr())
+				if p.lex.count == mark {
+					p.next()
+				}
+			}
+			p.expect(RBRACE)
+		} else {
+			d.Init = p.parseExpr()
+		}
+	}
+	p.expect(SEMI)
+	return d
+}
+
+func (p *parser) parseFunc(attrs FuncAttrs) *FuncDecl {
+	pos := p.pos()
+	p.expect(FUNC)
+	fd := &FuncDecl{Name: p.ident(), Attrs: attrs, Pos: pos}
+	fd.Params = p.parseParams()
+	p.expect(INT)
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+func (p *parser) parseBlock() *BlockStmt {
+	b := &BlockStmt{Pos: p.pos()}
+	p.expect(LBRACE)
+	for p.tok() != RBRACE && p.tok() != EOF {
+		mark := p.lex.count
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.lex.count == mark {
+			// Error recovery made no progress; skip a token.
+			p.next()
+		}
+	}
+	p.expect(RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() Stmt {
+	pos := p.pos()
+	switch p.tok() {
+	case VAR:
+		d := p.parseVarDecl(false, false)
+		return &DeclStmt{Decl: d}
+	case LBRACE:
+		return p.parseBlock()
+	case IF:
+		return p.parseIf()
+	case WHILE:
+		p.next()
+		p.expect(LPAREN)
+		cond := p.parseExpr()
+		p.expect(RPAREN)
+		body := p.parseBlock()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+	case FOR:
+		return p.parseFor()
+	case RETURN:
+		p.next()
+		var v Expr
+		if p.tok() != SEMI {
+			v = p.parseExpr()
+		}
+		p.expect(SEMI)
+		return &ReturnStmt{Value: v, Pos: pos}
+	case BREAK:
+		p.next()
+		p.expect(SEMI)
+		return &BreakStmt{Pos: pos}
+	case CONTINUE:
+		p.next()
+		p.expect(SEMI)
+		return &ContinueStmt{Pos: pos}
+	case SEMI:
+		p.next()
+		return &BlockStmt{Pos: pos}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(SEMI)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement without
+// the trailing semicolon (shared by statement and for-clause positions).
+func (p *parser) parseSimpleStmt() Stmt {
+	pos := p.pos()
+	x := p.parseExpr()
+	if p.accept(ASSIGN) {
+		rhs := p.parseExpr()
+		return &AssignStmt{LHS: x, RHS: rhs, Pos: pos}
+	}
+	return &ExprStmt{X: x, Pos: pos}
+}
+
+func (p *parser) parseIf() Stmt {
+	pos := p.pos()
+	p.expect(IF)
+	p.expect(LPAREN)
+	cond := p.parseExpr()
+	p.expect(RPAREN)
+	then := p.parseBlock()
+	var els Stmt
+	if p.accept(ELSE) {
+		if p.tok() == IF {
+			els = p.parseIf()
+		} else {
+			els = p.parseBlock()
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+}
+
+func (p *parser) parseFor() Stmt {
+	pos := p.pos()
+	p.expect(FOR)
+	p.expect(LPAREN)
+	var init, post Stmt
+	var cond Expr
+	if p.tok() != SEMI {
+		init = p.parseSimpleStmt()
+	}
+	p.expect(SEMI)
+	if p.tok() != SEMI {
+		cond = p.parseExpr()
+	}
+	p.expect(SEMI)
+	if p.tok() != RPAREN {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(RPAREN)
+	body := p.parseBlock()
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: pos}
+}
+
+// Binary operator precedence, C-like. Higher binds tighter.
+func precedence(t Tok) int {
+	switch t {
+	case OROR:
+		return 1
+	case ANDAND:
+		return 2
+	case PIPE:
+		return 3
+	case CARET:
+		return 4
+	case AMP:
+		return 5
+	case EQ, NE:
+		return 6
+	case LT, LE, GT, GE:
+		return 7
+	case SHL, SHR:
+		return 8
+	case PLUS, MINUS:
+		return 9
+	case STAR, SLASH, PERCENT:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() Expr {
+	x := p.parseBinary(1)
+	if p.tok() == QUESTION {
+		pos := p.pos()
+		p.next()
+		then := p.parseExpr()
+		p.expect(COLON)
+		els := p.parseExpr()
+		return &CondExpr{Cond: x, Then: then, Else: els, Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseBinary(minPrec int) Expr {
+	x := p.parseUnary()
+	for {
+		prec := precedence(p.tok())
+		if prec < minPrec {
+			return x
+		}
+		op, pos := p.tok(), p.pos()
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &BinExpr{Op: op, X: x, Y: y, Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() Expr {
+	pos := p.pos()
+	switch p.tok() {
+	case MINUS, BANG, TILDE, AMP:
+		op := p.tok()
+		p.next()
+		x := p.parseUnary()
+		return &UnExpr{Op: op, X: x, Pos: pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.tok() {
+		case LBRACK:
+			pos := p.pos()
+			p.next()
+			idx := p.parseExpr()
+			p.expect(RBRACK)
+			x = &IndexExpr{Base: x, Index: idx, Pos: pos}
+		case LPAREN:
+			pos := p.pos()
+			p.next()
+			var args []Expr
+			for p.tok() != RPAREN && p.tok() != EOF {
+				mark := p.lex.count
+				if len(args) > 0 {
+					p.expect(COMMA)
+				}
+				args = append(args, p.parseExpr())
+				if p.lex.count == mark {
+					p.next()
+				}
+			}
+			p.expect(RPAREN)
+			x = &CallExpr{Fun: x, Args: args, Pos: pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() Expr {
+	pos := p.pos()
+	switch p.tok() {
+	case NUMBER:
+		v := p.val()
+		p.next()
+		return &NumLit{Val: v, Pos: pos}
+	case IDENT:
+		name := p.lit()
+		p.next()
+		return &Ident{Name: name, Pos: pos}
+	case ALLOCA:
+		p.next()
+		p.expect(LPAREN)
+		size := p.parseExpr()
+		p.expect(RPAREN)
+		return &AllocaExpr{Size: size, Pos: pos}
+	case LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RPAREN)
+		return x
+	default:
+		p.errorf(pos, "expected expression, found %s", p.describe())
+		if p.tok() != EOF && p.tok() != SEMI && p.tok() != RBRACE && p.tok() != RPAREN {
+			p.next()
+		}
+		return &NumLit{Val: 0, Pos: pos}
+	}
+}

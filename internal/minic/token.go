@@ -1,0 +1,125 @@
+// Package minic implements the front end for MiniC, the small C-like
+// systems language used to write the synthetic SPEC benchmarks. MiniC
+// stands in for the C and FORTRAN front ends of the paper's compiler:
+// it has exactly the features that make inlining and cloning interesting
+// — separate modules with file-scope statics, extern declarations whose
+// arity may disagree with the definition (gross-mismatch legality),
+// varargs markers, function values and indirect calls, and user pragmas
+// (inline/noinline/relaxed).
+//
+// # Language summary
+//
+//	module name;
+//	extern func print(x int) int;        // import (arity as promised here)
+//	static var heap [4096] int;          // file-scope array
+//	var counter int = 1;                 // exported scalar with initializer
+//	var tab [3] int = {1, 2, 3};         // exported array with initializer
+//	noinline func work(a int, b int) int { ... }
+//
+// All values are 64-bit integers; memory is a flat word-addressed array.
+// An array name evaluates to its base address, and indexing e1[e2] loads
+// mem[e1+e2], so any integer expression can be used as a pointer.
+// A function name in expression position evaluates to its code address;
+// calling through a variable produces an indirect call.
+//
+// Statements: var declarations, assignment, if/else, while,
+// for(init;cond;post), return, break, continue, expression statements and
+// blocks. Expressions: C operators with C precedence, including &&, ||
+// (short-circuit) and ?:, plus alloca(n) for dynamic stack allocation.
+package minic
+
+import "fmt"
+
+// Tok enumerates token kinds.
+type Tok uint8
+
+// Token kinds.
+const (
+	EOF Tok = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	MODULE
+	EXTERN
+	STATIC
+	VAR
+	FUNC
+	INT
+	IF
+	ELSE
+	WHILE
+	FOR
+	RETURN
+	BREAK
+	CONTINUE
+	NOINLINE
+	INLINE
+	VARARGS
+	RELAXED
+	ALLOCA
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	COMMA    // ,
+	SEMI     // ;
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	BANG     // !
+	SHL      // <<
+	SHR      // >>
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	ANDAND   // &&
+	OROR     // ||
+	QUESTION // ?
+	COLON    // :
+)
+
+var tokNames = map[Tok]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	MODULE: "module", EXTERN: "extern", STATIC: "static", VAR: "var",
+	FUNC: "func", INT: "int", IF: "if", ELSE: "else", WHILE: "while",
+	FOR: "for", RETURN: "return", BREAK: "break", CONTINUE: "continue",
+	NOINLINE: "noinline", INLINE: "inline", VARARGS: "varargs",
+	RELAXED: "relaxed", ALLOCA: "alloca",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", BANG: "!",
+	SHL: "<<", SHR: ">>", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	EQ: "==", NE: "!=", ANDAND: "&&", OROR: "||",
+	QUESTION: "?", COLON: ":",
+}
+
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(t))
+}
+
+var keywords = map[string]Tok{
+	"module": MODULE, "extern": EXTERN, "static": STATIC, "var": VAR,
+	"func": FUNC, "int": INT, "if": IF, "else": ELSE, "while": WHILE,
+	"for": FOR, "return": RETURN, "break": BREAK, "continue": CONTINUE,
+	"noinline": NOINLINE, "inline": INLINE, "varargs": VARARGS,
+	"relaxed": RELAXED, "alloca": ALLOCA,
+}

@@ -1,0 +1,310 @@
+// Package opt implements the classic intraprocedural scalar
+// optimizations HLO runs at input time and after every inline/clone
+// ("optimize(R')" in the paper's Figures 3 and 4): conditional constant
+// propagation, branch folding, CFG cleanup, local value numbering and
+// copy propagation, and liveness-based dead-code elimination with
+// pure-call deletion.
+//
+// Constant propagation is what turns a clone's bound formals into folded
+// branches, and what converts an indirect call through a propagated
+// function address into a direct call — the staged optimization the
+// paper highlights (clone → propagate code pointer → direct call →
+// inline in a later pass).
+package opt
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// latticeVal is a three-level constant lattice value: top (no
+// information yet), a known link-time constant operand (integer, global
+// address, or function address), or bottom (varying).
+type latticeVal struct {
+	bot bool
+	set bool // false and !bot => top
+	op  ir.Operand
+}
+
+var bottom = latticeVal{bot: true}
+
+func constVal(op ir.Operand) latticeVal { return latticeVal{set: true, op: op} }
+
+func (v latticeVal) isConst() bool { return v.set && !v.bot }
+
+func meet(a, b latticeVal) latticeVal {
+	switch {
+	case a.bot || b.bot:
+		return bottom
+	case !a.set:
+		return b
+	case !b.set:
+		return a
+	case a.op.Eq(b.op):
+		return a
+	default:
+		return bottom
+	}
+}
+
+type env map[ir.Reg]latticeVal
+
+func (e env) get(r ir.Reg) latticeVal { return e[r] }
+
+func (e env) set(r ir.Reg, v latticeVal) {
+	if v.set || v.bot {
+		e[r] = v
+	} else {
+		delete(e, r)
+	}
+}
+
+func (e env) clone() env {
+	n := make(env, len(e))
+	for k, v := range e {
+		n[k] = v
+	}
+	return n
+}
+
+func (e env) equal(o env) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e {
+		w, ok := o[k]
+		if !ok || v.bot != w.bot || v.set != w.set || !v.op.Eq(w.op) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstProp performs a forward conditional-constant dataflow over f and
+// rewrites the function: operands known constant are substituted,
+// foldable instructions become moves of constants, branches on constants
+// become jumps, and indirect calls through known function addresses
+// become direct calls. It reports whether anything changed.
+func ConstProp(f *ir.Func) bool {
+	ins := make([]env, len(f.Blocks))
+	// Entry: parameters and everything else start varying only when
+	// used before definition; the lattice handles that via top.
+	entry := make(env)
+	for i := 0; i < f.NumParams; i++ {
+		entry[ir.Reg(i)] = bottom
+	}
+	ins[0] = entry
+
+	preds := f.Preds()
+	_ = preds
+	work := []int{0}
+	inWork := make([]bool, len(f.Blocks))
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		b := f.Blocks[bi]
+		out := ins[bi].clone()
+		for i := range b.Instrs {
+			transfer(&b.Instrs[i], out)
+		}
+		for _, s := range b.Succs() {
+			var next env
+			if ins[s] == nil {
+				next = out.clone()
+			} else {
+				next = ins[s].clone()
+				for k, v := range out {
+					next[k] = meet(next.get(k), v)
+				}
+				// Registers in next but absent from out meet with top and
+				// are unchanged.
+				if next.equal(ins[s]) {
+					continue
+				}
+			}
+			ins[s] = next
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Rewrite using the fixpoint states.
+	changed := false
+	for bi, b := range f.Blocks {
+		e := ins[bi]
+		if e == nil {
+			continue // unreachable; Cleanup removes it
+		}
+		e = e.clone()
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Substitute known-constant register operands.
+			in.Operands(func(o *ir.Operand) {
+				if o.Kind == ir.KindReg {
+					if v := e.get(o.Reg); v.isConst() {
+						*o = v.op
+						changed = true
+					}
+				}
+			})
+			// Fold and strength-reduce the instruction itself.
+			if foldInstr(in) {
+				changed = true
+			}
+			transfer(in, e)
+		}
+	}
+	return changed
+}
+
+// transfer updates the lattice environment across one instruction.
+func transfer(in *ir.Instr, e env) {
+	val := func(o ir.Operand) latticeVal {
+		switch o.Kind {
+		case ir.KindConst, ir.KindGlobalAddr, ir.KindFuncAddr:
+			return constVal(o)
+		case ir.KindReg:
+			return e.get(o.Reg)
+		}
+		return bottom
+	}
+	switch in.Op {
+	case ir.Mov:
+		e.set(in.Dst, val(in.A))
+	case ir.Neg, ir.Not:
+		a := val(in.A)
+		if a.isConst() && a.op.IsConst() {
+			v := a.op.Val
+			if in.Op == ir.Neg {
+				v = -v
+			} else if v == 0 {
+				v = 1
+			} else {
+				v = 0
+			}
+			e.set(in.Dst, constVal(ir.ConstOp(v)))
+		} else if a.bot || a.isConst() {
+			e.set(in.Dst, bottom)
+		} else {
+			e.set(in.Dst, latticeVal{})
+		}
+	case ir.Load, ir.FrameAddr, ir.Alloca, ir.Call, ir.ICall:
+		if in.HasDst() {
+			e.set(in.Dst, bottom)
+		}
+	case ir.Store, ir.Ret, ir.Br, ir.Jmp, ir.Nop:
+	default:
+		if in.Op.IsBinary() {
+			a, b := val(in.A), val(in.B)
+			switch {
+			case a.isConst() && b.isConst() && a.op.IsConst() && b.op.IsConst():
+				e.set(in.Dst, constVal(ir.ConstOp(interp.EvalBinary(in.Op, a.op.Val, b.op.Val))))
+			case a.bot || b.bot:
+				e.set(in.Dst, bottom)
+			case a.isConst() && b.isConst():
+				// Symbolic constants (addresses): comparisons of identical
+				// symbols fold; everything else is varying but link-constant.
+				if in.Op.IsCompare() && a.op.Eq(b.op) {
+					e.set(in.Dst, constVal(ir.ConstOp(interp.EvalBinary(in.Op, 1, 1))))
+				} else {
+					e.set(in.Dst, bottom)
+				}
+			default:
+				e.set(in.Dst, latticeVal{})
+			}
+		}
+	}
+}
+
+// foldInstr simplifies one instruction in place after operand
+// substitution: constant folding, algebraic identities, branch folding,
+// and indirect-to-direct call conversion.
+func foldInstr(in *ir.Instr) bool {
+	switch {
+	case in.Op == ir.Br && in.A.IsConst():
+		target := in.Else
+		if in.A.Val != 0 {
+			target = in.Then
+		}
+		*in = ir.Instr{Op: ir.Jmp, Then: target, Pos: in.Pos}
+		return true
+	case in.Op == ir.Br && in.Then == in.Else:
+		*in = ir.Instr{Op: ir.Jmp, Then: in.Then, Pos: in.Pos}
+		return true
+	case in.Op == ir.ICall && in.A.Kind == ir.KindFuncAddr:
+		// The paper's staged optimization: a propagated code pointer
+		// turns an indirect call into a direct call, which later passes
+		// can inline or clone.
+		*in = ir.Instr{Op: ir.Call, Dst: in.Dst, Callee: in.A.Sym, Args: in.Args, Pos: in.Pos}
+		return true
+	case in.Op == ir.Neg && in.A.IsConst():
+		*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: ir.ConstOp(-in.A.Val), Pos: in.Pos}
+		return true
+	case in.Op == ir.Not && in.A.IsConst():
+		v := int64(0)
+		if in.A.Val == 0 {
+			v = 1
+		}
+		*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: ir.ConstOp(v), Pos: in.Pos}
+		return true
+	}
+	if !in.Op.IsBinary() {
+		return false
+	}
+	if in.A.IsConst() && in.B.IsConst() {
+		v := interp.EvalBinary(in.Op, in.A.Val, in.B.Val)
+		*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: ir.ConstOp(v), Pos: in.Pos}
+		return true
+	}
+	// Algebraic identities that preserve the flat-memory semantics.
+	mov := func(a ir.Operand) {
+		*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: a, Pos: in.Pos}
+	}
+	switch in.Op {
+	case ir.Add:
+		if in.A.IsConst() && in.A.Val == 0 {
+			mov(in.B)
+			return true
+		}
+		if in.B.IsConst() && in.B.Val == 0 {
+			mov(in.A)
+			return true
+		}
+	case ir.Sub:
+		if in.B.IsConst() && in.B.Val == 0 {
+			mov(in.A)
+			return true
+		}
+		if in.A.Eq(in.B) && in.A.IsReg() {
+			mov(ir.ConstOp(0))
+			return true
+		}
+	case ir.Mul:
+		if in.A.IsConst() && in.A.Val == 1 {
+			mov(in.B)
+			return true
+		}
+		if in.B.IsConst() && in.B.Val == 1 {
+			mov(in.A)
+			return true
+		}
+		if in.A.IsConst() && in.A.Val == 0 || in.B.IsConst() && in.B.Val == 0 {
+			mov(ir.ConstOp(0))
+			return true
+		}
+	case ir.Or, ir.Xor, ir.Shl, ir.Shr:
+		if in.B.IsConst() && in.B.Val == 0 && in.Op != ir.Or {
+			mov(in.A)
+			return true
+		}
+		if in.Op == ir.Or && in.B.IsConst() && in.B.Val == 0 {
+			mov(in.A)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package opt
+
+import "repro/internal/ir"
+
+// LocalCSE performs per-block value numbering over pure operations and
+// loads, plus local copy propagation. Memory writes, calls and alloca
+// invalidate load availability. It reports whether anything changed.
+func LocalCSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		changed = cseBlock(b) || changed
+	}
+	return changed
+}
+
+type exprKey struct {
+	op   ir.Op
+	a, b ir.Operand
+}
+
+func cseBlock(b *ir.Block) bool {
+	avail := make(map[exprKey]ir.Reg)         // computed expression -> holding register
+	copies := make(map[ir.Reg]ir.Operand)     // register -> simpler operand with same value
+	stored := make(map[ir.Operand]ir.Operand) // last value stored at an address operand
+	changed := false
+
+	// killReg drops every fact that mentions r.
+	killReg := func(r ir.Reg) {
+		delete(copies, r)
+		for dst, src := range copies {
+			if src.IsReg() && src.Reg == r {
+				delete(copies, dst)
+			}
+		}
+		for k, holder := range avail {
+			if holder == r || k.a.IsReg() && k.a.Reg == r || k.b.IsReg() && k.b.Reg == r {
+				delete(avail, k)
+			}
+		}
+		for addr, val := range stored {
+			if addr.IsReg() && addr.Reg == r || val.IsReg() && val.Reg == r {
+				delete(stored, addr)
+			}
+		}
+	}
+	// killLoads drops load and store-forwarding facts (stores and calls
+	// may alias anything).
+	killLoads := func() {
+		for k := range avail {
+			if k.op == ir.Load {
+				delete(avail, k)
+			}
+		}
+		for addr := range stored {
+			delete(stored, addr)
+		}
+	}
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		// Copy-propagate operands first.
+		in.Operands(func(o *ir.Operand) {
+			if o.Kind == ir.KindReg {
+				if rep, ok := copies[o.Reg]; ok {
+					*o = rep
+					changed = true
+				}
+			}
+		})
+
+		switch {
+		case in.Op == ir.Mov:
+			dst := in.Dst
+			src := in.A
+			killReg(dst)
+			if !(src.IsReg() && src.Reg == dst) {
+				copies[dst] = src
+			}
+		case in.Op == ir.Load:
+			// Store-to-load forwarding: a load from the exact address of
+			// the most recent store sees the stored value.
+			if val, ok := stored[in.A]; ok {
+				*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: val, Pos: in.Pos}
+				killReg(in.Dst)
+				if !(val.IsReg() && val.Reg == in.Dst) {
+					copies[in.Dst] = val
+				}
+				changed = true
+				continue
+			}
+			key := exprKey{op: ir.Load, a: in.A}
+			if holder, ok := avail[key]; ok && holder != in.Dst {
+				*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: ir.RegOp(holder), Pos: in.Pos}
+				killReg(in.Dst)
+				copies[in.Dst] = ir.RegOp(holder)
+				changed = true
+				continue
+			}
+			dst := in.Dst
+			killReg(dst)
+			if !(key.a.IsReg() && key.a.Reg == dst) {
+				avail[key] = dst
+			}
+		case in.Op == ir.FrameAddr || in.Op == ir.Neg || in.Op == ir.Not || in.Op.IsBinary():
+			key := exprKey{op: in.Op, a: in.A}
+			if in.Op.IsBinary() {
+				key.b = in.B
+			}
+			if holder, ok := avail[key]; ok && holder != in.Dst {
+				*in = ir.Instr{Op: ir.Mov, Dst: in.Dst, A: ir.RegOp(holder), Pos: in.Pos}
+				killReg(in.Dst)
+				copies[in.Dst] = ir.RegOp(holder)
+				changed = true
+				continue
+			}
+			dst := in.Dst
+			killReg(dst)
+			// Only record if the expression doesn't depend on its own dst.
+			selfRef := key.a.IsReg() && key.a.Reg == dst || key.b.IsReg() && key.b.Reg == dst
+			if !selfRef {
+				avail[key] = dst
+			}
+		case in.Op == ir.Store:
+			killLoads()
+			stored[in.A] = in.B
+		case in.Op == ir.Call || in.Op == ir.ICall:
+			killLoads()
+			if in.HasDst() {
+				killReg(in.Dst)
+			}
+		case in.Op == ir.Alloca:
+			killLoads()
+			killReg(in.Dst)
+		}
+	}
+	return changed
+}

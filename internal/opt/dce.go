@@ -1,0 +1,130 @@
+package opt
+
+import "repro/internal/ir"
+
+// Purity reports whether a direct call to the named routine is free of
+// side effects and guaranteed to terminate, so a call whose result is
+// unused may be deleted. internal/ipa computes this interprocedurally;
+// passing nil treats every call as impure.
+type Purity func(callee string) bool
+
+// regSet is a simple dense bitset over virtual registers.
+type regSet []uint64
+
+func newRegSet(n int32) regSet { return make(regSet, (n+63)/64) }
+
+func (s regSet) has(r ir.Reg) bool { return s[r/64]&(1<<(uint(r)%64)) != 0 }
+func (s regSet) add(r ir.Reg)      { s[r/64] |= 1 << (uint(r) % 64) }
+func (s regSet) del(r ir.Reg)      { s[r/64] &^= 1 << (uint(r) % 64) }
+
+func (s regSet) clone() regSet {
+	n := make(regSet, len(s))
+	copy(n, s)
+	return n
+}
+
+// unionInto ors o into s, reporting whether s changed.
+func (s regSet) unionInto(o regSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | o[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DCE removes instructions whose results are never used and which have
+// no observable effect, including calls to pure routines (the paper's
+// interprocedural-analysis deletion of do-nothing library calls, as in
+// the 072.sc curses library). It reports whether anything changed.
+func DCE(f *ir.Func, pure Purity) bool {
+	liveIn := make([]regSet, len(f.Blocks))
+	liveOut := make([]regSet, len(f.Blocks))
+	for i := range f.Blocks {
+		liveIn[i] = newRegSet(f.NumRegs)
+		liveOut[i] = newRegSet(f.NumRegs)
+	}
+	var scratch []ir.Reg
+	// Iterate to a liveness fixpoint.
+	for {
+		changed := false
+		for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+			b := f.Blocks[bi]
+			out := liveOut[bi]
+			for _, s := range b.Succs() {
+				if out.unionInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			in := out.clone()
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				instr := &b.Instrs[i]
+				if instr.HasDst() {
+					in.del(instr.Dst)
+				}
+				scratch = instr.Uses(scratch[:0])
+				for _, r := range scratch {
+					in.add(r)
+				}
+			}
+			if liveIn[bi].unionInto(in) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Remove dead instructions with a backward scan per block.
+	removedAny := false
+	for bi, b := range f.Blocks {
+		live := liveOut[bi].clone()
+		kept := b.Instrs[:0]
+		// Walk backward, marking survivors; then reverse in place.
+		var keepRev []ir.Instr
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			instr := b.Instrs[i]
+			if dead(&instr, live, pure) {
+				removedAny = true
+				continue
+			}
+			if instr.HasDst() {
+				live.del(instr.Dst)
+			}
+			scratch = instr.Uses(scratch[:0])
+			for _, r := range scratch {
+				live.add(r)
+			}
+			keepRev = append(keepRev, instr)
+		}
+		for i := len(keepRev) - 1; i >= 0; i-- {
+			kept = append(kept, keepRev[i])
+		}
+		b.Instrs = kept
+	}
+	return removedAny
+}
+
+// dead reports whether the instruction can be deleted given the
+// registers live after it.
+func dead(in *ir.Instr, liveAfter regSet, pure Purity) bool {
+	switch in.Op {
+	case ir.Nop:
+		return true
+	case ir.Mov, ir.Neg, ir.Not, ir.Load, ir.FrameAddr:
+		return !liveAfter.has(in.Dst)
+	case ir.Call:
+		if pure == nil || !pure(in.Callee) {
+			return false
+		}
+		return in.Dst == ir.NoReg || !liveAfter.has(in.Dst)
+	default:
+		if in.Op.IsBinary() {
+			return !liveAfter.has(in.Dst)
+		}
+		return false
+	}
+}

@@ -1,0 +1,35 @@
+package opt
+
+import "repro/internal/ir"
+
+// maxRounds bounds the fixpoint iteration of the pass pipeline; in
+// practice two or three rounds reach the fixpoint.
+const maxRounds = 6
+
+// Optimize runs the scalar pipeline on one function to a bounded
+// fixpoint: constant propagation and branch folding, CFG cleanup, local
+// value numbering, and dead-code elimination. pure may be nil.
+// It reports whether anything changed.
+func Optimize(f *ir.Func, pure Purity) bool {
+	any := false
+	for round := 0; round < maxRounds; round++ {
+		changed := ConstProp(f)
+		changed = Cleanup(f) || changed
+		changed = LocalCSE(f) || changed
+		changed = DCE(f, pure) || changed
+		changed = Cleanup(f) || changed
+		if !changed {
+			break
+		}
+		any = true
+	}
+	return any
+}
+
+// OptimizeProgram runs Optimize over every function.
+func OptimizeProgram(p *ir.Program, pure Purity) {
+	p.Funcs(func(f *ir.Func) bool {
+		Optimize(f, pure)
+		return true
+	})
+}

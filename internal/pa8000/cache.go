@@ -1,0 +1,116 @@
+package pa8000
+
+// Cache is a set-associative cache with LRU replacement, modelling hits
+// and misses only (contents are not stored; the simulator's memory is
+// always coherent).
+type Cache struct {
+	lineWords int64
+	sets      int64
+	assoc     int
+	tags      []int64 // sets × assoc; -1 = invalid
+	lru       []int64 // LRU stamps, parallel to tags
+	clock     int64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache of sizeBytes with lineBytes lines and the
+// given associativity, addressed in 8-byte words.
+func NewCache(sizeBytes, lineBytes, assoc int) *Cache {
+	if assoc < 1 {
+		assoc = 1
+	}
+	lineWords := int64(lineBytes / 8)
+	if lineWords < 1 {
+		lineWords = 1
+	}
+	lines := int64(sizeBytes / lineBytes)
+	sets := lines / int64(assoc)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		lineWords: lineWords,
+		sets:      sets,
+		assoc:     assoc,
+		tags:      make([]int64, sets*int64(assoc)),
+		lru:       make([]int64, sets*int64(assoc)),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Access touches the word address and reports whether it hit. Misses
+// allocate (write-allocate for stores).
+func (c *Cache) Access(wordAddr int64) bool {
+	c.Accesses++
+	c.clock++
+	line := wordAddr / c.lineWords
+	set := line % c.sets
+	if set < 0 {
+		set = -set
+	}
+	base := set * int64(c.assoc)
+	var victim int64 = base
+	oldest := c.lru[base]
+	for w := int64(0); w < int64(c.assoc); w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// MissRate returns misses per access (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// BHT is a table of 2-bit saturating counters indexed by the low bits of
+// the branch address, as in the PA8000's 256-entry branch history table.
+type BHT struct {
+	counters []uint8
+}
+
+// NewBHT builds a table with the given number of entries (rounded up to
+// a power of two).
+func NewBHT(entries int) *BHT {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &BHT{counters: make([]uint8, n)}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *BHT) Predict(pc int) bool {
+	return b.counters[pc&(len(b.counters)-1)] >= 2
+}
+
+// Update trains the counter with the actual direction.
+func (b *BHT) Update(pc int, taken bool) {
+	i := pc & (len(b.counters) - 1)
+	c := b.counters[i]
+	if taken {
+		if c < 3 {
+			b.counters[i] = c + 1
+		}
+	} else if c > 0 {
+		b.counters[i] = c - 1
+	}
+}

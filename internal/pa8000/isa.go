@@ -1,0 +1,209 @@
+// Package pa8000 models the evaluation machine of the paper: a PA-8000
+// style RISC with a register-windowless calling convention, split
+// instruction and data caches, a small branch-history table, and an
+// in-order multi-issue core. It defines the target ISA the back end
+// emits and an executable simulator that reports the Figure 7 metrics:
+// cycles, CPI, I-cache accesses and miss rate, D-cache accesses and miss
+// rate, branch count and branch misprediction rate.
+//
+// Fidelity notes (matching the paper's observations rather than the real
+// chip's microarchitecture):
+//
+//   - Procedure return branches are ALWAYS mispredicted ("the PA8000
+//     always mispredicts procedure return branches").
+//   - Conditional branches predict through a table of 2-bit counters.
+//   - Register save/restore at call boundaries is ordinary memory
+//     traffic through the D-cache — eliminating it is the mechanism
+//     behind the paper's dramatic D-cache access reduction.
+package pa8000
+
+import "fmt"
+
+// Reg is a physical register number, 0..31.
+type Reg uint8
+
+// Register-convention assignments.
+const (
+	RZero Reg = 0  // hardwired zero
+	RT1   Reg = 1  // assembler scratch
+	RRet  Reg = 2  // return value; also first argument
+	RArg0 Reg = 2  // arguments r2..r9
+	RT2   Reg = 15 // second assembler scratch
+	RFP   Reg = 29 // frame pointer
+	RSP   Reg = 30 // stack pointer
+	RRA   Reg = 31 // return address
+
+	NumRegs = 32
+	// NumArgRegs is the number of register-passed arguments.
+	NumArgRegs = 8
+)
+
+// Allocatable pools for the register allocator.
+var (
+	// CallerSaved registers may be clobbered by a call; usable for
+	// values not live across calls.
+	CallerSaved = []Reg{10, 11, 12, 13, 14}
+	// CalleeSaved registers survive calls; the callee saves the ones it
+	// uses in its prologue.
+	CalleeSaved = []Reg{16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28}
+)
+
+// MOp enumerates machine operations.
+type MOp uint8
+
+// Machine operations.
+const (
+	MNop  MOp = iota
+	MMovI     // Rd = Imm (addresses are patched into Imm at link time)
+	MMov      // Rd = Rs
+
+	MAdd // Rd = Rs + Rt
+	MSub
+	MMul
+	MDiv // 0 on divide-by-zero
+	MRem // Rs on divide-by-zero
+	MAnd
+	MOr
+	MXor
+	MShl
+	MShr
+	MCmpEQ
+	MCmpNE
+	MCmpLT
+	MCmpLE
+	MCmpGT
+	MCmpGE
+
+	MAddI // Rd = Rs + Imm
+	MNeg  // Rd = -Rs
+	MNot  // Rd = (Rs == 0)
+
+	MLd // Rd = mem[Rs + Imm]
+	MSt // mem[Rs + Imm] = Rt
+
+	MJmp   // pc = Target
+	MBz    // if Rs == 0 then pc = Target
+	MBnz   // if Rs != 0 then pc = Target
+	MCall  // ra = pc + 1; pc = Target
+	MCallR // ra = pc + 1; pc = Rs
+	MRet   // pc = ra (always mispredicted)
+
+	MSys  // runtime call; Imm selects the routine (SysPrint...)
+	MHalt // stop; exit code in RRet
+)
+
+// Runtime routine selectors for MSys.
+const (
+	SysPrint = iota
+	SysInput
+	SysNInputs
+	SysHalt
+)
+
+var mopNames = [...]string{
+	MNop: "nop", MMovI: "movi", MMov: "mov",
+	MAdd: "add", MSub: "sub", MMul: "mul", MDiv: "div", MRem: "rem",
+	MAnd: "and", MOr: "or", MXor: "xor", MShl: "shl", MShr: "shr",
+	MCmpEQ: "cmpeq", MCmpNE: "cmpne", MCmpLT: "cmplt", MCmpLE: "cmple",
+	MCmpGT: "cmpgt", MCmpGE: "cmpge",
+	MAddI: "addi", MNeg: "neg", MNot: "not",
+	MLd: "ld", MSt: "st",
+	MJmp: "jmp", MBz: "bz", MBnz: "bnz",
+	MCall: "call", MCallR: "callr", MRet: "ret",
+	MSys: "sys", MHalt: "halt",
+}
+
+func (o MOp) String() string {
+	if int(o) < len(mopNames) && mopNames[o] != "" {
+		return mopNames[o]
+	}
+	return fmt.Sprintf("mop(%d)", int(o))
+}
+
+// IsBranch reports whether the op transfers control.
+func (o MOp) IsBranch() bool {
+	switch o {
+	case MJmp, MBz, MBnz, MCall, MCallR, MRet:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o MOp) IsMem() bool { return o == MLd || o == MSt }
+
+// MInstr is one machine instruction. Sym, when non-empty, names a
+// function or global whose final address the linker adds into Imm (for
+// MMovI/MLd/MSt) or writes into Target (for MCall).
+type MInstr struct {
+	Op         MOp
+	Rd, Rs, Rt Reg
+	Imm        int64
+	Target     int    // code address for branches
+	Sym        string // link-time relocation
+}
+
+func (m MInstr) String() string {
+	switch m.Op {
+	case MNop, MRet, MHalt:
+		return m.Op.String()
+	case MMovI:
+		if m.Sym != "" {
+			return fmt.Sprintf("movi r%d, %s+%d", m.Rd, m.Sym, m.Imm)
+		}
+		return fmt.Sprintf("movi r%d, %d", m.Rd, m.Imm)
+	case MMov, MNeg, MNot:
+		return fmt.Sprintf("%s r%d, r%d", m.Op, m.Rd, m.Rs)
+	case MAddI:
+		return fmt.Sprintf("addi r%d, r%d, %d", m.Rd, m.Rs, m.Imm)
+	case MLd:
+		if m.Sym != "" {
+			return fmt.Sprintf("ld r%d, %s+%d(r%d)", m.Rd, m.Sym, m.Imm, m.Rs)
+		}
+		return fmt.Sprintf("ld r%d, %d(r%d)", m.Rd, m.Imm, m.Rs)
+	case MSt:
+		if m.Sym != "" {
+			return fmt.Sprintf("st r%d, %s+%d(r%d)", m.Rt, m.Sym, m.Imm, m.Rs)
+		}
+		return fmt.Sprintf("st r%d, %d(r%d)", m.Rt, m.Imm, m.Rs)
+	case MJmp:
+		return fmt.Sprintf("jmp %d", m.Target)
+	case MBz, MBnz:
+		return fmt.Sprintf("%s r%d, %d", m.Op, m.Rs, m.Target)
+	case MCall:
+		if m.Sym != "" {
+			return fmt.Sprintf("call %s", m.Sym)
+		}
+		return fmt.Sprintf("call %d", m.Target)
+	case MCallR:
+		return fmt.Sprintf("callr r%d", m.Rs)
+	case MSys:
+		return fmt.Sprintf("sys %d", m.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", m.Op, m.Rd, m.Rs, m.Rt)
+	}
+}
+
+// Program is a linked executable: code, initialized data, and the entry
+// point (a startup stub that calls main and halts).
+type Program struct {
+	Code    []MInstr
+	Entry   int
+	DataLen int64 // words of static data (globals); the stack sits above
+
+	// FuncAddr maps canonical function names to entry addresses
+	// (diagnostics and test introspection).
+	FuncAddr map[string]int
+	// GlobalAddr maps canonical global names to data addresses.
+	GlobalAddr map[string]int64
+	// InitData holds initial values to copy into memory before running.
+	InitData []DataInit
+	// FuncOfAddr maps an entry address back to the function name.
+	FuncOfAddr map[int]string
+}
+
+// DataInit seeds a range of data memory.
+type DataInit struct {
+	Addr int64
+	Vals []int64
+}

@@ -1,0 +1,249 @@
+package pa8000
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheDirectMapped(t *testing.T) {
+	c := NewCache(256, 32, 1) // 8 lines of 4 words
+	if hit := c.Access(0); hit {
+		t.Error("cold access hit")
+	}
+	if hit := c.Access(1); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit := c.Access(3); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit := c.Access(4); hit {
+		t.Error("next-line cold access hit")
+	}
+	// 8 lines: word 0 and word 32 (line 8) conflict in a direct map.
+	c2 := NewCache(256, 32, 1)
+	c2.Access(0)
+	c2.Access(32)
+	if hit := c2.Access(0); hit {
+		t.Error("conflicting line survived in direct-mapped cache")
+	}
+}
+
+func TestCacheLRUAssociativity(t *testing.T) {
+	// 2-way, 1 set: two lines coexist, third evicts the least recent.
+	c := NewCache(64, 32, 2)
+	c.Access(0) // line A
+	c.Access(4) // line B (32 bytes = 4 words per line)
+	c.Access(0) // touch A
+	c.Access(8) // line C evicts B (LRU)
+	if hit := c.Access(0); !hit {
+		t.Error("recently used line evicted")
+	}
+	if hit := c.Access(4); hit {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestCacheStatsInvariant(t *testing.T) {
+	prop := func(addrs []int64, size uint8) bool {
+		c := NewCache(64*(1+int(size%8)), 32, 2)
+		for _, a := range addrs {
+			if a < 0 {
+				a = -a
+			}
+			c.Access(a % (1 << 20))
+		}
+		return c.Misses <= c.Accesses && c.Accesses == int64(len(addrs))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBHTLearnsLoops(t *testing.T) {
+	b := NewBHT(256)
+	pc := 42
+	// A loop branch taken 100 times: after warmup, predictions are taken.
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if b.Predict(pc) != true {
+			misses++
+		}
+		b.Update(pc, true)
+	}
+	if misses > 2 {
+		t.Errorf("2-bit counter took %d misses on a monotone branch", misses)
+	}
+	// The exit mispredicts once, then re-trains.
+	if b.Predict(pc) != true {
+		t.Error("trained counter forgot")
+	}
+	b.Update(pc, false)
+	b.Update(pc, false)
+	if b.Predict(pc) == true {
+		t.Error("counter failed to re-train after two not-taken updates")
+	}
+}
+
+func TestBHTCounterBounds(t *testing.T) {
+	prop := func(updates []bool) bool {
+		b := NewBHT(16)
+		for _, taken := range updates {
+			b.Update(3, taken)
+			if c := b.counters[3&(len(b.counters)-1)]; c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildProgram assembles a tiny machine program by hand.
+func buildProgram(code []MInstr) *Program {
+	return &Program{Code: code, Entry: 0}
+}
+
+func TestSimArithmeticAndHalt(t *testing.T) {
+	p := buildProgram([]MInstr{
+		{Op: MMovI, Rd: 3, Imm: 21},
+		{Op: MAdd, Rd: 4, Rs: 3, Rt: 3},
+		{Op: MMov, Rd: RRet, Rs: 4},
+		{Op: MHalt},
+	})
+	st, err := Run(p, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", st.ExitCode)
+	}
+	if st.Instrs != 4 {
+		t.Errorf("instrs = %d, want 4", st.Instrs)
+	}
+}
+
+func TestSimZeroRegisterIsImmutable(t *testing.T) {
+	p := buildProgram([]MInstr{
+		{Op: MMovI, Rd: RZero, Imm: 99},
+		{Op: MMov, Rd: RRet, Rs: RZero},
+		{Op: MHalt},
+	})
+	st, err := Run(p, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 0 {
+		t.Errorf("r0 was written: exit = %d", st.ExitCode)
+	}
+}
+
+func TestSimCallReturnAlwaysMispredicted(t *testing.T) {
+	p := buildProgram([]MInstr{
+		{Op: MCall, Target: 3}, // 0
+		{Op: MMov, Rd: RRet, Rs: 5},
+		{Op: MHalt},                // 2
+		{Op: MMovI, Rd: 5, Imm: 7}, // 3: callee
+		{Op: MRet},
+	})
+	st, err := Run(p, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 7 {
+		t.Errorf("exit = %d", st.ExitCode)
+	}
+	if st.Calls != 1 || st.Returns != 1 {
+		t.Errorf("calls=%d returns=%d", st.Calls, st.Returns)
+	}
+	if st.Mispredicts < 1 {
+		t.Error("procedure return must always mispredict on this machine")
+	}
+}
+
+func TestSimMemoryAndSyscalls(t *testing.T) {
+	p := buildProgram([]MInstr{
+		{Op: MMovI, Rd: 3, Imm: 100},
+		{Op: MMovI, Rd: 4, Imm: 1234},
+		{Op: MSt, Rs: 3, Rt: 4, Imm: 8},
+		{Op: MLd, Rd: RArg0, Rs: 3, Imm: 8},
+		{Op: MSys, Imm: SysPrint},
+		{Op: MMovI, Rd: RArg0, Imm: 0},
+		{Op: MSys, Imm: SysInput},
+		{Op: MMov, Rd: RArg0, Rs: RRet},
+		{Op: MSys, Imm: SysHalt},
+	})
+	st, err := Run(p, Config{}, []int64{55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Output) != 1 || st.Output[0] != 1234 {
+		t.Errorf("output = %v", st.Output)
+	}
+	if st.ExitCode != 55 {
+		t.Errorf("exit = %d", st.ExitCode)
+	}
+	if st.DAccesses != 2 {
+		t.Errorf("dcache accesses = %d, want 2", st.DAccesses)
+	}
+}
+
+func TestSimDualIssuePairsIndependentOps(t *testing.T) {
+	// Two independent movi pairs: 4 instructions, ~2 cycles (+ miss
+	// penalties on the first fetch).
+	p := buildProgram([]MInstr{
+		{Op: MMovI, Rd: 3, Imm: 1},
+		{Op: MMovI, Rd: 4, Imm: 2},
+		{Op: MMovI, Rd: 5, Imm: 3},
+		{Op: MMovI, Rd: 6, Imm: 4},
+		{Op: MHalt},
+	})
+	cfg := Config{MissPenalty: 1}
+	st, err := Run(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 instrs in <= 3 groups + 1 icache miss = at most 4-5 cycles;
+	// serialized execution would need >= 5 cycles + miss.
+	if st.Cycles > 5 {
+		t.Errorf("dual issue ineffective: %d cycles for %d instrs", st.Cycles, st.Instrs)
+	}
+
+	// Dependent chain cannot pair.
+	q := buildProgram([]MInstr{
+		{Op: MMovI, Rd: 3, Imm: 1},
+		{Op: MAddI, Rd: 3, Rs: 3, Imm: 1},
+		{Op: MAddI, Rd: 3, Rs: 3, Imm: 1},
+		{Op: MAddI, Rd: 3, Rs: 3, Imm: 1},
+		{Op: MHalt},
+	})
+	st2, err := Run(q, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cycles < st.Cycles {
+		t.Errorf("dependent chain (%d cycles) should not beat independent ops (%d)", st2.Cycles, st.Cycles)
+	}
+}
+
+func TestSimInvalidAccessesFail(t *testing.T) {
+	cases := [][]MInstr{
+		{{Op: MLd, Rd: 3, Rs: RZero, Imm: -5}, {Op: MHalt}},
+		{{Op: MJmp, Target: 999}},
+		{{Op: MMovI, Rd: 3, Imm: -1}, {Op: MCallR, Rs: 3}, {Op: MHalt}},
+	}
+	for i, code := range cases {
+		if _, err := Run(buildProgram(code), Config{}, nil); err == nil {
+			t.Errorf("case %d: invalid program ran to completion", i)
+		}
+	}
+}
+
+func TestSimFuel(t *testing.T) {
+	p := buildProgram([]MInstr{{Op: MJmp, Target: 0}})
+	_, err := Run(p, Config{Fuel: 1000}, nil)
+	if err != ErrFuel {
+		t.Errorf("err = %v, want ErrFuel", err)
+	}
+}

@@ -1,0 +1,395 @@
+package pa8000
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config sets the machine parameters. Zero fields take defaults chosen
+// so the synthetic benchmarks sit near the same cache boundaries the
+// SPEC programs sat near on the real machine.
+type Config struct {
+	ICacheBytes int // default 8 KiB (the PA8000 had a large off-chip I-cache)
+	ICacheLine  int // default 32 B
+	ICacheAssoc int // default 2
+	DCacheBytes int // default 4 KiB
+	DCacheLine  int // default 32 B
+	DCacheAssoc int // default 2
+
+	MissPenalty       int64 // default 20 cycles
+	MispredictPenalty int64 // default 5 cycles
+	BHTEntries        int   // default 256
+	IssueWidth        int   // default 2 (in-order)
+
+	MemWords int64 // default 1<<22
+	Fuel     int64 // instruction budget; default 2e9
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def64 := func(p *int64, v int64) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.ICacheBytes, 8192)
+	def(&c.ICacheLine, 32)
+	def(&c.ICacheAssoc, 2)
+	def(&c.DCacheBytes, 4096)
+	def(&c.DCacheLine, 32)
+	def(&c.DCacheAssoc, 2)
+	def64(&c.MissPenalty, 20)
+	def64(&c.MispredictPenalty, 5)
+	def(&c.BHTEntries, 256)
+	def(&c.IssueWidth, 2)
+	def64(&c.MemWords, 1<<22)
+	def64(&c.Fuel, 2_000_000_000)
+	return c
+}
+
+// Stats is the simulator's report: the raw counters behind Figure 7.
+type Stats struct {
+	Cycles int64
+	Instrs int64 // instructions retired
+
+	IAccesses int64
+	IMisses   int64
+	DAccesses int64
+	DMisses   int64
+
+	Branches    int64 // all control-transfer instructions
+	Predicted   int64 // prediction-capable branch executions
+	Mispredicts int64
+	Calls       int64
+	Returns     int64
+
+	Output   []int64
+	ExitCode int64
+}
+
+// CPI returns cycles per retired instruction.
+func (s *Stats) CPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instrs)
+}
+
+// IMissRate returns I-cache misses per access.
+func (s *Stats) IMissRate() float64 {
+	if s.IAccesses == 0 {
+		return 0
+	}
+	return float64(s.IMisses) / float64(s.IAccesses)
+}
+
+// DMissRate returns D-cache misses per access.
+func (s *Stats) DMissRate() float64 {
+	if s.DAccesses == 0 {
+		return 0
+	}
+	return float64(s.DMisses) / float64(s.DAccesses)
+}
+
+// BranchMissRate returns mispredicts per prediction-capable branch.
+func (s *Stats) BranchMissRate() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Predicted)
+}
+
+// ErrFuel is returned when the cycle budget is exhausted.
+var ErrFuel = errors.New("pa8000: fuel exhausted")
+
+// Run executes a linked program with the given inputs.
+func Run(p *Program, cfg Config, inputs []int64) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	st := &Stats{}
+	icache := NewCache(cfg.ICacheBytes, cfg.ICacheLine, cfg.ICacheAssoc)
+	dcache := NewCache(cfg.DCacheBytes, cfg.DCacheLine, cfg.DCacheAssoc)
+	bht := NewBHT(cfg.BHTEntries)
+
+	mem := make([]int64, cfg.MemWords)
+	for _, di := range p.InitData {
+		copy(mem[di.Addr:], di.Vals)
+	}
+	var regs [NumRegs]int64
+	regs[RSP] = cfg.MemWords
+	pc := p.Entry
+	fuel := cfg.Fuel
+
+	// Issue grouping: an instruction joins the previous one's cycle when
+	// the previous did not branch, there is no register dependence, and
+	// the pair contains at most one memory op.
+	groupLeft := 0
+	var groupDst Reg = 0xff
+	groupHadMem := false
+
+	readMem := func(addr int64) (int64, error) {
+		if addr < 0 || addr >= cfg.MemWords {
+			return 0, fmt.Errorf("pa8000: load from invalid address %d at pc %d", addr, pc)
+		}
+		if !dcache.Access(addr) {
+			st.Cycles += cfg.MissPenalty
+		}
+		return mem[addr], nil
+	}
+	writeMem := func(addr, v int64) error {
+		if addr < 0 || addr >= cfg.MemWords {
+			return fmt.Errorf("pa8000: store to invalid address %d at pc %d", addr, pc)
+		}
+		if !dcache.Access(addr) {
+			st.Cycles += cfg.MissPenalty
+		}
+		mem[addr] = v
+		return nil
+	}
+	setReg := func(r Reg, v int64) {
+		if r != RZero {
+			regs[r] = v
+		}
+	}
+
+	for {
+		if pc < 0 || pc >= len(p.Code) {
+			return nil, fmt.Errorf("pa8000: pc %d out of range", pc)
+		}
+		fuel--
+		if fuel < 0 {
+			return nil, ErrFuel
+		}
+		in := &p.Code[pc]
+		st.Instrs++
+
+		// Instruction fetch through the I-cache.
+		if !icache.Access(int64(pc) / 2) { // 2 instructions (8 B) per word-equivalent: 4 B encoding
+			st.Cycles += cfg.MissPenalty
+		}
+
+		// Issue accounting: join the open group unless a structural or
+		// register dependence forbids it.
+		reads2, writes2, isMem := depInfo(in)
+		pairable := groupLeft > 0 &&
+			!(isMem && groupHadMem) &&
+			!(groupDst != 0xff && (reads2[0] == groupDst || reads2[1] == groupDst || writes2 == groupDst))
+		if pairable {
+			groupLeft--
+			if isMem {
+				groupHadMem = true
+			}
+		} else {
+			st.Cycles++
+			groupLeft = cfg.IssueWidth - 1
+			groupDst = writes2
+			groupHadMem = isMem
+		}
+		endGroup := func() { groupLeft = 0 }
+
+		next := pc + 1
+		switch in.Op {
+		case MNop:
+		case MMovI:
+			setReg(in.Rd, in.Imm)
+		case MMov:
+			setReg(in.Rd, regs[in.Rs])
+		case MAddI:
+			setReg(in.Rd, regs[in.Rs]+in.Imm)
+		case MNeg:
+			setReg(in.Rd, -regs[in.Rs])
+		case MNot:
+			if regs[in.Rs] == 0 {
+				setReg(in.Rd, 1)
+			} else {
+				setReg(in.Rd, 0)
+			}
+		case MLd:
+			st.DAccesses++
+			v, err := readMem(regs[in.Rs] + in.Imm)
+			if err != nil {
+				return nil, err
+			}
+			setReg(in.Rd, v)
+		case MSt:
+			st.DAccesses++
+			if err := writeMem(regs[in.Rs]+in.Imm, regs[in.Rt]); err != nil {
+				return nil, err
+			}
+		case MJmp:
+			st.Branches++
+			next = in.Target
+			endGroup()
+		case MBz, MBnz:
+			st.Branches++
+			st.Predicted++
+			taken := regs[in.Rs] == 0
+			if in.Op == MBnz {
+				taken = !taken
+			}
+			if bht.Predict(pc) != taken {
+				st.Mispredicts++
+				st.Cycles += cfg.MispredictPenalty
+			}
+			bht.Update(pc, taken)
+			if taken {
+				next = in.Target
+			}
+			endGroup()
+		case MCall:
+			st.Branches++
+			st.Calls++
+			setReg(RRA, int64(pc+1))
+			next = in.Target
+			endGroup()
+		case MCallR:
+			st.Branches++
+			st.Calls++
+			st.Predicted++
+			st.Mispredicts++ // indirect target: no prediction
+			st.Cycles += cfg.MispredictPenalty
+			setReg(RRA, int64(pc+1))
+			t := regs[in.Rs]
+			if t < 0 || t >= int64(len(p.Code)) {
+				return nil, fmt.Errorf("pa8000: indirect call to invalid address %d at pc %d", t, pc)
+			}
+			next = int(t)
+			endGroup()
+		case MRet:
+			st.Branches++
+			st.Returns++
+			st.Predicted++
+			// The PA8000 always mispredicts procedure returns.
+			st.Mispredicts++
+			st.Cycles += cfg.MispredictPenalty
+			t := regs[RRA]
+			if t < 0 || t >= int64(len(p.Code)) {
+				return nil, fmt.Errorf("pa8000: return to invalid address %d at pc %d", t, pc)
+			}
+			next = int(t)
+			endGroup()
+		case MSys:
+			switch in.Imm {
+			case SysPrint:
+				st.Output = append(st.Output, regs[RArg0])
+				setReg(RRet, regs[RArg0])
+			case SysInput:
+				i := regs[RArg0]
+				if i >= 0 && i < int64(len(inputs)) {
+					setReg(RRet, inputs[i])
+				} else {
+					setReg(RRet, 0)
+				}
+			case SysNInputs:
+				setReg(RRet, int64(len(inputs)))
+			case SysHalt:
+				st.ExitCode = regs[RArg0]
+				st.IAccesses = icache.Accesses
+				st.IMisses = icache.Misses
+				st.DMisses = dcache.Misses
+				return st, nil
+			default:
+				return nil, fmt.Errorf("pa8000: unknown syscall %d", in.Imm)
+			}
+			endGroup()
+		case MHalt:
+			st.ExitCode = regs[RRet]
+			st.IAccesses = icache.Accesses
+			st.IMisses = icache.Misses
+			st.DMisses = dcache.Misses
+			return st, nil
+		default:
+			// Three-register ALU ops.
+			v, err := alu(in.Op, regs[in.Rs], regs[in.Rt])
+			if err != nil {
+				return nil, fmt.Errorf("%v at pc %d", err, pc)
+			}
+			setReg(in.Rd, v)
+		}
+		pc = next
+	}
+}
+
+// depInfo extracts the registers read and written for the pairing check.
+func depInfo(in *MInstr) (reads [2]Reg, writes Reg, isMem bool) {
+	reads = [2]Reg{0xff, 0xff}
+	writes = 0xff
+	switch in.Op {
+	case MNop, MMovI, MJmp:
+		if in.Op == MMovI {
+			writes = in.Rd
+		}
+	case MMov, MNeg, MNot, MAddI:
+		reads[0] = in.Rs
+		writes = in.Rd
+	case MLd:
+		reads[0] = in.Rs
+		writes = in.Rd
+		isMem = true
+	case MSt:
+		reads[0] = in.Rs
+		reads[1] = in.Rt
+		isMem = true
+	case MBz, MBnz, MCallR:
+		reads[0] = in.Rs
+	case MCall, MRet, MSys, MHalt:
+	default:
+		reads[0] = in.Rs
+		reads[1] = in.Rt
+		writes = in.Rd
+	}
+	return
+}
+
+func alu(op MOp, x, y int64) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case MAdd:
+		return x + y, nil
+	case MSub:
+		return x - y, nil
+	case MMul:
+		return x * y, nil
+	case MDiv:
+		if y == 0 {
+			return 0, nil
+		}
+		return x / y, nil
+	case MRem:
+		if y == 0 {
+			return x, nil
+		}
+		return x % y, nil
+	case MAnd:
+		return x & y, nil
+	case MOr:
+		return x | y, nil
+	case MXor:
+		return x ^ y, nil
+	case MShl:
+		return x << (uint64(y) & 63), nil
+	case MShr:
+		return x >> (uint64(y) & 63), nil
+	case MCmpEQ:
+		return b2i(x == y), nil
+	case MCmpNE:
+		return b2i(x != y), nil
+	case MCmpLT:
+		return b2i(x < y), nil
+	case MCmpLE:
+		return b2i(x <= y), nil
+	case MCmpGT:
+		return b2i(x > y), nil
+	case MCmpGE:
+		return b2i(x >= y), nil
+	}
+	return 0, fmt.Errorf("pa8000: unknown op %s", op)
+}

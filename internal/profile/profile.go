@@ -1,0 +1,131 @@
+// Package profile holds the training-run profile database of the paper's
+// PBO (profile-based optimization) flow: per-function basic-block
+// execution counts gathered by an instrumented run on the training
+// input, later attached to a freshly front-ended program before HLO
+// runs. Because the instrumented build and the final build start from
+// the same front-end output, block indices match exactly and no
+// correlation heuristics are needed.
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Data is a profile database.
+type Data struct {
+	// Blocks maps a function's canonical name to its per-block execution
+	// counts (indexed by ir.Block.Index at instrumentation time).
+	Blocks map[string][]int64
+}
+
+// New returns an empty database.
+func New() *Data {
+	return &Data{Blocks: make(map[string][]int64)}
+}
+
+// Attach decorates the program with the database's counts: every block's
+// Count and every function's EntryCount. Functions absent from the
+// database (never executed in training) get zero counts.
+func (d *Data) Attach(p *ir.Program) {
+	p.Funcs(func(f *ir.Func) bool {
+		counts := d.Blocks[f.QName]
+		for _, b := range f.Blocks {
+			if b.Index < len(counts) {
+				b.Count = counts[b.Index]
+			} else {
+				b.Count = 0
+			}
+		}
+		f.EntryCount = f.Blocks[0].Count
+		return true
+	})
+}
+
+// Merge folds another database into d, scaling the other's counts by
+// weight/100 (weight 100 = equal weight). This implements the paper's
+// future-work item of "incorporating profile information from a variety
+// of sources": several training runs — or a stale profile plus a fresh
+// one — can be blended before attachment.
+func (d *Data) Merge(other *Data, weight int64) {
+	for name, counts := range other.Blocks {
+		dst := d.Blocks[name]
+		if len(dst) < len(counts) {
+			grown := make([]int64, len(counts))
+			copy(grown, dst)
+			dst = grown
+		}
+		for i, c := range counts {
+			dst[i] += c * weight / 100
+		}
+		d.Blocks[name] = dst
+	}
+}
+
+// TotalCalls sums the entry counts of every profiled function, a rough
+// measure of the training run's call volume.
+func (d *Data) TotalCalls() int64 {
+	var n int64
+	for _, counts := range d.Blocks {
+		if len(counts) > 0 {
+			n += counts[0]
+		}
+	}
+	return n
+}
+
+// Write serializes the database in a stable text form.
+func (d *Data) Write(w io.Writer) error {
+	names := make([]string, 0, len(d.Blocks))
+	for name := range d.Blocks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		fmt.Fprintf(bw, "func %s", name)
+		for _, c := range d.Blocks[name] {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a database written by Write.
+func Read(r io.Reader) (*Data, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || fields[0] != "func" {
+			return nil, fmt.Errorf("profile: line %d: malformed entry", line)
+		}
+		counts := make([]int64, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad count %q", line, f)
+			}
+			counts = append(counts, v)
+		}
+		d.Blocks[fields[1]] = counts
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,119 @@
+package profile_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := profile.New()
+	d.Blocks["main:main"] = []int64{1, 5, 0, 9}
+	d.Blocks["lib:helper"] = []int64{1000000007}
+	d.Blocks["lib:empty"] = nil
+
+	var buf strings.Builder
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := profile.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, buf.String())
+	}
+	if len(d2.Blocks) != len(d.Blocks) {
+		t.Fatalf("got %d entries, want %d", len(d2.Blocks), len(d.Blocks))
+	}
+	for name, counts := range d.Blocks {
+		got := d2.Blocks[name]
+		if len(got) != len(counts) {
+			t.Errorf("%s: %v vs %v", name, got, counts)
+			continue
+		}
+		for i := range counts {
+			if got[i] != counts[i] {
+				t.Errorf("%s[%d] = %d, want %d", name, i, got[i], counts[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(counts []int64, suffix uint16) bool {
+		d := profile.New()
+		name := "m:f" + string(rune('a'+suffix%26))
+		d.Blocks[name] = counts
+		var buf strings.Builder
+		if err := d.Write(&buf); err != nil {
+			return false
+		}
+		d2, err := profile.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		got := d2.Blocks[name]
+		if len(got) != len(counts) {
+			return false
+		}
+		for i := range counts {
+			if got[i] != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"func\n",
+		"notfunc a 1 2\n",
+		"func m:f one two\n",
+	} {
+		if _, err := profile.Read(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestTotalCalls(t *testing.T) {
+	d := profile.New()
+	d.Blocks["a:a"] = []int64{3, 100}
+	d.Blocks["b:b"] = []int64{4}
+	if got := d.TotalCalls(); got != 7 {
+		t.Errorf("TotalCalls = %d, want 7", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := profile.New()
+	a.Blocks["m:f"] = []int64{10, 20}
+	b := profile.New()
+	b.Blocks["m:f"] = []int64{2, 4, 6}
+	b.Blocks["m:g"] = []int64{8}
+
+	a.Merge(b, 100)
+	got := a.Blocks["m:f"]
+	want := []int64{12, 24, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("m:f[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if a.Blocks["m:g"][0] != 8 {
+		t.Errorf("m:g not merged: %v", a.Blocks["m:g"])
+	}
+
+	// Half weight.
+	c := profile.New()
+	c.Blocks["m:f"] = []int64{100}
+	a2 := profile.New()
+	a2.Merge(c, 50)
+	if a2.Blocks["m:f"][0] != 50 {
+		t.Errorf("weighted merge = %v, want 50", a2.Blocks["m:f"])
+	}
+}

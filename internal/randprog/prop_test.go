@@ -1,0 +1,221 @@
+package randprog_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/isom"
+	"repro/internal/pa8000"
+	"repro/internal/randprog"
+	"repro/internal/testutil"
+)
+
+func inputsFor(seed int64) []int64 {
+	return []int64{seed & 7, (seed >> 3) & 15, (seed >> 7) & 31}
+}
+
+func buildSeed(t *testing.T, seed int64) (*ir.Program, []string) {
+	t.Helper()
+	srcs := randprog.Generate(seed, randprog.DefaultConfig())
+	p, err := testutil.Build(srcs...)
+	if err != nil {
+		t.Fatalf("seed %d: generator produced an invalid program: %v\n%s", seed, err, strings.Join(srcs, "\n---\n"))
+	}
+	return p, srcs
+}
+
+func runInterp(t *testing.T, p *ir.Program, inputs []int64) (*interp.Result, bool) {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{Inputs: inputs, Fuel: 20_000_000})
+	if errors.Is(err, interp.ErrFuel) {
+		return nil, false
+	}
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res, true
+}
+
+func outputsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertySimulatorMatchesInterpreter: for random programs, the
+// machine and the reference interpreter agree.
+func TestPropertySimulatorMatchesInterpreter(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 15
+	}
+	prop := func(seed int64) bool {
+		inputs := inputsFor(seed)
+		p, srcs := buildSeed(t, seed)
+		want, ok := runInterp(t, p, inputs)
+		if !ok {
+			return true // fuel blow-up: skip (should not happen by construction)
+		}
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Logf("seed %d: link: %v", seed, err)
+			return false
+		}
+		st, err := pa8000.Run(mp, pa8000.Config{}, inputs)
+		if err != nil {
+			t.Logf("seed %d: sim: %v\n%s", seed, err, strings.Join(srcs, "\n---\n"))
+			return false
+		}
+		if st.ExitCode != want.ExitCode || !outputsEqual(st.Output, want.Output) {
+			t.Logf("seed %d: sim %v/%d, interp %v/%d\n%s", seed,
+				st.Output, st.ExitCode, want.Output, want.ExitCode, strings.Join(srcs, "\n---\n"))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyHLOPreservesSemantics: every HLO configuration preserves
+// behaviour, on the interpreter and on the machine.
+func TestPropertyHLOPreservesSemantics(t *testing.T) {
+	count := 40
+	if testing.Short() {
+		count = 10
+	}
+	prop := func(seed int64, inlineOnly, cloneOnly, perModule bool) bool {
+		inputs := inputsFor(seed)
+		ref, srcs := buildSeed(t, seed)
+		want, ok := runInterp(t, ref, inputs)
+		if !ok {
+			return true
+		}
+
+		p, _ := buildSeed(t, seed)
+		// Attach a profile from a training run at different inputs.
+		trainP, _ := buildSeed(t, seed)
+		trainRes, err := interp.Run(trainP, interp.Options{Inputs: inputsFor(seed + 1), Profile: true, Fuel: 20_000_000})
+		if err == nil {
+			trainRes.Profile.Attach(p)
+		}
+
+		opts := core.DefaultOptions()
+		opts.Inline = !cloneOnly
+		opts.Clone = !inlineOnly
+		opts.Outline = true // future-work extension: must also preserve semantics
+		opts.Budget = 200
+		if perModule {
+			for _, m := range p.Modules {
+				core.Run(p, core.SingleModule(m.Name), opts)
+			}
+		} else {
+			core.Run(p, core.WholeProgram(), opts)
+		}
+		if err := p.Verify(); err != nil {
+			t.Logf("seed %d: verify after HLO: %v\n%s", seed, err, strings.Join(srcs, "\n---\n"))
+			return false
+		}
+		got, ok := runInterp(t, p, inputs)
+		if !ok {
+			t.Logf("seed %d: optimized program ran out of fuel", seed)
+			return false
+		}
+		if got.ExitCode != want.ExitCode || !outputsEqual(got.Output, want.Output) {
+			t.Logf("seed %d (inlineOnly=%v cloneOnly=%v perModule=%v): interp %v, want %v\n%s",
+				seed, inlineOnly, cloneOnly, perModule, got.Output, want.Output, strings.Join(srcs, "\n---\n"))
+			return false
+		}
+		if got.Steps > want.Steps {
+			t.Logf("seed %d: HLO increased IR steps %d -> %d", seed, want.Steps, got.Steps)
+			return false
+		}
+		mp, err := backend.Link(p)
+		if err != nil {
+			t.Logf("seed %d: link: %v", seed, err)
+			return false
+		}
+		st, err := pa8000.Run(mp, pa8000.Config{}, inputs)
+		if err != nil {
+			t.Logf("seed %d: sim after HLO: %v", seed, err)
+			return false
+		}
+		if st.ExitCode != want.ExitCode || !outputsEqual(st.Output, want.Output) {
+			t.Logf("seed %d: sim after HLO %v, want %v\n%s", seed, st.Output, want.Output, strings.Join(srcs, "\n---\n"))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIsomRoundTrip: serialization is lossless for random
+// programs, including after HLO mangles them.
+func TestPropertyIsomRoundTrip(t *testing.T) {
+	count := 40
+	if testing.Short() {
+		count = 10
+	}
+	prop := func(seed int64, afterHLO bool) bool {
+		p, srcs := buildSeed(t, seed)
+		if afterHLO {
+			core.Run(p, core.WholeProgram(), core.DefaultOptions())
+		}
+		for _, m := range p.Modules {
+			var buf strings.Builder
+			if err := isom.Write(&buf, m); err != nil {
+				t.Logf("seed %d: write: %v", seed, err)
+				return false
+			}
+			m2, err := isom.Read(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Logf("seed %d: read: %v\n%s", seed, err, buf.String())
+				return false
+			}
+			if m2.String() != m.String() {
+				t.Logf("seed %d: round trip changed module\n%s", seed, strings.Join(srcs, "\n---\n"))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGeneratorDeterministic: the same seed yields the same
+// program text.
+func TestPropertyGeneratorDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := randprog.Generate(seed, randprog.DefaultConfig())
+		b := randprog.Generate(seed, randprog.DefaultConfig())
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

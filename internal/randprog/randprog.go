@@ -1,0 +1,402 @@
+// Package randprog generates random, terminating, memory-safe MiniC
+// programs for property-based testing: every generated program must
+// behave identically under the reference interpreter, the PA8000
+// simulator, and any combination of HLO transformations.
+//
+// Safety by construction: array indexes are masked to power-of-two
+// bounds, loops are counted with generator-owned induction variables,
+// recursion always decreases a counter parameter toward a base case, and
+// division is total by language definition.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Modules   int // max modules (≥1)
+	Funcs     int // max extra functions per module
+	Stmts     int // max statements per block
+	Depth     int // max statement nesting
+	ExprDepth int // max expression depth
+	// BoundedCallDepth switches to the production-code shape: roughly
+	// half the functions are call-free leaves, calls inside loops target
+	// only leaves, and top-level calls target anything earlier. This
+	// keeps total dynamic work near-linear in program size, so programs
+	// with hundreds of routines still terminate quickly — the shape used
+	// by the Section 3.5 large-program experiment.
+	BoundedCallDepth bool
+}
+
+// DefaultConfig is sized so programs compile and run in well under a
+// millisecond while still covering the interesting construct space.
+func DefaultConfig() Config {
+	return Config{Modules: 3, Funcs: 4, Stmts: 6, Depth: 2, ExprDepth: 3}
+}
+
+type fn struct {
+	module string
+	name   string
+	arity  int
+	static bool
+	leaf   bool // call-free under Config.BoundedCallDepth
+}
+
+type gen struct {
+	r   *rand.Rand
+	cfg Config
+
+	funcs   []fn // all non-static funcs plus same-module statics, in definition order
+	globals []global
+	loopVar int
+
+	// Per-function emission state.
+	curLeaf  bool
+	loopNest int
+}
+
+type global struct {
+	module string
+	name   string
+	size   int // 0 = scalar; otherwise power of two
+	static bool
+}
+
+// Generate produces the MiniC sources (one per module) for the given
+// seed. The same seed always yields the same program.
+func Generate(seed int64, cfg Config) []string {
+	g := &gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+	nmods := 1 + g.r.Intn(cfg.Modules)
+
+	modNames := make([]string, nmods)
+	modNames[0] = "main"
+	for i := 1; i < nmods; i++ {
+		modNames[i] = fmt.Sprintf("mod%d", i)
+	}
+
+	// Plan globals and functions first so every module can declare
+	// externs for the others.
+	for mi, mod := range modNames {
+		ng := 1 + g.r.Intn(3)
+		for gi := 0; gi < ng; gi++ {
+			size := 0
+			if g.r.Intn(2) == 0 {
+				size = 1 << (2 + g.r.Intn(4)) // 4..32
+			}
+			g.globals = append(g.globals, global{
+				module: mod,
+				name:   fmt.Sprintf("g%d_%d", mi, gi),
+				size:   size,
+				static: g.r.Intn(3) == 0,
+			})
+		}
+		nf := 1 + g.r.Intn(cfg.Funcs)
+		for fi := 0; fi < nf; fi++ {
+			g.funcs = append(g.funcs, fn{
+				module: mod,
+				name:   fmt.Sprintf("f%d_%d", mi, fi),
+				arity:  g.r.Intn(4),
+				static: g.r.Intn(4) == 0,
+				leaf:   cfg.BoundedCallDepth && fi <= nf/2,
+			})
+		}
+	}
+
+	sources := make([]string, nmods)
+	for mi, mod := range modNames {
+		sources[mi] = g.module(mi, mod)
+	}
+	return sources
+}
+
+// visibleFuncs returns the functions callable from module mod up to
+// index limit in definition order (callees must be earlier than the
+// caller to guarantee termination, except for the controlled recursion
+// pattern emitted separately). With leavesOnly, only call-free leaf
+// functions qualify (the bounded production shape inside loops).
+func (g *gen) visibleFuncs(mod string, limit int, leavesOnly bool) []fn {
+	var out []fn
+	for i, f := range g.funcs {
+		if i >= limit {
+			break
+		}
+		if f.static && f.module != mod {
+			continue
+		}
+		if leavesOnly && !f.leaf {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// visibleGlobals returns the globals nameable from module mod. MiniC has
+// no extern-variable declarations: cross-module data is reached through
+// accessor functions, so only same-module globals are visible by name.
+func (g *gen) visibleGlobals(mod string) []global {
+	var out []global
+	for _, gl := range g.globals {
+		if gl.module == mod {
+			out = append(out, gl)
+		}
+	}
+	return out
+}
+
+func (g *gen) module(mi int, mod string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s;\n", mod)
+	b.WriteString("extern func print(x int) int;\n")
+	b.WriteString("extern func input(i int) int;\n")
+	// Extern declarations for foreign functions and globals are implicit
+	// in MiniC linking for globals; functions need extern decls.
+	for _, f := range g.funcs {
+		if f.module == mod || f.static {
+			continue
+		}
+		fmt.Fprintf(&b, "extern func %s(%s) int;\n", f.name, params(f.arity))
+	}
+	for _, gl := range g.globals {
+		if gl.module != mod {
+			continue
+		}
+		staticKw := ""
+		if gl.static {
+			staticKw = "static "
+		}
+		if gl.size == 0 {
+			fmt.Fprintf(&b, "%svar %s int = %d;\n", staticKw, gl.name, g.r.Intn(100))
+		} else {
+			fmt.Fprintf(&b, "%svar %s [%d] int;\n", staticKw, gl.name, gl.size)
+		}
+	}
+
+	// Function bodies. The index of the function in g.funcs bounds which
+	// callees it may reference.
+	for fi, f := range g.funcs {
+		if f.module != mod {
+			continue
+		}
+		staticKw := ""
+		if f.static {
+			staticKw = "static "
+		}
+		fmt.Fprintf(&b, "%sfunc %s(%s) int {\n", staticKw, f.name, params(f.arity))
+		b.WriteString(g.body(mod, fi, f.arity, f.leaf))
+	}
+
+	// A controlled self-recursive function per module exercises the
+	// recursive call-site class.
+	fmt.Fprintf(&b, "func rec_%s(n int, acc int) int {\n", mod)
+	fmt.Fprintf(&b, "\tif (n <= 0) { return acc; }\n")
+	fmt.Fprintf(&b, "\treturn rec_%s(n - 1, acc + %s);\n}\n",
+		mod, g.expr(mod, 0, 0, 0, 1))
+
+	if mod == "main" {
+		b.WriteString("func main() int {\n")
+		n := 2 + g.r.Intn(4)
+		for i := 0; i < n; i++ {
+			all := g.visibleFuncs(mod, len(g.funcs), false)
+			if len(all) == 0 {
+				break
+			}
+			f := all[g.r.Intn(len(all))]
+			fmt.Fprintf(&b, "\tprint(%s(%s));\n", f.name, g.args(mod, len(g.funcs), 0, f.arity))
+		}
+		fmt.Fprintf(&b, "\tprint(rec_main(%d, 1));\n", 1+g.r.Intn(12))
+		// Indirect call through a variable to a random same-arity pair.
+		all := g.visibleFuncs(mod, len(g.funcs), false)
+		if len(all) >= 2 {
+			a := all[g.r.Intn(len(all))]
+			c := all[g.r.Intn(len(all))]
+			if a.arity == c.arity {
+				b.WriteString("\tvar fp int;\n")
+				fmt.Fprintf(&b, "\tif (input(0) & 1) { fp = %s; } else { fp = %s; }\n", a.name, c.name)
+				fmt.Fprintf(&b, "\tprint(fp(%s));\n", g.args(mod, len(g.funcs), 0, a.arity))
+			}
+		}
+		b.WriteString("\treturn 0;\n}\n")
+	}
+	return b.String()
+}
+
+func params(arity int) string {
+	names := make([]string, arity)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d int", i)
+	}
+	return strings.Join(names, ", ")
+}
+
+// body emits local declarations, statements, and the final return.
+// Locals v0..v(nv-1) are readable once declared.
+func (g *gen) body(mod string, fi, arity int, leaf bool) string {
+	var b strings.Builder
+	nv := 1 + g.r.Intn(3)
+	for i := 0; i < nv; i++ {
+		fmt.Fprintf(&b, "\tvar v%d int = %s;\n", i, g.expr(mod, fi, arity, i, 1))
+	}
+	g.curLeaf = leaf
+	g.loopNest = 0
+	g.stmts(&b, mod, fi, arity, nv, 1, g.cfg.Depth)
+	g.curLeaf = false
+	fmt.Fprintf(&b, "\treturn %s;\n}\n", g.expr(mod, fi, arity, nv, g.cfg.ExprDepth))
+	return b.String()
+}
+
+func (g *gen) stmts(b *strings.Builder, mod string, fi, arity, nv, indent, depth int) {
+	n := 1 + g.r.Intn(g.cfg.Stmts)
+	for i := 0; i < n; i++ {
+		g.stmt(b, mod, fi, arity, nv, indent, depth)
+	}
+}
+
+// callCandidates applies the bounded-shape rules at the current loop
+// nesting.
+func (g *gen) callCandidates(mod string, fi int) []fn {
+	if g.curLeaf {
+		return nil
+	}
+	leavesOnly := g.cfg.BoundedCallDepth && g.loopNest > 0
+	return g.visibleFuncs(mod, fi, leavesOnly)
+}
+
+func (g *gen) stmt(b *strings.Builder, mod string, fi, arity, nv, indent, depth int) {
+	pad := strings.Repeat("\t", indent)
+	choice := g.r.Intn(10)
+	if depth == 0 && choice >= 6 {
+		choice = g.r.Intn(6)
+	}
+	switch choice {
+	case 0, 1: // assign local
+		fmt.Fprintf(b, "%sv%d = %s;\n", pad, g.r.Intn(nv), g.expr(mod, fi, arity, 0, g.cfg.ExprDepth))
+	case 2: // assign global scalar or array slot
+		gls := g.visibleGlobals(mod)
+		if len(gls) == 0 {
+			fmt.Fprintf(b, "%sv0 = v0 + 1;\n", pad)
+			return
+		}
+		gl := gls[g.r.Intn(len(gls))]
+		if gl.size == 0 {
+			fmt.Fprintf(b, "%s%s = %s;\n", pad, gl.name, g.expr(mod, fi, arity, 0, g.cfg.ExprDepth))
+		} else {
+			fmt.Fprintf(b, "%s%s[(%s) & %d] = %s;\n", pad, gl.name,
+				g.expr(mod, fi, arity, 0, 1), gl.size-1, g.expr(mod, fi, arity, 0, g.cfg.ExprDepth))
+		}
+	case 3, 4: // call for effect or into a local
+		callees := g.callCandidates(mod, fi)
+		if len(callees) == 0 {
+			fmt.Fprintf(b, "%sv0 = v0 ^ %d;\n", pad, g.r.Intn(64))
+			return
+		}
+		f := callees[g.r.Intn(len(callees))]
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(b, "%sv%d = %s(%s);\n", pad, g.r.Intn(nv), f.name, g.args(mod, fi, arity, f.arity))
+		} else {
+			fmt.Fprintf(b, "%s%s(%s);\n", pad, f.name, g.args(mod, fi, arity, f.arity))
+		}
+	case 5: // early return, occasionally
+		if g.r.Intn(3) == 0 {
+			fmt.Fprintf(b, "%sif (%s) { return %s; }\n", pad,
+				g.expr(mod, fi, arity, 0, 1), g.expr(mod, fi, arity, 0, 1))
+		} else {
+			fmt.Fprintf(b, "%sv%d = v%d * 2 + 1;\n", pad, g.r.Intn(nv), g.r.Intn(nv))
+		}
+	case 6, 7: // if / if-else
+		fmt.Fprintf(b, "%sif (%s) {\n", pad, g.expr(mod, fi, arity, 0, g.cfg.ExprDepth))
+		g.stmts(b, mod, fi, arity, nv, indent+1, depth-1)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", pad)
+			g.stmts(b, mod, fi, arity, nv, indent+1, depth-1)
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	default: // bounded counted loop with a generator-owned variable
+		g.loopVar++
+		lv := fmt.Sprintf("i%d", g.loopVar)
+		bound := 2 + g.r.Intn(7)
+		fmt.Fprintf(b, "%svar %s int;\n", pad, lv)
+		fmt.Fprintf(b, "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n", pad, lv, lv, bound, lv, lv)
+		g.loopNest++
+		g.stmts(b, mod, fi, arity, nv, indent+1, depth-1)
+		g.loopNest--
+		fmt.Fprintf(b, "%s}\n", pad)
+	}
+}
+
+// args builds an argument list of exactly want expressions.
+func (g *gen) args(mod string, fi, arity, want int) string {
+	out := make([]string, want)
+	for i := range out {
+		out[i] = g.expr(mod, fi, arity, 0, 1+g.r.Intn(2))
+	}
+	return strings.Join(out, ", ")
+}
+
+var binops = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+func (g *gen) expr(mod string, fi, arity, nv, depth int) string {
+	if depth <= 0 {
+		return g.leaf(mod, arity, nv)
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.leaf(mod, arity, nv)
+	case 1:
+		return fmt.Sprintf("(-%s)", g.expr(mod, fi, arity, nv, depth-1))
+	case 2:
+		return fmt.Sprintf("(!%s)", g.expr(mod, fi, arity, nv, depth-1))
+	case 3:
+		return fmt.Sprintf("(%s ? %s : %s)",
+			g.expr(mod, fi, arity, nv, depth-1),
+			g.expr(mod, fi, arity, nv, depth-1),
+			g.expr(mod, fi, arity, nv, depth-1))
+	case 4: // array read, masked
+		gls := g.visibleGlobals(mod)
+		for _, gl := range gls {
+			if gl.size > 0 {
+				return fmt.Sprintf("%s[(%s) & %d]", gl.name, g.expr(mod, fi, arity, nv, depth-1), gl.size-1)
+			}
+		}
+		return g.leaf(mod, arity, nv)
+	case 5: // shift with safe bound
+		op := binops[8+g.r.Intn(2)]
+		return fmt.Sprintf("(%s %s %d)", g.expr(mod, fi, arity, nv, depth-1), op, g.r.Intn(8))
+	default:
+		op := binops[g.r.Intn(len(binops))]
+		return fmt.Sprintf("(%s %s %s)",
+			g.expr(mod, fi, arity, nv, depth-1), op, g.expr(mod, fi, arity, nv, depth-1))
+	}
+}
+
+func (g *gen) leaf(mod string, arity, nv int) string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(201)-100)
+	case 1:
+		if arity > 0 {
+			return fmt.Sprintf("p%d", g.r.Intn(arity))
+		}
+		return fmt.Sprintf("%d", g.r.Intn(50))
+	case 5:
+		if nv > 0 {
+			return fmt.Sprintf("v%d", g.r.Intn(nv))
+		}
+		return "3"
+	case 2:
+		for _, gl := range g.visibleGlobals(mod) {
+			if gl.size == 0 {
+				return gl.name
+			}
+		}
+		return "7"
+	case 3:
+		return fmt.Sprintf("input(%d)", g.r.Intn(3))
+	default:
+		return fmt.Sprintf("%d", 1+g.r.Intn(31))
+	}
+}

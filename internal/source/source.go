@@ -1,0 +1,94 @@
+// Package source provides positions and diagnostics shared by the front
+// end and the rest of the toolchain.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos identifies a location in a source file. The zero Pos is "no
+// position".
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// IsValid reports whether p carries a real location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Error is a single diagnostic tied to a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return e.Pos.String() + ": " + e.Msg
+	}
+	return e.Msg
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use.
+type ErrorList struct {
+	errs []*Error
+}
+
+// Add appends a formatted diagnostic at pos.
+func (l *ErrorList) Add(pos Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len reports the number of diagnostics collected.
+func (l *ErrorList) Len() int { return len(l.errs) }
+
+// Errors returns the collected diagnostics in source order.
+func (l *ErrorList) Errors() []*Error {
+	sorted := make([]*Error, len(l.errs))
+	copy(sorted, l.errs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i].Pos, sorted[j].Pos
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return sorted
+}
+
+// Err returns nil if the list is empty, and an error summarizing every
+// diagnostic otherwise.
+func (l *ErrorList) Err() error {
+	if len(l.errs) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface, joining all diagnostics.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l.Errors() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package specsuite
+
+// 026.compress / 129.compress — an LZW-style coder over a synthetic byte
+// stream. The hot path calls tiny byte-I/O accessors (getbyte/putbits)
+// and a hash probe on every symbol, the structure that made the original
+// compress a strong inlining client.
+func compressSources() []string {
+	return []string{compressIOMod, compressHashMod, compressMainMod}
+}
+
+const compressIOMod = `
+module czio;
+
+// In-memory input and output streams.
+static var inbuf [8192] int;
+static var outbuf [16384] int;
+static var inlen int;
+static var inpos int;
+static var outpos int;
+
+func io_reset(n int) int {
+	inlen = n;
+	inpos = 0;
+	outpos = 0;
+	return 0;
+}
+
+func io_fill(i int, b int) int {
+	inbuf[i & 8191] = b & 255;
+	return 0;
+}
+
+func getbyte() int {
+	var b int;
+	if (inpos >= inlen) { return 0 - 1; }
+	b = inbuf[inpos];
+	inpos = inpos + 1;
+	return b;
+}
+
+func putcode(c int) int {
+	outbuf[outpos & 16383] = c;
+	outpos = outpos + 1;
+	return c;
+}
+
+func outcount() int { return outpos; }
+
+func outat(i int) int { return outbuf[i & 16383]; }
+`
+
+const compressHashMod = `
+module czhash;
+
+// Open-addressed code table: key = (prefix<<9) | byte.
+static var keys [4096] int;
+static var vals [4096] int;
+static var used int;
+
+func tbl_reset() int {
+	var i int;
+	for (i = 0; i < 4096; i = i + 1) { keys[i] = 0 - 1; }
+	used = 0;
+	return 0;
+}
+
+func hash1(prefix int, b int) int {
+	return ((prefix * 31 + b) * 2654435761) & 4095;
+}
+
+// probe returns the code for (prefix,b) or -1.
+func probe(prefix int, b int) int {
+	var h int;
+	var k int;
+	var key int;
+	key = (prefix << 9) | b;
+	h = hash1(prefix, b);
+	for (k = 0; k < 4096; k = k + 1) {
+		if (keys[h] == 0 - 1) { return 0 - 1; }
+		if (keys[h] == key) { return vals[h]; }
+		h = (h + 1) & 4095;
+	}
+	return 0 - 1;
+}
+
+func insert(prefix int, b int, code int) int {
+	var h int;
+	var key int;
+	if (used >= 3500) { return 0 - 1; }
+	key = (prefix << 9) | b;
+	h = hash1(prefix, b);
+	while (keys[h] != 0 - 1) {
+		h = (h + 1) & 4095;
+	}
+	keys[h] = key;
+	vals[h] = code;
+	used = used + 1;
+	return code;
+}
+
+func tblused() int { return used; }
+`
+
+const compressMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func io_reset(n int) int;
+extern func io_fill(i int, b int) int;
+extern func getbyte() int;
+extern func putcode(c int) int;
+extern func outcount() int;
+extern func outat(i int) int;
+extern func tbl_reset() int;
+extern func probe(prefix int, b int) int;
+extern func insert(prefix int, b int, code int) int;
+extern func tblused() int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 7) % m;
+}
+
+// gensrc writes a compressible byte stream: runs and repeated motifs.
+static func gensrc(n int) int {
+	var i int;
+	var b int;
+	var run int;
+	i = 0;
+	b = rnd(64);
+	run = 0;
+	while (i < n) {
+		if (run == 0) {
+			if (rnd(4) == 0) { b = rnd(64); }
+			run = 1 + rnd(9);
+		}
+		io_fill(i, b + (i & 3));
+		run = run - 1;
+		i = i + 1;
+	}
+	return n;
+}
+
+// lzw performs one compression pass and returns a checksum of the codes.
+static func lzw(n int) int {
+	var prefix int;
+	var b int;
+	var code int;
+	var next int;
+	var sum int;
+	io_reset(n);
+	tbl_reset();
+	next = 256;
+	prefix = getbyte();
+	if (prefix < 0) { return 0; }
+	b = getbyte();
+	while (b >= 0) {
+		code = probe(prefix, b);
+		if (code >= 0) {
+			prefix = code;
+		} else {
+			putcode(prefix);
+			insert(prefix, b, next);
+			next = next + 1;
+			prefix = b;
+		}
+		b = getbyte();
+	}
+	putcode(prefix);
+	sum = 0;
+	for (b = 0; b < outcount(); b = b + 1) {
+		sum = (sum * 33 + outat(b)) & 0xffffff;
+	}
+	return sum;
+}
+
+func main() int {
+	var n int;
+	var sum int;
+	var pass int;
+	n = input(0);
+	seed = input(1) + 3;
+	if (n > 8000) { n = 8000; }
+	sum = 0;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		gensrc(n);
+		sum = (sum + lzw(n)) & 0xffffff;
+		sum = (sum + tblused()) & 0xffffff;
+	}
+	print(sum);
+	print(outcount());
+	return 0;
+}
+`

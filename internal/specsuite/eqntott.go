@@ -1,0 +1,156 @@
+package specsuite
+
+// 023.eqntott — truth-table generation and sorting. The famous hot spot
+// of eqntott is a qsort comparator reached through a function pointer;
+// here the sorter takes a comparator as a function value, so making the
+// benchmark fast requires the paper's staged optimization: clone the
+// sorter for the constant code pointer, let constant propagation turn
+// the indirect call direct, then inline the comparator in a later pass.
+func eqntottSources() []string {
+	return []string{eqntottSortMod, eqntottMainMod}
+}
+
+const eqntottSortMod = `
+module qsort;
+
+// Insertion/shell sort over an index-permutation of rows, comparing
+// through a caller-supplied comparator cmp(i, j).
+func sortperm(perm int, n int, cmp int) int {
+	var gap int;
+	var i int;
+	var j int;
+	var t int;
+	var swaps int;
+	swaps = 0;
+	gap = n / 2;
+	while (gap > 0) {
+		for (i = gap; i < n; i = i + 1) {
+			j = i;
+			while (j >= gap) {
+				if (cmp(perm[j - gap], perm[j]) <= 0) { break; }
+				t = perm[j];
+				perm[j] = perm[j - gap];
+				perm[j - gap] = t;
+				swaps = swaps + 1;
+				j = j - gap;
+			}
+		}
+		gap = gap / 2;
+	}
+	return swaps;
+}
+
+// binsearch through the sorted permutation, also via the comparator.
+func findrow(perm int, n int, cmp int, probe int) int {
+	var lo int;
+	var hi int;
+	var mid int;
+	var c int;
+	lo = 0;
+	hi = n - 1;
+	while (lo <= hi) {
+		mid = (lo + hi) / 2;
+		c = cmp(perm[mid], probe);
+		if (c == 0) { return mid; }
+		if (c < 0) { lo = mid + 1; } else { hi = mid - 1; }
+	}
+	return 0 - 1;
+}
+`
+
+const eqntottMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func sortperm(perm int, n int, cmp int) int;
+extern func findrow(perm int, n int, cmp int, probe int) int;
+
+// Truth-table rows: WIDTH words per row.
+static var rows [4096] int;
+static var perm [512] int;
+static var nrows int;
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 6) % m;
+}
+
+static func rowword(r int, w int) int { return rows[(r * 8 + w) & 4095]; }
+
+// cmprows orders rows lexicographically by their 8 words.
+func cmprows(a int, b int) int {
+	var w int;
+	var x int;
+	var y int;
+	for (w = 0; w < 8; w = w + 1) {
+		x = rowword(a, w);
+		y = rowword(b, w);
+		if (x < y) { return 0 - 1; }
+		if (x > y) { return 1; }
+	}
+	return 0;
+}
+
+// cmpones orders rows by popcount of their first word (a second
+// comparator so the sorter has two distinct specializations).
+func cmpones(a int, b int) int {
+	var x int;
+	var y int;
+	var ca int;
+	var cb int;
+	x = rowword(a, 0);
+	y = rowword(b, 0);
+	ca = 0;
+	cb = 0;
+	while (x != 0) { ca = ca + (x & 1); x = (x >> 1) & 0xffffffff; }
+	while (y != 0) { cb = cb + (y & 1); y = (y >> 1) & 0xffffffff; }
+	if (ca != cb) { return ca - cb; }
+	return a - b;
+}
+
+static func genrows(n int) int {
+	var r int;
+	var w int;
+	for (r = 0; r < n; r = r + 1) {
+		for (w = 0; w < 8; w = w + 1) {
+			// Few distinct values => duplicate rows to merge.
+			rows[(r * 8 + w) & 4095] = rnd(5);
+		}
+		perm[r & 511] = r;
+	}
+	return n;
+}
+
+// countuniq walks the sorted permutation counting distinct rows.
+static func countuniq(n int) int {
+	var i int;
+	var u int;
+	u = 1;
+	for (i = 1; i < n; i = i + 1) {
+		if (cmprows(perm[i - 1], perm[i]) != 0) { u = u + 1; }
+	}
+	return u;
+}
+
+func main() int {
+	var n int;
+	var sum int;
+	var i int;
+	n = input(0);
+	seed = input(1) + 1;
+	if (n > 500) { n = 500; }
+	genrows(n);
+	sum = sortperm(&perm, n, &cmprows);
+	sum = sum + countuniq(n);
+	// Re-permute and sort under the second comparator.
+	for (i = 0; i < n; i = i + 1) { perm[i] = n - 1 - i; }
+	sum = sum + sortperm(&perm, n, &cmpones);
+	for (i = 0; i < n; i = i + 4) {
+		sum = sum + findrow(&perm, n, &cmpones, perm[i]);
+	}
+	print(sum & 0xffffff);
+	print(n);
+	return 0;
+}
+`

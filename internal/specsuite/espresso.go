@@ -1,0 +1,170 @@
+package specsuite
+
+// 008.espresso — two-level logic minimization flavored workload: cubes
+// are bit-vectors (two bits per literal), and the cover-reduction loops
+// call tiny set operations (intersect, distance, containment) on every
+// cube pair — exactly the leaf-call-in-nested-loop structure espresso
+// stressed.
+func espressoSources() []string {
+	return []string{espressoSetMod, espressoMainMod}
+}
+
+const espressoSetMod = `
+module cube;
+
+// A cube is W consecutive words in the arena; each pair of bits encodes
+// a literal (01 = positive, 10 = negative, 11 = don't care).
+static var arena [16384] int;
+static var W int;
+
+func cube_init(words int) int { W = words; return W; }
+
+func cube_at(c int, w int) int { return arena[(c * W + w) & 16383]; }
+
+func cube_set(c int, w int, v int) int {
+	arena[(c * W + w) & 16383] = v;
+	return v;
+}
+
+// popcount of one word, the innermost leaf of the whole benchmark.
+func bits(x int) int {
+	var n int;
+	n = 0;
+	while (x != 0) {
+		n = n + (x & 1);
+		x = (x >> 1) & 0x7fffffffffffffff;
+	}
+	return n;
+}
+
+// cdist counts conflicting literals between two cubes (words where the
+// intersection of some literal is empty).
+func cdist(a int, b int) int {
+	var w int;
+	var d int;
+	var x int;
+	d = 0;
+	for (w = 0; w < W; w = w + 1) {
+		x = cube_at(a, w) & cube_at(b, w);
+		// A literal conflicts when both bits vanish: detect pairs 00.
+		x = (~x) & ((~x) >> 1) & 0x5555555555555555;
+		d = d + bits(x);
+	}
+	return d;
+}
+
+// contains reports whether cube a covers cube b.
+func contains(a int, b int) int {
+	var w int;
+	for (w = 0; w < W; w = w + 1) {
+		if ((cube_at(a, w) | cube_at(b, w)) != cube_at(a, w)) { return 0; }
+	}
+	return 1;
+}
+
+// consensus writes the merge of a and b into dst and returns the number
+// of don't-care literals created.
+func consensus(dst int, a int, b int) int {
+	var w int;
+	var x int;
+	var dc int;
+	dc = 0;
+	for (w = 0; w < W; w = w + 1) {
+		x = cube_at(a, w) | cube_at(b, w);
+		cube_set(dst, w, x);
+		dc = dc + bits(x & (x >> 1) & 0x5555555555555555);
+	}
+	return dc;
+}
+
+func cube_weight(c int) int {
+	var w int;
+	var s int;
+	s = 0;
+	for (w = 0; w < W; w = w + 1) { s = s + bits(cube_at(c, w)); }
+	return s;
+}
+`
+
+const espressoMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func cube_init(words int) int;
+extern func cube_at(c int, w int) int;
+extern func cube_set(c int, w int, v int) int;
+extern func cdist(a int, b int) int;
+extern func contains(a int, b int) int;
+extern func consensus(dst int, a int, b int) int;
+extern func cube_weight(c int) int;
+
+static var seed int;
+static var ncubes int;
+static var alive [256] int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 9) % m;
+}
+
+static func gencube(c int, w int) int {
+	var i int;
+	for (i = 0; i < w; i = i + 1) {
+		// Random literal pattern; bias toward don't-care.
+		cube_set(c, i, rnd(0x10000000) | 0x1249249249249249);
+	}
+	return c;
+}
+
+// reduce performs one covering sweep: delete cubes contained in others,
+// merge near cubes (distance <= 1) into consensus cubes.
+static func reduce(w int) int {
+	var i int;
+	var j int;
+	var removed int;
+	removed = 0;
+	for (i = 0; i < ncubes; i = i + 1) {
+		if (!alive[i]) { continue; }
+		for (j = 0; j < ncubes; j = j + 1) {
+			if (i == j || !alive[j]) { continue; }
+			if (contains(i, j)) {
+				alive[j] = 0;
+				removed = removed + 1;
+			} else {
+				if (cdist(i, j) <= 1) {
+					consensus(i, i, j);
+				}
+			}
+		}
+	}
+	return removed;
+}
+
+func main() int {
+	var scale int;
+	var w int;
+	var i int;
+	var pass int;
+	var sum int;
+	scale = input(0);
+	seed = input(1) + 13;
+	w = 4;
+	cube_init(w);
+	ncubes = 16 + scale * 4;
+	if (ncubes > 250) { ncubes = 250; }
+	for (i = 0; i < ncubes; i = i + 1) {
+		gencube(i, w);
+		alive[i] = 1;
+	}
+	sum = 0;
+	for (pass = 0; pass < 3; pass = pass + 1) {
+		sum = sum + reduce(w);
+	}
+	for (i = 0; i < ncubes; i = i + 1) {
+		if (alive[i]) { sum = (sum + cube_weight(i)) & 0xffffff; }
+	}
+	print(sum);
+	print(ncubes);
+	return 0;
+}
+`

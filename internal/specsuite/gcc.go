@@ -1,0 +1,377 @@
+package specsuite
+
+// 085.gcc / 126.gcc — a miniature compiler pipeline: a tokenizer over a
+// synthetic expression stream, a recursive-descent parser emitting stack
+// code, a peephole pass, and a stack VM executing the result. gcc was
+// the paper's biggest program; this stand-in is the suite's biggest
+// program, with many layered helpers whose boundaries block optimization
+// until HLO inlines through them.
+func gccSources() []string {
+	return []string{gccLexMod, gccEmitMod, gccVMMod, gccSymMod, gccMainMod}
+}
+
+const gccLexMod = `
+module glex;
+
+// Token stream synthesized from a PRNG: a well-formed expression
+// grammar is produced directly in token form.
+// Tokens: 0 EOF, 1 NUM (value in tokval), 2 '+', 3 '-', 4 '*',
+// 5 '(', 6 ')', 7 VAR (index in tokval).
+static var toks [8192] int;
+static var tvals [8192] int;
+static var ntoks int;
+static var pos int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 5) % m;
+}
+
+static func emit_tok(t int, v int) int {
+	if (ntoks >= 8190) { return 0; }
+	toks[ntoks] = t;
+	tvals[ntoks] = v;
+	ntoks = ntoks + 1;
+	return 1;
+}
+
+// genexpr emits a random expression in token form.
+static func genexpr(d int) int {
+	var k int;
+	if (d <= 0) {
+		if (rnd(3) == 0) { return emit_tok(7, rnd(8)); }
+		return emit_tok(1, rnd(1000));
+	}
+	k = rnd(5);
+	if (k == 0) { return emit_tok(1, rnd(1000)); }
+	if (k == 1) {
+		emit_tok(5, 0);
+		genexpr(d - 1);
+		emit_tok(6, 0);
+		return 1;
+	}
+	genexpr(d - 1);
+	if (k == 2) { emit_tok(2, 0); }
+	if (k == 3) { emit_tok(3, 0); }
+	if (k == 4) { emit_tok(4, 0); }
+	genexpr(d - 1);
+	return 1;
+}
+
+func lex_reset(s int) int {
+	seed = s;
+	ntoks = 0;
+	pos = 0;
+	return 0;
+}
+
+func lex_gen(d int) int {
+	genexpr(d);
+	emit_tok(0, 0);
+	return ntoks;
+}
+
+func peek() int { return toks[pos & 8191]; }
+func peekval() int { return tvals[pos & 8191]; }
+func advance() int {
+	var t int;
+	t = toks[pos & 8191];
+	if (t != 0) { pos = pos + 1; }
+	return t;
+}
+func lexpos() int { return pos; }
+`
+
+const gccEmitMod = `
+module gemit;
+
+// Stack-code buffer: opcodes
+// 1 PUSH imm, 2 ADD, 3 SUB, 4 MUL, 5 LOADVAR idx.
+static var code [16384] int;
+static var carg [16384] int;
+static var ncode int;
+
+func emit_reset() int { ncode = 0; return 0; }
+
+func emit(op int, a int) int {
+	if (ncode >= 16380) { return 0; }
+	code[ncode] = op;
+	carg[ncode] = a;
+	ncode = ncode + 1;
+	return ncode;
+}
+
+func code_len() int { return ncode; }
+func code_op(i int) int { return code[i & 16383]; }
+func code_arg(i int) int { return carg[i & 16383]; }
+func code_patch(i int, op int, a int) int {
+	code[i & 16383] = op;
+	carg[i & 16383] = a;
+	return i;
+}
+
+// peephole folds PUSH a; PUSH b; ALUOP into PUSH (a op b), the classic
+// constant-folding window. Returns the number of folds.
+func peephole() int {
+	var i int;
+	var o int;
+	var folds int;
+	var a int;
+	var b int;
+	var r int;
+	folds = 0;
+	i = 0;
+	while (i + 2 < ncode) {
+		o = code[i + 2];
+		if (code[i] == 1 && code[i + 1] == 1 && (o == 2 || o == 3 || o == 4)) {
+			a = carg[i];
+			b = carg[i + 1];
+			if (o == 2) { r = a + b; }
+			if (o == 3) { r = a - b; }
+			if (o == 4) { r = a * b; }
+			code_patch(i, 1, r);
+			// Shift the tail left by two.
+			var j int;
+			for (j = i + 1; j + 2 < ncode; j = j + 1) {
+				code[j] = code[j + 2];
+				carg[j] = carg[j + 2];
+			}
+			ncode = ncode - 2;
+			folds = folds + 1;
+			if (i > 1) { i = i - 2; }
+		} else {
+			i = i + 1;
+		}
+	}
+	return folds;
+}
+`
+
+const gccVMMod = `
+module gvm;
+extern func code_len() int;
+extern func code_op(i int) int;
+extern func code_arg(i int) int;
+
+static var stack [256] int;
+static var vars [8] int;
+
+func vm_setvar(i int, v int) int { vars[i & 7] = v; return v; }
+
+// vm_run interprets the stack code and returns the top of stack.
+func vm_run() int {
+	var pc int;
+	var sp int;
+	var op int;
+	var n int;
+	sp = 0;
+	n = code_len();
+	for (pc = 0; pc < n; pc = pc + 1) {
+		op = code_op(pc);
+		if (op == 1) {
+			stack[sp & 255] = code_arg(pc);
+			sp = sp + 1;
+		}
+		if (op == 5) {
+			stack[sp & 255] = vars[code_arg(pc) & 7];
+			sp = sp + 1;
+		}
+		if (op == 2 || op == 3 || op == 4) {
+			if (sp >= 2) {
+				var x int;
+				var y int;
+				y = stack[(sp - 1) & 255];
+				x = stack[(sp - 2) & 255];
+				if (op == 2) { stack[(sp - 2) & 255] = x + y; }
+				if (op == 3) { stack[(sp - 2) & 255] = x - y; }
+				if (op == 4) { stack[(sp - 2) & 255] = (x * y) % 65521; }
+				sp = sp - 1;
+			}
+		}
+	}
+	if (sp == 0) { return 0; }
+	return stack[(sp - 1) & 255];
+}
+`
+
+// gccSymMod adds the symbol-table-ish phases every compiler has: a
+// constant-interning pool and a stack-balance verifier over the emitted
+// code.
+const gccSymMod = `
+module gsym;
+extern func code_len() int;
+extern func code_op(i int) int;
+extern func code_arg(i int) int;
+
+// Constant pool: distinct PUSH immediates, open-addressed.
+static var pool [1024] int;
+static var used [1024] int;
+static var npool int;
+
+func pool_reset() int {
+	var i int;
+	for (i = 0; i < 1024; i = i + 1) { used[i] = 0; }
+	npool = 0;
+	return 0;
+}
+
+func intern(v int) int {
+	var h int;
+	var k int;
+	h = (v * 2654435761) & 1023;
+	for (k = 0; k < 1024; k = k + 1) {
+		if (!used[h]) {
+			used[h] = 1;
+			pool[h] = v;
+			npool = npool + 1;
+			return h;
+		}
+		if (pool[h] == v) { return h; }
+		h = (h + 1) & 1023;
+	}
+	return 0 - 1;
+}
+
+func pool_size() int { return npool; }
+
+// intern_consts walks the code interning every PUSH immediate; returns a
+// checksum of slot indexes.
+func intern_consts() int {
+	var i int;
+	var s int;
+	var n int;
+	n = code_len();
+	pool_reset();
+	for (i = 0; i < n; i = i + 1) {
+		if (code_op(i) == 1) {
+			s = (s * 5 + intern(code_arg(i))) & 0xffffff;
+		}
+	}
+	return s;
+}
+
+// verify_balance simulates stack depth symbolically: PUSH/LOADVAR +1,
+// ALU -1; returns the final depth (1 for a well-formed expression) or
+// a negative error code.
+func verify_balance() int {
+	var i int;
+	var d int;
+	var op int;
+	var n int;
+	n = code_len();
+	d = 0;
+	for (i = 0; i < n; i = i + 1) {
+		op = code_op(i);
+		if (op == 1 || op == 5) { d = d + 1; }
+		if (op == 2 || op == 3 || op == 4) {
+			if (d < 2) { return 0 - i - 1; }
+			d = d - 1;
+		}
+	}
+	return d;
+}
+`
+
+const gccMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func lex_reset(s int) int;
+extern func lex_gen(d int) int;
+extern func peek() int;
+extern func peekval() int;
+extern func advance() int;
+extern func emit_reset() int;
+extern func emit(op int, a int) int;
+extern func code_len() int;
+extern func peephole() int;
+extern func vm_run() int;
+extern func vm_setvar(i int, v int) int;
+extern func intern_consts() int;
+extern func pool_size() int;
+extern func verify_balance() int;
+
+// Recursive-descent parser over the token stream, compiling to stack
+// code: expr := term (('+'|'-') term)*, term := factor ('*' factor)*,
+// factor := NUM | VAR | '(' expr ')'.
+static func factor() int {
+	var t int;
+	t = peek();
+	if (t == 1) {
+		emit(1, peekval());
+		advance();
+		return 1;
+	}
+	if (t == 7) {
+		emit(5, peekval());
+		advance();
+		return 1;
+	}
+	if (t == 5) {
+		advance();
+		expr();
+		if (peek() == 6) { advance(); }
+		return 1;
+	}
+	// Parse error: synthesize a zero.
+	emit(1, 0);
+	if (t != 0) { advance(); }
+	return 0;
+}
+
+static func term() int {
+	var ok int;
+	ok = factor();
+	while (peek() == 4) {
+		advance();
+		factor();
+		emit(4, 0);
+	}
+	return ok;
+}
+
+static func expr() int {
+	var t int;
+	var ok int;
+	ok = term();
+	t = peek();
+	while (t == 2 || t == 3) {
+		advance();
+		term();
+		if (t == 2) { emit(2, 0); }
+		if (t == 3) { emit(3, 0); }
+		t = peek();
+	}
+	return ok;
+}
+
+func main() int {
+	var scale int;
+	var sum int;
+	var i int;
+	var folds int;
+	var v int;
+	scale = input(0);
+	sum = 0;
+	folds = 0;
+	for (i = 0; i < scale; i = i + 1) {
+		lex_reset(input(1) + i * 97 + 11);
+		lex_gen(3 + (i % 4));
+		emit_reset();
+		expr();
+		folds = folds + peephole();
+		sum = (sum + intern_consts() + pool_size()) & 0xffffff;
+		if (verify_balance() != 1) { sum = sum + 999999; }
+		vm_setvar(0, i);
+		vm_setvar(1, sum & 1023);
+		for (v = 2; v < 8; v = v + 1) { vm_setvar(v, v * 17 + i); }
+		sum = (sum + vm_run()) & 0xffffff;
+		sum = (sum + code_len()) & 0xffffff;
+	}
+	print(sum);
+	print(folds);
+	return 0;
+}
+`

@@ -1,0 +1,204 @@
+package specsuite
+
+// 099.go — a Go-board position evaluator: random stones are placed, then
+// groups are flood-filled and liberties counted through tiny neighbor
+// helpers. The evaluator's inner loops call onboard/stoneat/libcount
+// constantly; the original "go" program had the same
+// many-small-board-helpers profile.
+func goSources() []string {
+	return []string{goBoardMod, goEvalMod, goMainMod}
+}
+
+const goBoardMod = `
+module board;
+
+// 13x13 board in a 1-D array; 0 empty, 1 black, 2 white.
+static var cells [169] int;
+static var marks [169] int;
+static var markGen int;
+
+func bsize() int { return 13; }
+
+func onboard(r int, c int) int {
+	return r >= 0 && r < 13 && c >= 0 && c < 13;
+}
+
+func at(r int, c int) int { return cells[r * 13 + c]; }
+
+func put(r int, c int, v int) int {
+	cells[r * 13 + c] = v;
+	return v;
+}
+
+func clearboard() int {
+	var i int;
+	for (i = 0; i < 169; i = i + 1) { cells[i] = 0; marks[i] = 0; }
+	markGen = 0;
+	return 0;
+}
+
+func newmark() int { markGen = markGen + 1; return markGen; }
+func marked(r int, c int) int { return marks[r * 13 + c] == markGen; }
+func setmark(r int, c int) int { marks[r * 13 + c] = markGen; return 1; }
+`
+
+const goEvalMod = `
+module eval;
+extern func onboard(r int, c int) int;
+extern func at(r int, c int) int;
+extern func newmark() int;
+extern func marked(r int, c int) int;
+extern func setmark(r int, c int) int;
+
+// Explicit flood-fill stack.
+static var stackR [256] int;
+static var stackC [256] int;
+
+// libs counts the liberties of the group containing (r,c) and, via
+// groupsize, its stone count.
+static var lastGroupSize int;
+
+func groupsize() int { return lastGroupSize; }
+
+func libs(r0 int, c0 int) int {
+	var sp int;
+	var r int;
+	var c int;
+	var color int;
+	var nlibs int;
+	var d int;
+	var nr int;
+	var nc int;
+	color = at(r0, c0);
+	if (color == 0) { return 0; }
+	newmark();
+	nlibs = 0;
+	lastGroupSize = 0;
+	sp = 0;
+	stackR[sp] = r0;
+	stackC[sp] = c0;
+	sp = sp + 1;
+	setmark(r0, c0);
+	while (sp > 0) {
+		sp = sp - 1;
+		r = stackR[sp];
+		c = stackC[sp];
+		lastGroupSize = lastGroupSize + 1;
+		for (d = 0; d < 4; d = d + 1) {
+			nr = r + (d == 0) - (d == 1);
+			nc = c + (d == 2) - (d == 3);
+			if (!onboard(nr, nc)) { continue; }
+			if (marked(nr, nc)) { continue; }
+			if (at(nr, nc) == 0) {
+				setmark(nr, nc);
+				nlibs = nlibs + 1;
+			} else {
+				if (at(nr, nc) == color && sp < 250) {
+					setmark(nr, nc);
+					stackR[sp] = nr;
+					stackC[sp] = nc;
+					sp = sp + 1;
+				}
+			}
+		}
+	}
+	return nlibs;
+}
+
+// influence scores a point by summing decayed distances to stones.
+func influence(r int, c int) int {
+	var rr int;
+	var cc int;
+	var s int;
+	var d int;
+	var v int;
+	s = 0;
+	for (rr = 0; rr < 13; rr = rr + 1) {
+		for (cc = 0; cc < 13; cc = cc + 1) {
+			v = at(rr, cc);
+			if (v == 0) { continue; }
+			d = (rr > r ? rr - r : r - rr) + (cc > c ? cc - c : c - cc);
+			if (d < 5) {
+				if (v == 1) { s = s + (16 >> d); } else { s = s - (16 >> d); }
+			}
+		}
+	}
+	return s;
+}
+`
+
+const goMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func bsize() int;
+extern func at(r int, c int) int;
+extern func put(r int, c int, v int) int;
+extern func clearboard() int;
+extern func libs(r0 int, c0 int) int;
+extern func groupsize() int;
+extern func influence(r int, c int) int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 6) % m;
+}
+
+static func fillboard(stones int) int {
+	var k int;
+	var r int;
+	var c int;
+	clearboard();
+	for (k = 0; k < stones; k = k + 1) {
+		r = rnd(13);
+		c = rnd(13);
+		if (at(r, c) == 0) { put(r, c, 1 + (k & 1)); }
+	}
+	return stones;
+}
+
+// score sums liberties weighted by group size plus influence over a
+// coarse grid of points.
+static func score() int {
+	var r int;
+	var c int;
+	var s int;
+	for (r = 0; r < 13; r = r + 1) {
+		for (c = 0; c < 13; c = c + 1) {
+			if (at(r, c) != 0) {
+				var l int;
+				l = libs(r, c);
+				if (at(r, c) == 1) {
+					s = s + l * groupsize();
+				} else {
+					s = s - l * groupsize();
+				}
+			}
+		}
+	}
+	for (r = 1; r < 13; r = r + 3) {
+		for (c = 1; c < 13; c = c + 3) {
+			s = s + influence(r, c);
+		}
+	}
+	return s;
+}
+
+func main() int {
+	var games int;
+	var g int;
+	var sum int;
+	games = input(0);
+	seed = input(1) + 29;
+	sum = 0;
+	for (g = 0; g < games; g = g + 1) {
+		fillboard(40 + rnd(60));
+		sum = (sum * 3 + score()) & 0xffffff;
+	}
+	print(sum);
+	print(bsize());
+	return 0;
+}
+`

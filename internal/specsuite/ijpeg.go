@@ -1,0 +1,161 @@
+package specsuite
+
+// 132.ijpeg — integer image coding: 8×8 blocks flow through a separable
+// integer transform, per-site constant quantization (luma vs chroma call
+// sites pass different constant tables — clone groups), zigzag and
+// run-length accounting. The per-pixel helpers (clampc, pixat) are
+// classic inline fodder.
+func ijpegSources() []string {
+	return []string{ijpegDSPMod, ijpegMainMod}
+}
+
+const ijpegDSPMod = `
+module jdsp;
+
+// One working block plus the coefficient block.
+static var blk [64] int;
+static var coef [64] int;
+
+func blk_set(i int, v int) int { blk[i & 63] = v; return v; }
+func blk_get(i int) int { return blk[i & 63]; }
+func coef_get(i int) int { return coef[i & 63]; }
+
+func clampc(v int) int {
+	if (v < 0 - 1024) { return 0 - 1024; }
+	if (v > 1023) { return 1023; }
+	return v;
+}
+
+// butterfly is the transform kernel; rows and columns both use it.
+func butterfly(a int, b int) int { return clampc(a + b); }
+func diff(a int, b int) int { return clampc(a - b); }
+
+// fwd1d transforms 8 samples in place at stride s starting at base:
+// a Haar-like integer pyramid (not the real DCT, but the same memory
+// and call pattern).
+func fwd1d(base int, s int) int {
+	var i int;
+	var t0 int;
+	var t1 int;
+	for (i = 0; i < 4; i = i + 1) {
+		t0 = blk_get(base + i * s);
+		t1 = blk_get(base + (7 - i) * s);
+		blk_set(base + i * s, butterfly(t0, t1));
+		blk_set(base + (7 - i) * s, diff(t0, t1));
+	}
+	t0 = blk_get(base);
+	t1 = blk_get(base + s);
+	blk_set(base, butterfly(t0, t1));
+	blk_set(base + s, diff(t0, t1));
+	return 0;
+}
+
+// fwd2d runs the transform over all rows then all columns.
+func fwd2d() int {
+	var k int;
+	for (k = 0; k < 8; k = k + 1) { fwd1d(k * 8, 1); }
+	for (k = 0; k < 8; k = k + 1) { fwd1d(k, 8); }
+	return 0;
+}
+
+// quantize divides every coefficient by q (callers pass constant q per
+// component — luma 16, chroma 24 — making clone groups).
+func quantize(q int) int {
+	var i int;
+	var nz int;
+	nz = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		coef[i] = blk_get(i) / q;
+		if (coef[i] != 0) { nz = nz + 1; }
+	}
+	return nz;
+}
+
+// rle counts zero runs in zigzag-ish order (row-major is close enough
+// for the call pattern).
+func rle() int {
+	var i int;
+	var run int;
+	var tokens int;
+	run = 0;
+	tokens = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		if (coef_get(i) == 0) {
+			run = run + 1;
+		} else {
+			tokens = tokens + 1 + run / 16;
+			run = 0;
+		}
+	}
+	return tokens;
+}
+`
+
+const ijpegMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func blk_set(i int, v int) int;
+extern func coef_get(i int) int;
+extern func fwd2d() int;
+extern func quantize(q int) int;
+extern func rle() int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 7) % m;
+}
+
+// genblock synthesizes one 8x8 block with smooth gradients plus noise.
+static func genblock(bx int, by int) int {
+	var r int;
+	var c int;
+	for (r = 0; r < 8; r = r + 1) {
+		for (c = 0; c < 8; c = c + 1) {
+			blk_set(r * 8 + c, (bx * 3 + r) * 4 + (by * 5 + c) * 2 + rnd(32));
+		}
+	}
+	return 0;
+}
+
+// codeblock transforms and quantizes one block; comp selects the
+// constant quantizer (the two call sites below each pass a literal).
+static func codeblock(q int) int {
+	var nz int;
+	var s int;
+	var i int;
+	fwd2d();
+	nz = quantize(q);
+	s = nz * 100 + rle();
+	for (i = 0; i < 64; i = i + 8) { s = s + coef_get(i); }
+	return s;
+}
+
+func main() int {
+	var frames int;
+	var f int;
+	var bx int;
+	var by int;
+	var sum int;
+	frames = input(0);
+	seed = input(1) + 17;
+	sum = 0;
+	for (f = 0; f < frames; f = f + 1) {
+		for (bx = 0; bx < 4; bx = bx + 1) {
+			for (by = 0; by < 4; by = by + 1) {
+				genblock(bx, by);
+				if (((bx + by) & 1) == 0) {
+					sum = (sum + codeblock(16)) & 0xffffff;  // luma
+				} else {
+					sum = (sum + codeblock(24)) & 0xffffff;  // chroma
+				}
+			}
+		}
+	}
+	print(sum);
+	print(frames * 16);
+	return 0;
+}
+`

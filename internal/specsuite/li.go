@@ -1,0 +1,183 @@
+package specsuite
+
+// 022.li / 130.li — a recursive Lisp-style expression evaluator.
+// The original xlisp interpreter sped up 2× under HLO; the mechanisms
+// were inlining of tiny cell accessors (car/cdr/tag live in another
+// module here, making cross-module inlining essential) and cloning of
+// the dispatch helpers that receive constant operator codes.
+func liSources() []string {
+	return []string{liCellMod, liEvalMod, liMainMod}
+}
+
+const liCellMod = `
+module cell;
+
+// Cells are (tag, a, b) triples in a bump-allocated arena. Pointer 0 is
+// nil, so allocation starts at offset 3.
+static var heap [30000] int;
+static var hp int;
+
+func creset() int { hp = 3; return 0; }
+
+func alloc3(t int, a int, b int) int {
+	var p int;
+	if (hp + 3 >= 30000) { return 0; }
+	p = hp;
+	heap[p] = t;
+	heap[p + 1] = a;
+	heap[p + 2] = b;
+	hp = hp + 3;
+	return p;
+}
+
+func tagof(p int) int { return heap[p]; }
+func car(p int) int { return heap[p + 1]; }
+func cdr(p int) int { return heap[p + 2]; }
+func setcar(p int, v int) int { heap[p + 1] = v; return v; }
+func setcdr(p int, v int) int { heap[p + 2] = v; return v; }
+func heapused() int { return hp; }
+`
+
+const liEvalMod = `
+module eval;
+extern func tagof(p int) int;
+extern func car(p int) int;
+extern func cdr(p int) int;
+
+// Expression tags.
+// 1 NUM(a=value)  2 ADD  3 SUB  4 MUL  5 LT  6 VAR(a=index)
+// 7 IF(a=cond, b=PAIR(then, else))  8 PAIR  9 MOD  10 MAX
+
+static var env [16] int;
+
+func setvar(i int, v int) int { env[i & 15] = v; return v; }
+func getvar(i int) int { return env[i & 15]; }
+
+// apply is li's operator dispatch: every call site inside evalx passes a
+// constant op code, which makes apply the canonical clone candidate.
+func apply(op int, x int, y int) int {
+	if (op == 2) { return x + y; }
+	if (op == 3) { return x - y; }
+	if (op == 4) { return x * y; }
+	if (op == 5) { return x < y ? 1 : 0; }
+	if (op == 9) { return y == 0 ? x : x % y; }
+	if (op == 10) { return x > y ? x : y; }
+	return 0;
+}
+
+func evalx(p int) int {
+	var t int;
+	if (p == 0) { return 0; }
+	t = tagof(p);
+	if (t == 1) { return car(p); }
+	if (t == 6) { return getvar(car(p)); }
+	if (t == 2) { return apply(2, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 3) { return apply(3, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 4) { return apply(4, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 5) { return apply(5, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 9) { return apply(9, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 10) { return apply(10, evalx(car(p)), evalx(cdr(p))); }
+	if (t == 7) {
+		var pr int;
+		pr = cdr(p);
+		if (evalx(car(p))) { return evalx(car(pr)); }
+		return evalx(cdr(pr));
+	}
+	return 0;
+}
+
+// depth computes expression depth, a second recursive walker exercising
+// the same accessors.
+func depth(p int) int {
+	var t int;
+	var dl int;
+	var dr int;
+	if (p == 0) { return 0; }
+	t = tagof(p);
+	if (t == 1 || t == 6) { return 1; }
+	dl = depth(car(p));
+	dr = depth(cdr(p));
+	return 1 + (dl > dr ? dl : dr);
+}
+
+// sumleaves adds up every literal in the tree, a third walker (li's
+// garbage collector and printer walked cells the same way).
+func sumleaves(p int) int {
+	var t int;
+	if (p == 0) { return 0; }
+	t = tagof(p);
+	if (t == 1) { return car(p); }
+	if (t == 6) { return 0; }
+	return sumleaves(car(p)) + sumleaves(cdr(p));
+}
+`
+
+const liMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func creset() int;
+extern func alloc3(t int, a int, b int) int;
+extern func heapused() int;
+extern func evalx(p int) int;
+extern func depth(p int) int;
+extern func sumleaves(p int) int;
+extern func setvar(i int, v int) int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 8) % m;
+}
+
+// gen builds a random expression tree of bounded depth.
+static func gen(d int) int {
+	var k int;
+	if (d <= 0) {
+		if (rnd(2)) { return alloc3(1, rnd(100), 0); }
+		return alloc3(6, rnd(4), 0);
+	}
+	k = rnd(9);
+	if (k == 0) { return alloc3(1, rnd(100), 0); }
+	if (k == 1) { return alloc3(6, rnd(4), 0); }
+	if (k == 2) { return alloc3(2, gen(d - 1), gen(d - 1)); }
+	if (k == 3) { return alloc3(3, gen(d - 1), gen(d - 1)); }
+	if (k == 4) { return alloc3(4, gen(d - 1), gen(d - 1)); }
+	if (k == 5) { return alloc3(5, gen(d - 1), gen(d - 1)); }
+	if (k == 6) { return alloc3(9, gen(d - 1), gen(d - 1)); }
+	if (k == 7) { return alloc3(10, gen(d - 1), gen(d - 1)); }
+	return alloc3(7, gen(d - 1), alloc3(8, gen(d - 1), gen(d - 1)));
+}
+
+func main() int {
+	var iters int;
+	var it int;
+	var sum int;
+	var e0 int;
+	var e1 int;
+	var e2 int;
+	iters = input(0);
+	seed = input(1) + 7;
+	sum = 0;
+	for (it = 0; it < iters; it = it + 1) {
+		creset();
+		e0 = gen(4);
+		e1 = gen(5);
+		e2 = gen(3);
+		setvar(0, it);
+		setvar(1, it * 3 + 1);
+		setvar(2, sum & 1023);
+		setvar(3, 42);
+		sum = sum + evalx(e0);
+		sum = sum + evalx(e1) * 2;
+		sum = sum + evalx(e2);
+		sum = sum + depth(e1);
+		sum = sum + (sumleaves(e0) & 1023);
+		sum = sum & 0xffffff;
+	}
+	print(sum);
+	print(heapused());
+	return 0;
+}
+`

@@ -1,0 +1,249 @@
+package specsuite
+
+// 124.m88ksim — a CPU simulator simulating a CPU simulator: a toy RISC
+// ("m88-lite") is interpreted instruction by instruction. The decode
+// helpers pass constant opcode selectors into a shared ALU routine at
+// every call site, giving the cloner exactly the clone groups the paper
+// describes for m88ksim (where cloning was a vital contributor).
+func m88ksimSources() []string {
+	return []string{m88MemMod, m88CPUMod, m88MainMod}
+}
+
+const m88MemMod = `
+module m88mem;
+
+// Unified simulated memory: 4096 words of code+data. Instructions are
+// packed words: op*1000000 + rd*10000 + rs*100 + rt (fields 0..99),
+// with a separate immediate table.
+static var mem [4096] int;
+static var imm [4096] int;
+
+func m_read(a int) int { return mem[a & 4095]; }
+func m_write(a int, v int) int { mem[a & 4095] = v; return v; }
+func m_imm(a int) int { return imm[a & 4095]; }
+func m_setimm(a int, v int) int { imm[a & 4095] = v; return v; }
+`
+
+const m88CPUMod = `
+module m88cpu;
+extern func m_read(a int) int;
+extern func m_write(a int, v int) int;
+extern func m_imm(a int) int;
+
+// Architectural state.
+static var regs [32] int;
+static var pc int;
+static var steps int;
+
+func cpu_reset(entry int) int {
+	var i int;
+	for (i = 0; i < 32; i = i + 1) { regs[i] = 0; }
+	pc = entry;
+	steps = 0;
+	return 0;
+}
+
+func cpu_reg(i int) int { return regs[i & 31]; }
+func cpu_setreg(i int, v int) int {
+	if ((i & 31) != 0) { regs[i & 31] = v; }
+	return v;
+}
+func cpu_pc() int { return pc; }
+func cpu_steps() int { return steps; }
+
+// alu is the shared execution helper. Every call site in step() passes
+// a constant op selector — the cloner builds one clone group per
+// opcode, exactly the paper's m88ksim story.
+func alu(op int, a int, b int) int {
+	if (op == 1) { return a + b; }
+	if (op == 2) { return a - b; }
+	if (op == 3) { return (a * b) % 1000003; }
+	if (op == 4) { return a & b; }
+	if (op == 5) { return a | b; }
+	if (op == 6) { return a ^ b; }
+	if (op == 7) { return a < b ? 1 : 0; }
+	if (op == 8) { return a << (b & 15); }
+	if (op == 9) { return a >> (b & 15); }
+	return 0;
+}
+
+// step decodes and executes one instruction; returns 0 on halt.
+// Opcodes: 0 halt, 1 add, 2 sub, 3 mul, 4 and, 5 or, 6 xor, 7 slt,
+// 8 shl, 9 shr, 10 addi, 11 ld, 12 st, 13 beq, 14 bne, 15 jmp.
+func step() int {
+	var w int;
+	var op int;
+	var rd int;
+	var rs int;
+	var rt int;
+	var iv int;
+	w = m_read(pc);
+	iv = m_imm(pc);
+	op = w / 1000000;
+	rd = (w / 10000) % 100;
+	rs = (w / 100) % 100;
+	rt = w % 100;
+	pc = pc + 1;
+	steps = steps + 1;
+	if (op == 0) { return 0; }
+	if (op == 1) { cpu_setreg(rd, alu(1, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 2) { cpu_setreg(rd, alu(2, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 3) { cpu_setreg(rd, alu(3, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 4) { cpu_setreg(rd, alu(4, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 5) { cpu_setreg(rd, alu(5, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 6) { cpu_setreg(rd, alu(6, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 7) { cpu_setreg(rd, alu(7, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 8) { cpu_setreg(rd, alu(8, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 9) { cpu_setreg(rd, alu(9, cpu_reg(rs), cpu_reg(rt))); return 1; }
+	if (op == 10) { cpu_setreg(rd, alu(1, cpu_reg(rs), iv)); return 1; }
+	if (op == 11) { cpu_setreg(rd, m_read(2048 + ((cpu_reg(rs) + iv) & 1023))); return 1; }
+	if (op == 12) { m_write(2048 + ((cpu_reg(rs) + iv) & 1023), cpu_reg(rd)); return 1; }
+	if (op == 13) { if (cpu_reg(rs) == cpu_reg(rt)) { pc = iv & 2047; } return 1; }
+	if (op == 14) { if (cpu_reg(rs) != cpu_reg(rt)) { pc = iv & 2047; } return 1; }
+	if (op == 15) { pc = iv & 2047; return 1; }
+	return 1;
+}
+
+func cpu_run(maxsteps int) int {
+	var k int;
+	for (k = 0; k < maxsteps; k = k + 1) {
+		if (!step()) { return k; }
+	}
+	return maxsteps;
+}
+`
+
+const m88MainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func m_write(a int, v int) int;
+extern func m_setimm(a int, v int) int;
+extern func m_read(a int) int;
+extern func cpu_reset(entry int) int;
+extern func cpu_reg(i int) int;
+extern func cpu_setreg(i int, v int) int;
+extern func cpu_run(maxsteps int) int;
+extern func cpu_steps() int;
+
+static var asmpc int;
+
+// Tiny assembler for the guest.
+static func asm(op int, rd int, rs int, rt int, iv int) int {
+	m_write(asmpc, op * 1000000 + rd * 10000 + rs * 100 + rt);
+	m_setimm(asmpc, iv);
+	asmpc = asmpc + 1;
+	return asmpc - 1;
+}
+
+// loadguest assembles a guest program: an inner loop that hashes a
+// rolling value and stores a small table, then loops back n times.
+static func loadguest(n int) int {
+	var loop int;
+	asmpc = 0;
+	asm(10, 1, 0, 0, n);       // r1 = n (counter)
+	asm(10, 2, 0, 0, 12345);   // r2 = hash state
+	asm(10, 5, 0, 0, 1);       // r5 = 1
+	loop = asmpc;
+	asm(3, 2, 2, 5, 0);        // r2 = r2 * 1 (keep mul unit busy)
+	asm(10, 3, 2, 0, 7919);    // r3 = r2 + 7919
+	asm(6, 2, 2, 3, 0);        // r2 ^= r3
+	asm(8, 4, 2, 5, 0);        // r4 = r2 << 1
+	asm(9, 6, 2, 5, 0);        // r6 = r2 >> 1
+	asm(5, 2, 4, 6, 0);        // r2 = r4 | r6
+	asm(10, 7, 0, 0, 1048575); // r7 = mask
+	asm(4, 2, 2, 7, 0);        // r2 &= mask
+	asm(12, 2, 1, 0, 0);       // mem[r1] = r2
+	asm(11, 8, 1, 0, 0);       // r8 = mem[r1]
+	asm(1, 9, 9, 8, 0);        // r9 += r8
+	asm(2, 1, 1, 5, 0);        // r1 -= 1
+	asm(14, 0, 1, 0, loop);    // bne r1, r0 -> loop
+	asm(0, 0, 0, 0, 0);        // halt
+	return asmpc;
+}
+
+// loadsort assembles a guest bubble sort over k values seeded in guest
+// data memory — heavy on the guest's conditional branches, which drives
+// the host's BHT model through the interpreter's dispatch.
+static func loadsort(k int) int {
+	var outer int;
+	var inner int;
+	asmpc = 0;
+	// r1 = i (outer), r2 = j (inner), r3/r4 = elements, r5 = 1, r6 = k-1
+	asm(10, 5, 0, 0, 1);       // r5 = 1
+	asm(10, 6, 0, 0, k - 1);   // r6 = k-1
+	asm(10, 1, 0, 0, 0);       // i = 0
+	outer = asmpc;
+	asm(10, 2, 0, 0, 0);       // j = 0
+	inner = asmpc;
+	asm(11, 3, 2, 0, 0);       // r3 = mem[j]
+	asm(10, 7, 2, 0, 1);       // r7 = j + 1
+	asm(11, 4, 7, 0, 0);       // r4 = mem[j+1]
+	asm(7, 8, 4, 3, 0);        // r8 = r4 < r3
+	asm(13, 0, 8, 0, asmpc + 3); // beq r8, r0 -> skip swap
+	asm(12, 4, 2, 0, 0);       // mem[j] = r4
+	asm(12, 3, 7, 0, 0);       // mem[j+1] = r3
+	asm(1, 2, 2, 5, 0);        // j += 1
+	asm(7, 8, 2, 6, 0);        // r8 = j < k-1
+	asm(14, 0, 8, 0, inner);   // bne r8, r0 -> inner
+	asm(1, 1, 1, 5, 0);        // i += 1
+	asm(7, 8, 1, 6, 0);        // r8 = i < k-1
+	asm(14, 0, 8, 0, outer);   // bne -> outer
+	asm(0, 0, 0, 0, 0);        // halt
+	return asmpc;
+}
+
+static var sortseed int;
+
+static func srnd(m int) int {
+	sortseed = (sortseed * 1103515245 + 12345) & 0x3fffffff;
+	return (sortseed >> 6) % m;
+}
+
+static func seedsort(k int) int {
+	var i int;
+	for (i = 0; i < k; i = i + 1) {
+		m_write(2048 + i, srnd(10000));
+	}
+	return k;
+}
+
+static func sortsum(k int) int {
+	var i int;
+	var s int;
+	for (i = 0; i < k; i = i + 1) {
+		s = (s * 3 + m_read(2048 + i) + i) & 0xffffff;
+	}
+	return s;
+}
+
+func main() int {
+	var runs int;
+	var r int;
+	var sum int;
+	var n int;
+	runs = input(0);
+	n = 40 + (input(1) & 15);
+	sortseed = input(1) + 41;
+	sum = 0;
+	for (r = 0; r < runs; r = r + 1) {
+		loadguest(n);
+		cpu_reset(0);
+		cpu_setreg(9, r);
+		cpu_run(100000);
+		sum = (sum + cpu_reg(9) + cpu_steps()) & 0xffffff;
+		if ((r & 3) == 0) {
+			var k int;
+			k = 12 + (r & 7);
+			seedsort(k);
+			loadsort(k);
+			cpu_reset(0);
+			cpu_run(100000);
+			sum = (sum + sortsum(k) + cpu_steps()) & 0xffffff;
+		}
+	}
+	print(sum);
+	print(m_read(2048 + 1));
+	return 0;
+}
+`

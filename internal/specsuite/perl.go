@@ -1,0 +1,174 @@
+package specsuite
+
+// 134.perl — the pattern-matching heart of a scripting language: a
+// Kernighan-Pike regular-expression matcher (literal, '.', '*', '^',
+// '$') running over synthesized text. match/matchhere/matchstar recurse
+// through module boundaries, and matchstar receives constant pattern
+// characters at its call sites.
+func perlSources() []string {
+	return []string{perlTextMod, perlRegexMod, perlMainMod}
+}
+
+const perlTextMod = `
+module ptext;
+
+// Text and pattern buffers. Characters are small ints; 0 terminates.
+static var text [4096] int;
+static var pats [256] int;
+
+func text_set(i int, ch int) int { text[i & 4095] = ch; return ch; }
+func text_at(i int) int { return text[i & 4095]; }
+func pat_set(i int, ch int) int { pats[i & 255] = ch; return ch; }
+func pat_at(i int) int { return pats[i & 255]; }
+`
+
+const perlRegexMod = `
+module pregex;
+extern func text_at(i int) int;
+extern func pat_at(i int) int;
+
+// Metacharacters: 1000 '.', 1001 '*', 1002 '^', 1003 '$'.
+
+// matchhere: does pattern at p match text starting at t?
+func matchhere(p int, t int) int {
+	var pc int;
+	pc = pat_at(p);
+	if (pc == 0) { return 1; }
+	if (pat_at(p + 1) == 1001) {
+		return matchstar(pc, p + 2, t);
+	}
+	if (pc == 1003 && pat_at(p + 1) == 0) {
+		return text_at(t) == 0;
+	}
+	if (text_at(t) != 0 && (pc == 1000 || pc == text_at(t))) {
+		return matchhere(p + 1, t + 1);
+	}
+	return 0;
+}
+
+// matchstar: match c* followed by the rest of the pattern.
+func matchstar(c int, p int, t int) int {
+	var i int;
+	i = t;
+	while (1) {
+		if (matchhere(p, i)) { return 1; }
+		if (text_at(i) == 0) { return 0; }
+		if (c != 1000 && text_at(i) != c) { return 0; }
+		i = i + 1;
+	}
+	return 0;
+}
+
+// match: search the whole text for the pattern.
+func match(t0 int) int {
+	var t int;
+	if (pat_at(0) == 1002) {
+		return matchhere(1, t0);
+	}
+	t = t0;
+	while (1) {
+		if (matchhere(0, t)) { return 1; }
+		if (text_at(t) == 0) { return 0; }
+		t = t + 1;
+	}
+	return 0;
+}
+
+// countmatches: number of start positions where the pattern matches.
+func countmatches() int {
+	var t int;
+	var n int;
+	n = 0;
+	t = 0;
+	while (text_at(t) != 0) {
+		if (matchhere(0, t)) { n = n + 1; }
+		t = t + 1;
+	}
+	return n;
+}
+`
+
+const perlMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func text_set(i int, ch int) int;
+extern func pat_set(i int, ch int) int;
+extern func match(t0 int) int;
+extern func countmatches() int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 8) % m;
+}
+
+// gentext writes a pseudo-English stream over a 6-letter alphabet with
+// repeated digraphs so patterns actually match.
+static func gentext(n int) int {
+	var i int;
+	var ch int;
+	i = 0;
+	while (i < n - 1) {
+		ch = 97 + rnd(6);
+		text_set(i, ch);
+		i = i + 1;
+		if (rnd(3) == 0 && i < n - 1) {
+			text_set(i, 97);
+			i = i + 1;
+		}
+	}
+	text_set(i, 0);
+	return i;
+}
+
+// setpat builds one of a fixed set of patterns.
+static func setpat(k int) int {
+	var i int;
+	for (i = 0; i < 8; i = i + 1) { pat_set(i, 0); }
+	if (k == 0) {
+		pat_set(0, 97); pat_set(1, 98);                      // "ab"
+	}
+	if (k == 1) {
+		pat_set(0, 97); pat_set(1, 1001); pat_set(2, 98);    // "a*b"
+	}
+	if (k == 2) {
+		pat_set(0, 1000); pat_set(1, 97); pat_set(2, 1000);  // ".a."
+	}
+	if (k == 3) {
+		pat_set(0, 1002); pat_set(1, 97);                    // "^a"
+	}
+	if (k == 4) {
+		pat_set(0, 99); pat_set(1, 1001); pat_set(2, 97);    // "c*a"
+	}
+	if (k == 5) {
+		pat_set(0, 98); pat_set(1, 97); pat_set(2, 1003);    // "ba$"
+	}
+	return k;
+}
+
+func main() int {
+	var rounds int;
+	var r int;
+	var k int;
+	var sum int;
+	var n int;
+	rounds = input(0);
+	seed = input(1) + 23;
+	sum = 0;
+	for (r = 0; r < rounds; r = r + 1) {
+		n = 200 + rnd(800);
+		if (n > 4000) { n = 4000; }
+		gentext(n);
+		for (k = 0; k < 6; k = k + 1) {
+			setpat(k);
+			sum = sum + match(0) * (k + 1);
+			sum = (sum + countmatches()) & 0xffffff;
+		}
+	}
+	print(sum);
+	print(rounds * 6);
+	return 0;
+}
+`

@@ -1,0 +1,179 @@
+package specsuite
+
+// 072.sc — a spreadsheet recalculation engine linked against a special
+// "curses" display library whose routines do nothing. In the paper this
+// benchmark showcased interprocedural side-effect analysis: the curses
+// calls are deleted before inlining even starts because HLO proves them
+// pure, and the remaining recalculation loop then benefits from
+// cross-module inlining of the cell accessors.
+func scSources() []string {
+	return []string{scCursesMod, scCellsMod, scMainMod}
+}
+
+const scCursesMod = `
+module curses;
+
+// The paper: "The 072.sc benchmark includes a special curses library in
+// which all curses calls do nothing." Every routine here is pure and
+// loop-free so side-effect analysis can delete dead calls to it.
+func cur_move(r int, c int) int { return r * 80 + c; }
+func cur_addch(ch int) int { return ch; }
+func cur_standout(on int) int { return on; }
+func cur_refresh() int { return 1; }
+func cur_clearline(r int) int { return r; }
+`
+
+const scCellsMod = `
+module cells;
+
+// The sheet: ROWS x COLS cells. Each cell has a kind and a payload:
+// kind 0 = empty, 1 = constant(a), 2 = sum of rectangle (a=start,b=end),
+// 3 = product of two cells, 4 = reference.
+static var kind [1024] int;
+static var pa [1024] int;
+static var pb [1024] int;
+static var val [1024] int;
+
+func cell_id(r int, c int) int { return ((r & 31) << 5) | (c & 31); }
+func cell_kind(id int) int { return kind[id & 1023]; }
+func cell_a(id int) int { return pa[id & 1023]; }
+func cell_b(id int) int { return pb[id & 1023]; }
+func cell_val(id int) int { return val[id & 1023]; }
+func cell_setval(id int, v int) int { val[id & 1023] = v; return v; }
+
+func cell_def(id int, k int, a int, b int) int {
+	kind[id & 1023] = k;
+	pa[id & 1023] = a;
+	pb[id & 1023] = b;
+	val[id & 1023] = 0;
+	return id;
+}
+`
+
+const scMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func cur_move(r int, c int) int;
+extern func cur_addch(ch int) int;
+extern func cur_standout(on int) int;
+extern func cur_refresh() int;
+extern func cur_clearline(r int) int;
+extern func cell_id(r int, c int) int;
+extern func cell_kind(id int) int;
+extern func cell_a(id int) int;
+extern func cell_b(id int) int;
+extern func cell_val(id int) int;
+extern func cell_setval(id int, v int) int;
+extern func cell_def(id int, k int, a int, b int) int;
+
+static var seed int;
+static var rowsN int;
+static var colsN int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 8) % m;
+}
+
+// evalcell recomputes one cell from already-evaluated cells (sheet is
+// evaluated in row-major order and formulas only reference earlier
+// cells, so one pass converges).
+static func evalcell(r int, c int) int {
+	var id int;
+	var k int;
+	var v int;
+	var rr int;
+	var cc int;
+	id = cell_id(r, c);
+	k = cell_kind(id);
+	v = 0;
+	if (k == 1) {
+		v = cell_a(id);
+	}
+	if (k == 2) {
+		// Sum of the rectangle from (0,0) to (a%r, b%c) exclusive.
+		var er int;
+		var ec int;
+		er = cell_a(id) % (r + 1);
+		ec = cell_b(id) % (c + 1);
+		for (rr = 0; rr <= er; rr = rr + 1) {
+			for (cc = 0; cc <= ec; cc = cc + 1) {
+				v = v + cell_val(cell_id(rr, cc));
+			}
+		}
+	}
+	if (k == 3) {
+		v = cell_val(cell_a(id)) * cell_val(cell_b(id)) % 10007;
+	}
+	if (k == 4) {
+		v = cell_val(cell_a(id));
+	}
+	cell_setval(id, v);
+	// Display update: dead pure calls, deleted by HLO's side-effect
+	// analysis exactly as in the paper's 072.sc.
+	cur_move(r, c);
+	cur_addch(v & 127);
+	cur_standout(v & 1);
+	return v;
+}
+
+static func recalc() int {
+	var r int;
+	var c int;
+	var sum int;
+	sum = 0;
+	for (r = 0; r < rowsN; r = r + 1) {
+		for (c = 0; c < colsN; c = c + 1) {
+			sum = (sum + evalcell(r, c)) & 0xffffff;
+		}
+		cur_clearline(r);
+	}
+	cur_refresh();
+	return sum;
+}
+
+static func build() int {
+	var r int;
+	var c int;
+	var id int;
+	var k int;
+	for (r = 0; r < rowsN; r = r + 1) {
+		for (c = 0; c < colsN; c = c + 1) {
+			id = cell_id(r, c);
+			if (r == 0 || c == 0) {
+				cell_def(id, 1, rnd(100), 0);
+			} else {
+				k = 1 + rnd(4);
+				if (k == 1) { cell_def(id, 1, rnd(1000), 0); }
+				if (k == 2) { cell_def(id, 2, rnd(32), rnd(32)); }
+				if (k == 3) {
+					cell_def(id, 3, cell_id(r - 1, c), cell_id(r, c - 1));
+				}
+				if (k == 4) { cell_def(id, 4, cell_id(r - 1, c - 1), 0); }
+			}
+		}
+	}
+	return 0;
+}
+
+func main() int {
+	var scale int;
+	var pass int;
+	var sum int;
+	scale = input(0);
+	seed = input(1) + 5;
+	rowsN = 8 + scale;
+	if (rowsN > 32) { rowsN = 32; }
+	colsN = 8 + scale / 2;
+	if (colsN > 32) { colsN = 32; }
+	build();
+	sum = 0;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		sum = (sum * 7 + recalc()) & 0xffffff;
+	}
+	print(sum);
+	print(rowsN * 100 + colsN);
+	return 0;
+}
+`

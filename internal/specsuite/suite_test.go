@@ -1,0 +1,139 @@
+package specsuite_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/pa8000"
+	"repro/internal/specsuite"
+	"repro/internal/testutil"
+)
+
+// TestBenchmarksRunEverywhere compiles every benchmark and checks that
+// the interpreter and the simulator agree on train and ref inputs, both
+// before and after HLO at whole-program scope with profile feedback —
+// the strongest end-to-end consistency check in the repository.
+func TestBenchmarksRunEverywhere(t *testing.T) {
+	for _, b := range specsuite.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			ref := testutil.MustBuild(t, b.Sources...)
+			want, err := interp.Run(ref, interp.Options{Inputs: b.Ref})
+			if err != nil {
+				t.Fatalf("interp ref: %v", err)
+			}
+			if len(want.Output) == 0 {
+				t.Fatalf("benchmark produces no output")
+			}
+			if want.Steps < 10_000 {
+				t.Errorf("ref run too small to be interesting: %d steps", want.Steps)
+			}
+
+			// Train run gathers the profile.
+			trainP := testutil.MustBuild(t, b.Sources...)
+			trainRes, err := interp.Run(trainP, interp.Options{Inputs: b.Train, Profile: true})
+			if err != nil {
+				t.Fatalf("train: %v", err)
+			}
+
+			for _, hlo := range []bool{false, true} {
+				p := testutil.MustBuild(t, b.Sources...)
+				if hlo {
+					trainRes.Profile.Attach(p)
+					core.Run(p, core.WholeProgram(), core.DefaultOptions())
+					if err := p.Verify(); err != nil {
+						t.Fatalf("verify after HLO: %v", err)
+					}
+					got, err := interp.Run(p, interp.Options{Inputs: b.Ref})
+					if err != nil {
+						t.Fatalf("interp after HLO: %v", err)
+					}
+					compare(t, "interp+hlo", got.Output, got.ExitCode, want.Output, want.ExitCode)
+				}
+				mp, err := backend.Link(p)
+				if err != nil {
+					t.Fatalf("hlo=%v link: %v", hlo, err)
+				}
+				st, err := pa8000.Run(mp, pa8000.Config{}, b.Ref)
+				if err != nil {
+					t.Fatalf("hlo=%v sim: %v", hlo, err)
+				}
+				compare(t, "sim", st.Output, st.ExitCode, want.Output, want.ExitCode)
+			}
+		})
+	}
+}
+
+func compare(t *testing.T, what string, gotOut []int64, gotExit int64, wantOut []int64, wantExit int64) {
+	t.Helper()
+	if gotExit != wantExit {
+		t.Errorf("%s: exit = %d, want %d", what, gotExit, wantExit)
+	}
+	if len(gotOut) != len(wantOut) {
+		t.Fatalf("%s: output = %v, want %v", what, gotOut, wantOut)
+	}
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Fatalf("%s: output[%d] = %d, want %d", what, i, gotOut[i], wantOut[i])
+		}
+	}
+}
+
+// TestHLOSpeedsUpBenchmarks checks the headline claim qualitatively: at
+// whole-program scope with profile feedback, HLO must not slow any
+// benchmark down, and must speed up the suite overall (geometric mean
+// of cycle ratios > 1).
+func TestHLOSpeedsUpBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	product := 1.0
+	n := 0
+	for _, b := range specsuite.All() {
+		base := testutil.MustBuild(t, b.Sources...)
+		mpBase, err := backend.Link(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stBase, err := pa8000.Run(mpBase, pa8000.Config{}, b.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		trainP := testutil.MustBuild(t, b.Sources...)
+		trainRes, err := interp.Run(trainP, interp.Options{Inputs: b.Train, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := testutil.MustBuild(t, b.Sources...)
+		trainRes.Profile.Attach(opt)
+		core.Run(opt, core.WholeProgram(), core.DefaultOptions())
+		mpOpt, err := backend.Link(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stOpt, err := pa8000.Run(mpOpt, pa8000.Config{}, b.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ratio := float64(stBase.Cycles) / float64(stOpt.Cycles)
+		t.Logf("%-14s %12d -> %12d cycles  speedup %.3f", b.Name, stBase.Cycles, stOpt.Cycles, ratio)
+		if ratio < 0.97 {
+			t.Errorf("%s: HLO slowed the benchmark down by more than 3%%: %.3f", b.Name, ratio)
+		}
+		product *= ratio
+		n++
+	}
+	if n > 0 {
+		gm := math.Pow(product, 1.0/float64(n))
+		t.Logf("geometric mean speedup: %.3f", gm)
+		if gm <= 1.0 {
+			t.Errorf("suite geometric mean speedup %.3f, want > 1", gm)
+		}
+	}
+}

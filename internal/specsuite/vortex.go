@@ -1,0 +1,182 @@
+package specsuite
+
+// 147.vortex — an in-memory object store: fixed-schema records in an
+// arena, a hash index, and transaction loops that go through
+// cross-module field accessors for every touch. Vortex was the paper's
+// accessor-heavy database benchmark; most of its call sites were
+// cross-module and tiny.
+func vortexSources() []string {
+	return []string{vortexSchemaMod, vortexStoreMod, vortexMainMod}
+}
+
+const vortexSchemaMod = `
+module vschema;
+
+// Records live in a flat arena, RECSIZE words each:
+// 0 id, 1 kind, 2 balance, 3 links, 4 touched, 5..7 payload.
+static var arena [8192] int;
+static var nrecs int;
+
+func rec_reset() int { nrecs = 0; return 0; }
+func rec_count() int { return nrecs; }
+
+func rec_new() int {
+	var r int;
+	if (nrecs >= 1020) { return 0 - 1; }
+	r = nrecs;
+	nrecs = nrecs + 1;
+	return r;
+}
+
+func fld_get(r int, f int) int { return arena[(r * 8 + f) & 8191]; }
+func fld_set(r int, f int, v int) int {
+	arena[(r * 8 + f) & 8191] = v;
+	return v;
+}
+
+// Typed accessors layered over fld_get/fld_set: two inline levels.
+func rec_id(r int) int { return fld_get(r, 0); }
+func rec_kind(r int) int { return fld_get(r, 1); }
+func rec_balance(r int) int { return fld_get(r, 2); }
+func rec_links(r int) int { return fld_get(r, 3); }
+func rec_setid(r int, v int) int { return fld_set(r, 0, v); }
+func rec_setkind(r int, v int) int { return fld_set(r, 1, v); }
+func rec_setbalance(r int, v int) int { return fld_set(r, 2, v); }
+func rec_setlinks(r int, v int) int { return fld_set(r, 3, v); }
+func rec_touch(r int) int { return fld_set(r, 4, fld_get(r, 4) + 1); }
+`
+
+const vortexStoreMod = `
+module vstore;
+extern func rec_new() int;
+extern func rec_id(r int) int;
+extern func rec_setid(r int, v int) int;
+extern func rec_setkind(r int, v int) int;
+extern func rec_setbalance(r int, v int) int;
+extern func rec_setlinks(r int, v int) int;
+
+// Open-addressed id index.
+static var slots [2048] int;
+
+func idx_reset() int {
+	var i int;
+	for (i = 0; i < 2048; i = i + 1) { slots[i] = 0 - 1; }
+	return 0;
+}
+
+static func hash(id int) int { return (id * 2654435761) & 2047; }
+
+func idx_insert(id int, rec int) int {
+	var h int;
+	h = hash(id);
+	while (slots[h] >= 0) { h = (h + 1) & 2047; }
+	slots[h] = rec;
+	return h;
+}
+
+func idx_find(id int) int {
+	var h int;
+	var k int;
+	h = hash(id);
+	for (k = 0; k < 2048; k = k + 1) {
+		if (slots[h] < 0) { return 0 - 1; }
+		if (rec_id(slots[h]) == id) { return slots[h]; }
+		h = (h + 1) & 2047;
+	}
+	return 0 - 1;
+}
+
+// db_create allocates and indexes one record.
+func db_create(id int, kind int, balance int) int {
+	var r int;
+	r = rec_new();
+	if (r < 0) { return r; }
+	rec_setid(r, id);
+	rec_setkind(r, kind);
+	rec_setbalance(r, balance);
+	rec_setlinks(r, 0);
+	idx_insert(id, r);
+	return r;
+}
+`
+
+const vortexMainMod = `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func rec_reset() int;
+extern func rec_count() int;
+extern func rec_kind(r int) int;
+extern func rec_balance(r int) int;
+extern func rec_setbalance(r int, v int) int;
+extern func rec_links(r int) int;
+extern func rec_setlinks(r int, v int) int;
+extern func rec_touch(r int) int;
+extern func idx_reset() int;
+extern func idx_find(id int) int;
+extern func db_create(id int, kind int, balance int) int;
+
+static var seed int;
+
+static func rnd(m int) int {
+	seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+	return (seed >> 9) % m;
+}
+
+// xfer moves funds between two records, touching both.
+static func xfer(a int, b int, amt int) int {
+	if (a < 0 || b < 0) { return 0; }
+	rec_setbalance(a, rec_balance(a) - amt);
+	rec_setbalance(b, rec_balance(b) + amt);
+	rec_touch(a);
+	rec_touch(b);
+	return amt;
+}
+
+// linkup connects records of the same kind into counted link chains.
+static func linkup(n int) int {
+	var i int;
+	var r int;
+	var links int;
+	links = 0;
+	for (i = 0; i < n; i = i + 1) {
+		r = idx_find(i * 7 + 1);
+		if (r >= 0) {
+			rec_setlinks(r, rec_links(r) + (rec_kind(r) == (i & 3) ? 2 : 1));
+			links = links + rec_links(r);
+		}
+	}
+	return links;
+}
+
+func main() int {
+	var txns int;
+	var n int;
+	var t int;
+	var sum int;
+	var a int;
+	var b int;
+	txns = input(0);
+	seed = input(1) + 2;
+	n = 200;
+	rec_reset();
+	idx_reset();
+	for (t = 0; t < n; t = t + 1) {
+		db_create(t * 7 + 1, t & 3, 1000 + rnd(500));
+	}
+	sum = 0;
+	for (t = 0; t < txns * 20; t = t + 1) {
+		a = idx_find((rnd(n)) * 7 + 1);
+		b = idx_find((rnd(n)) * 7 + 1);
+		sum = (sum + xfer(a, b, rnd(100))) & 0xffffff;
+		if ((t & 15) == 0) { sum = (sum + linkup(n)) & 0xffffff; }
+	}
+	for (t = 0; t < n; t = t + 1) {
+		a = idx_find(t * 7 + 1);
+		if (a >= 0) { sum = (sum + rec_balance(a)) & 0xffffff; }
+	}
+	print(sum);
+	print(rec_count());
+	return 0;
+}
+`

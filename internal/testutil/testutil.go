@@ -1,0 +1,68 @@
+// Package testutil holds helpers shared by the test suites: building IR
+// programs from MiniC source strings and running them on the reference
+// interpreter.
+package testutil
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+)
+
+// Build compiles MiniC source strings (one module each) into a resolved,
+// verified program.
+func Build(sources ...string) (*ir.Program, error) {
+	files := make([]*minic.File, 0, len(sources))
+	for i, src := range sources {
+		f, err := minic.Parse(fmt.Sprintf("src%d.mc", i), src)
+		if err != nil {
+			return nil, err
+		}
+		if err := minic.Check(f); err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return lower.Program(files)
+}
+
+// MustBuild is Build that fails the test on error.
+func MustBuild(t testing.TB, sources ...string) *ir.Program {
+	t.Helper()
+	p, err := Build(sources...)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// MustRun executes the program on the interpreter and fails the test on
+// any runtime error.
+func MustRun(t testing.TB, p *ir.Program, inputs ...int64) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{Inputs: inputs})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// EqualOutput fails the test unless got's output and exit code match.
+func EqualOutput(t testing.TB, got *interp.Result, wantExit int64, wantOut ...int64) {
+	t.Helper()
+	if got.ExitCode != wantExit {
+		t.Errorf("exit code = %d, want %d", got.ExitCode, wantExit)
+	}
+	if len(got.Output) != len(wantOut) {
+		t.Fatalf("output = %v, want %v", got.Output, wantOut)
+	}
+	for i := range wantOut {
+		if got.Output[i] != wantOut[i] {
+			t.Errorf("output[%d] = %d, want %d (full: %v)", i, got.Output[i], wantOut[i], got.Output)
+		}
+	}
+}
