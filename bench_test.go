@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pa8000"
 	"repro/internal/specsuite"
 )
@@ -318,6 +319,37 @@ func BenchmarkAblationOutlining(b *testing.B) {
 			b.ReportMetric(off/on, "nooutline/outline-cycles")
 		}
 	}
+}
+
+// BenchmarkRemarksOverhead measures the cost of the observability layer
+// on the paper's peak 022.li compile: the same compile with a nil
+// recorder (the default) and with remarks, spans and counters fully
+// enabled. The nil path is the one every production compile pays, so it
+// must stay indistinguishable from the pre-observability compiler.
+func BenchmarkRemarksOverhead(b *testing.B) {
+	bench, err := specsuite.ByName("022.li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			opts := driver.DefaultOptions(bench.Train)
+			opts.Obs = rec
+			if rec != nil {
+				rec.Reset()
+			}
+			if _, err := driver.Compile(bench.Sources, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rec != nil {
+			b.ReportMetric(float64(len(rec.Remarks())), "remarks")
+			b.ReportMetric(float64(len(rec.Spans())), "spans")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obs.New()) })
 }
 
 // BenchmarkAblationCodeLayout measures profile-guided code positioning

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all]
+//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace]
 //
 // With no flags it behaves as -all. Figure 8 accepts -fig8points to
-// bound the sweep resolution.
+// bound the sweep resolution. -trace prints, after each experiment, the
+// pipeline phase spans and the unified counter registry accumulated
+// over the experiment's compiles and runs (to stderr).
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,10 +31,16 @@ func main() {
 	prod := flag.Bool("prod", false, "Section 3.5: large generated programs")
 	prodSeeds := flag.Int("prodseeds", 3, "number of generated programs for -prod")
 	all := flag.Bool("all", false, "everything")
+	trace := flag.Bool("trace", false, "print per-experiment phase traces and counters to stderr")
 	flag.Parse()
 
 	if !*fig5 && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*prod {
 		*all = true
+	}
+	var rec *obs.Recorder
+	if *trace {
+		rec = obs.New()
+		experiments.SetRecorder(rec)
 	}
 	run := func(name string, enabled bool, f func() (string, error)) {
 		if !enabled && !*all {
@@ -45,6 +54,12 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		if *trace {
+			fmt.Fprintf(os.Stderr, "--- %s: pipeline trace ---\n", name)
+			obs.WriteTrace(os.Stderr, rec.Spans())
+			obs.WriteCounters(os.Stderr, rec.Counters())
+			rec.Reset()
+		}
 	}
 
 	run("figure5", *fig5, func() (string, error) {

@@ -23,8 +23,11 @@
 //	-emit-profile F train on -train inputs and store the profile database
 //	-use-profile F  attach a stored profile database (no training run)
 //	-run 1,2,3      run the executable on the PA8000 model with inputs
-//	-stats          print HLO transformation statistics
+//	-stats          print HLO transformation statistics (with per-pass breakdown)
 //	-dump           print the optimized IR listing
+//	-remarks        print optimization remarks (one line per decision)
+//	-remarks-json F write the remark stream as JSONL to file F
+//	-trace          print the pipeline phase trace and counters to stderr
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/isom"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -57,6 +61,9 @@ func main() {
 	runInputs := flag.String("run", "", "run with comma-separated inputs")
 	stats := flag.Bool("stats", false, "print HLO statistics")
 	dump := flag.Bool("dump", false, "print optimized IR")
+	remarks := flag.Bool("remarks", false, "print optimization remarks (one line per inline/clone/outline/dead-call decision)")
+	remarksJSON := flag.String("remarks-json", "", "write the optimization remark stream as JSONL to this file")
+	trace := flag.Bool("trace", false, "print the pipeline phase trace and counters to stderr")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -78,6 +85,13 @@ func main() {
 		TrainInputs: parseInputs(*train),
 		HLO:         core.DefaultOptions(),
 	}
+	// -stats needs the per-pass spans, so any observability flag turns
+	// the recorder on.
+	var rec *obs.Recorder
+	if *remarks || *remarksJSON != "" || *trace || *stats {
+		rec = obs.New()
+	}
+	opts.Obs = rec
 	opts.HLO.Budget = *budget
 	opts.HLO.Inline = !*noinline
 	opts.HLO.Clone = !*noclone
@@ -124,6 +138,24 @@ func main() {
 			s.Inlines, s.Clones, s.CloneRepls, s.Deletions, s.Outlines, s.Promotions, s.DeadCalls)
 		fmt.Printf("compile-cost=%d size %d -> %d machine-instrs=%d\n",
 			c.CompileCost, s.SizeBefore, s.SizeAfter, c.CodeSize)
+		printPassBreakdown(rec)
+	}
+	if *remarks {
+		if err := obs.WriteText(os.Stdout, rec.Remarks()); err != nil {
+			fatal(err)
+		}
+	}
+	if *remarksJSON != "" {
+		f, err := os.Create(*remarksJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteJSONL(f, rec.Remarks()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *dump {
 		fmt.Print(c.IR.String())
@@ -152,6 +184,53 @@ func main() {
 			fmt.Println(v)
 		}
 		fmt.Printf("exit=%d cycles=%d instrs=%d cpi=%.3f\n", st.ExitCode, st.Cycles, st.Instrs, st.CPI())
+	}
+	if *trace {
+		// Printed last so the simulate span and counters are included.
+		if err := obs.WriteTrace(os.Stderr, rec.Spans()); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteCounters(os.Stderr, rec.Counters()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printPassBreakdown renders the per-phase view of the compile that the
+// trace spans provide: one line per HLO phase with its size/cost motion
+// and the number of accepted transformations that landed in it.
+func printPassBreakdown(rec *obs.Recorder) {
+	remarks := rec.Remarks()
+	acceptedIn := func(kind string, pass int) (n int) {
+		for _, rm := range remarks {
+			if rm.Accepted && rm.Kind == kind && rm.Pass == pass {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Println("per-pass breakdown (from trace spans):")
+	for _, sp := range rec.Spans() {
+		if !strings.HasPrefix(sp.Name, "hlo/") {
+			continue
+		}
+		pass := 0
+		if _, err := fmt.Sscanf(sp.Name, "hlo/pass%d/", &pass); err != nil {
+			pass = 0
+		}
+		line := fmt.Sprintf("  %-28s %8.2fms  size %d -> %d  cost %d -> %d",
+			sp.Name, sp.Dur.Seconds()*1000, sp.SizeBefore, sp.SizeAfter, sp.CostBefore, sp.CostAfter)
+		switch {
+		case strings.HasSuffix(sp.Name, "/inline"):
+			line += fmt.Sprintf("  accepted=%d", acceptedIn("inline", pass))
+		case strings.HasSuffix(sp.Name, "/clone"):
+			line += fmt.Sprintf("  accepted=%d", acceptedIn("clone", pass))
+		case strings.HasSuffix(sp.Name, "/outline"):
+			line += fmt.Sprintf("  accepted=%d", acceptedIn("outline", 0))
+		case strings.HasSuffix(sp.Name, "/dead-calls"):
+			line += fmt.Sprintf("  accepted=%d", acceptedIn("dead-call", 0))
+		}
+		fmt.Println(line)
 	}
 }
 

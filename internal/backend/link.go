@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/pa8000"
 )
 
@@ -23,6 +24,13 @@ func Link(p *ir.Program) (*pa8000.Program, error) {
 // policy, thunks for address-taken runtime routines, data addresses for
 // globals, and all relocations resolved.
 func LinkLayout(p *ir.Program, layout Layout) (*pa8000.Program, error) {
+	return LinkLayoutObs(p, layout, nil)
+}
+
+// LinkLayoutObs is LinkLayout with phase tracing: layout ordering, code
+// generation and relocation resolution each get a span on rec. A nil
+// recorder costs nothing.
+func LinkLayoutObs(p *ir.Program, layout Layout, rec *obs.Recorder) (*pa8000.Program, error) {
 	main, err := p.MainFunc()
 	if err != nil {
 		return nil, err
@@ -66,9 +74,14 @@ func LinkLayout(p *ir.Program, layout Layout) (*pa8000.Program, error) {
 	}
 
 	// Function bodies, in layout order.
-	for _, f := range orderFuncs(p, layout) {
+	spLayout := rec.Begin("backend/layout")
+	funcs := orderFuncs(p, layout)
+	spLayout.End()
+	spGen := rec.Begin("backend/codegen")
+	for _, f := range funcs {
 		code, err := genFunc(f)
 		if err != nil {
+			spGen.End()
 			return nil, err
 		}
 		base := len(prog.Code)
@@ -83,8 +96,11 @@ func LinkLayout(p *ir.Program, layout Layout) (*pa8000.Program, error) {
 			prog.Code = append(prog.Code, in)
 		}
 	}
+	spGen.EndSized(len(prog.Code), 0)
 
 	// Resolve relocations.
+	spRel := rec.Begin("backend/reloc")
+	defer spRel.End()
 	for i := range prog.Code {
 		in := &prog.Code[i]
 		if in.Sym == "" {

@@ -46,13 +46,17 @@ func (s *cloneSpec) key() string {
 // cloneGroup is a set of call sites that can all safely call the clone
 // described by spec (Figure 3's clone groups).
 type cloneGroup struct {
-	spec    *cloneSpec
-	sites   []int32 // Site IDs of the member edges
-	callers []*ir.Func
-	benefit int64
+	spec     *cloneSpec
+	sites    []int32 // Site IDs of the member edges
+	callers  []*ir.Func
+	benefits []int64 // per-site benefit, parallel to sites
+	benefit  int64
 	// coversAll marks groups containing every direct call to the clonee,
 	// which anticipates deletion of the clonee (zero cost in the paper).
 	coversAll bool
+	// cost and headroom record the budget state at selection time for
+	// optimization remarks.
+	cost, headroom int64
 }
 
 // clonePass implements Figure 3: build parameter-usage and calling-
@@ -75,7 +79,8 @@ func (h *hlo) clonePass(stageBudget int64) {
 	claimed := make(map[int32]bool) // sites already in a group this pass
 	var groups []*cloneGroup
 	for _, e := range g.Edges {
-		if cloneLegal(e, h.scope) != OK {
+		if r := cloneLegal(e, h.scope); r != OK {
+			h.remarkEdge(RemarkClone, e, r)
 			continue
 		}
 		site := e.Instr().Site
@@ -92,6 +97,7 @@ func (h *hlo) clonePass(stageBudget int64) {
 			}
 		}
 		if spec.nBound() == 0 {
+			h.remarkEdge(RemarkClone, e, NoBinding)
 			continue
 		}
 		// Greedily grow the group over the clonee's other legal sites.
@@ -109,9 +115,11 @@ func (h *hlo) clonePass(stageBudget int64) {
 			if !ipa.ContextOf(e2).Matches(specCtx) {
 				continue
 			}
+			b2 := h.cloneSiteBenefit(e2, spec, u)
 			grp.sites = append(grp.sites, s2)
 			grp.callers = append(grp.callers, e2.Caller)
-			grp.benefit += h.cloneSiteBenefit(e2, spec, u)
+			grp.benefits = append(grp.benefits, b2)
+			grp.benefit += b2
 		}
 		if len(grp.sites) == 0 {
 			continue
@@ -133,11 +141,15 @@ func (h *hlo) clonePass(stageBudget int64) {
 		return a.spec.key() < b.spec.key()
 	})
 	c := h.cost
-	for _, grp := range groups {
+	for gi, grp := range groups {
 		if grp.benefit <= 0 {
+			h.remarkGroup(grp, RejNoBenefit)
 			continue
 		}
 		if h.stopped() {
+			for _, rest := range groups[gi:] {
+				h.remarkGroup(rest, RejStopped)
+			}
 			return
 		}
 		x := h.costOf(int64(grp.spec.callee.Size()))
@@ -152,11 +164,25 @@ func (h *hlo) clonePass(stageBudget int64) {
 				x = 0
 			}
 		}
+		grp.cost = x
+		grp.headroom = stageBudget - c
 		if c+x > stageBudget {
+			h.remarkGroup(grp, RejBudget)
 			continue
 		}
 		c += x
 		h.applyCloneGroup(grp)
+	}
+}
+
+// remarkGroup records one rejection remark per member site of a group
+// declined as a whole by the selection loop.
+func (h *hlo) remarkGroup(grp *cloneGroup, reason Reason) {
+	if h.rec == nil {
+		return
+	}
+	for i := range grp.sites {
+		h.remarkCloneSite(grp, i, false, reason, grp.cost, grp.headroom, "")
 	}
 }
 
@@ -199,16 +225,20 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 	}
 	for i, site := range grp.sites {
 		if h.stopped() {
+			h.remarkCloneSite(grp, i, false, RejStopped, grp.cost, grp.headroom, cloneName)
 			return
 		}
 		caller := grp.callers[i]
 		blk, idx, ok := ir.FindSite(caller, site)
 		if !ok {
+			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.cost, grp.headroom, cloneName)
 			continue
 		}
 		in := &blk.Instrs[idx]
 		if in.Op != ir.Call || in.Callee != clonee.QName {
-			continue // retargeted or transformed since the graph was built
+			// Retargeted or transformed since the graph was built.
+			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.cost, grp.headroom, cloneName)
+			continue
 		}
 		// Edit the bound actuals out of the argument list and point the
 		// site at the clone.
@@ -222,6 +252,7 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		in.Args = args
 		h.stats.CloneRepls++
 		h.countOp()
+		h.remarkCloneSite(grp, i, true, OK, grp.cost, grp.headroom, cloneName)
 	}
 	if clonee.Module != h.prog.Func(cloneName).Module {
 		// Cannot happen (clones live in the clonee's module), but keep

@@ -29,6 +29,7 @@ package core
 
 import (
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Scope describes which functions HLO may transform and how far it may
@@ -97,6 +98,10 @@ type Options struct {
 	// OutlineMinSize is the minimum body size (instructions) worth a
 	// call; 0 means the default of 6.
 	OutlineMinSize int
+	// Obs receives optimization remarks (one per inline/clone/outline/
+	// dead-call decision) and per-pass phase spans. A nil recorder is a
+	// no-op: the decision hot paths pay nothing when disabled.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions mirrors the paper's defaults: budget 100, four passes,

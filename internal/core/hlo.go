@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/ipa"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -20,6 +21,8 @@ type hlo struct {
 	outlineSeq int
 	ops        int
 	siteSeq    int32
+	rec        *obs.Recorder // nil when observability is off
+	pass       int           // 1-based pass number inside the pass loop; 0 outside
 }
 
 // Run applies HLO to the program under the given scope and options and
@@ -36,6 +39,7 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 		opts:    opts,
 		stats:   &Stats{},
 		cloneDB: make(map[string]string),
+		rec:     opts.Obs,
 	}
 	p.Funcs(func(f *ir.Func) bool {
 		if f.EntryCount > 0 {
@@ -50,12 +54,24 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 	// ("they are eliminated before inlining because HLO's
 	// interprocedural analysis determines that they have no side
 	// effect").
+	sp := h.beginPhase("input-opt")
 	h.forScope(func(f *ir.Func) { opt.Optimize(f, nil) })
+	h.endPhase(sp)
 	if opts.DeadCallElim {
+		sp := h.beginPhase("dead-calls")
 		h.pure = ipa.PureFuncs(ipa.Build(p))
 		before := h.countCalls()
+		var deadCands []deadCallSite
+		if h.rec != nil {
+			h.siteSeq = p.AssignSites(h.siteSeq)
+			deadCands = h.pureCallSites()
+		}
 		h.forScope(func(f *ir.Func) { opt.Optimize(f, h.purity) })
 		h.stats.DeadCalls = before - h.countCalls()
+		if h.rec != nil {
+			h.emitDeadCallRemarks(deadCands)
+		}
+		h.endPhase(sp)
 	}
 
 	// Figure 2: determine the budget and its staging.
@@ -67,31 +83,45 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 	budget := c0 + extra
 
 	for pass := 0; pass < opts.Passes && h.cost < budget && !h.stopped(); pass++ {
+		h.pass = pass + 1
 		stage := c0 + extra*stageFraction(pass, opts.Passes)/100
 		if opts.Clone {
 			h.siteSeq = p.AssignSites(h.siteSeq)
+			sp := h.beginPhase("clone")
 			h.clonePass(stage)
+			h.endPhase(sp)
+			sp = h.beginPhase("clone-opt")
 			h.reoptimize()
+			h.endPhase(sp)
 		}
 		if opts.Inline {
 			h.siteSeq = p.AssignSites(h.siteSeq)
+			sp := h.beginPhase("inline")
 			h.inlinePass(stage)
+			h.endPhase(sp)
+			sp = h.beginPhase("inline-opt")
 			h.reoptimize()
+			h.endPhase(sp)
 		}
 		h.cost = h.computeCost()
 		h.stats.Passes++
 	}
+	h.pass = 0
 
 	if opts.Outline {
 		if opts.OutlineMinSize <= 0 {
 			h.opts.OutlineMinSize = 6
 		}
+		sp := h.beginPhase("outline")
 		if h.outlinePass() > 0 {
 			h.reoptimize()
 		}
+		h.endPhase(sp)
 	}
 
+	sp = h.beginPhase("delete-unreachable")
 	h.stats.Deletions = h.deleteUnreachable()
+	h.endPhase(sp)
 	h.cost = h.computeCost()
 	h.stats.CostAfter = h.cost
 	h.stats.SizeAfter = h.scopeSize()

@@ -9,11 +9,15 @@ import (
 )
 
 // inlineCand is one viable inline site with its figure of merit.
+// cost and headroom are filled in by the selection loop for remarks:
+// the projected compile-cost delta and the stage budget remaining when
+// the decision was made.
 type inlineCand struct {
 	caller, callee *ir.Func
 	site           int32
 	benefit        int64
 	args           int
+	cost, headroom int64
 }
 
 // inlinePass implements Figure 4: screen, rank by benefit, select
@@ -23,7 +27,8 @@ func (h *hlo) inlinePass(stageBudget int64) {
 	g := ipa.Build(h.prog)
 	var cands []*inlineCand
 	for _, e := range g.Edges {
-		if inlineLegal(e, h.scope) != OK {
+		if r := inlineLegal(e, h.scope); r != OK {
+			h.remarkEdge(RemarkInline, e, r)
 			continue
 		}
 		cands = append(cands, &inlineCand{
@@ -63,11 +68,15 @@ func (h *hlo) inlinePass(stageBudget int64) {
 	c := h.cost
 	for _, cand := range cands {
 		if cand.benefit <= 0 {
+			h.remarkInline(cand, false, RejNoBenefit)
 			continue
 		}
 		callerSz, calleeSz := sizeOf(cand.caller), sizeOf(cand.callee)
 		x := h.costOf(callerSz+calleeSz) - h.costOf(callerSz)
+		cand.cost = x
+		cand.headroom = stageBudget - c
 		if c+x > stageBudget {
+			h.remarkInline(cand, false, RejBudget)
 			continue
 		}
 		c += x
@@ -81,13 +90,19 @@ func (h *hlo) inlinePass(stageBudget int64) {
 	sort.SliceStable(accepted, func(i, j int) bool {
 		return order[accepted[i].caller] < order[accepted[j].caller]
 	})
-	for _, cand := range accepted {
+	for i, cand := range accepted {
 		if h.stopped() {
+			for _, rest := range accepted[i:] {
+				h.remarkInline(rest, false, RejStopped)
+			}
 			return
 		}
 		if err := h.performInline(cand); err == nil {
 			h.stats.Inlines++
 			h.countOp()
+			h.remarkInline(cand, true, OK)
+		} else {
+			h.remarkInline(cand, false, RejRetargeted)
 		}
 	}
 }

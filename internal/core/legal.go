@@ -2,13 +2,19 @@ package core
 
 import (
 	"repro/internal/ipa"
+	"repro/internal/ir"
 )
 
-// Reason explains why a call site was rejected, mirroring the paper's
-// four restriction classes plus the structural ones.
+// Reason explains the outcome of a legality or selection decision,
+// mirroring the paper's four restriction classes plus the structural
+// ones, and — beyond the screen itself — the selection-stage outcomes
+// (budget exhaustion, non-positive benefit, the StopAfter limit) so
+// every optimization remark carries a machine-readable reason code.
 type Reason uint8
 
-// Rejection reasons.
+// Rejection reasons. The legality screens (inlineLegal, cloneLegal,
+// outlineLegal) return the first group; the selection loops use the
+// second group when an otherwise-legal decision is declined.
 const (
 	OK               Reason = iota
 	NotDirect               // indirect or external: no known callee body
@@ -20,30 +26,52 @@ const (
 	PragmaticSelf           // direct self-recursive site
 	UserNoInline            // user pragma
 	NotCloneworthy          // no parameters / entry point
+
+	// Selection-stage outcomes.
+	RejNoBenefit  // figure of merit not positive
+	RejBudget     // stage budget would be exceeded
+	RejStopped    // the StopAfter operation limit was reached
+	RejRetargeted // site vanished or was retargeted since ranking
+	NoBinding     // clone spec binds no parameter (S(E) ∩ P(R) empty)
+
+	// Outliner screen outcomes.
+	OutlineEntry // entry block is never outlined (parameter home)
+	NotCold      // block not colder than the entry by the threshold
+	TooSmall     // straight-line body below OutlineMinSize
+	UsesFrame    // body touches the frame (FrameAddr/Alloca)
+	TooManyFlows // too many registers flow in, or more than one out
+
+	// Dead-call analysis outcomes.
+	LiveResult // pure call survives: its result is still used
 )
 
+var reasonNames = [...]string{
+	OK:               "ok",
+	NotDirect:        "not-direct",
+	OutOfScope:       "out-of-scope",
+	IllegalArity:     "illegal-arity",
+	IllegalVarargs:   "illegal-varargs",
+	TechnicalRelaxed: "technical-relaxed",
+	PragmaticAlloca:  "pragmatic-alloca",
+	PragmaticSelf:    "pragmatic-self",
+	UserNoInline:     "user-noinline",
+	NotCloneworthy:   "not-cloneworthy",
+	RejNoBenefit:     "no-benefit",
+	RejBudget:        "budget",
+	RejStopped:       "stop-limit",
+	RejRetargeted:    "retargeted",
+	NoBinding:        "no-binding",
+	OutlineEntry:     "entry-block",
+	NotCold:          "not-cold",
+	TooSmall:         "too-small",
+	UsesFrame:        "uses-frame",
+	TooManyFlows:     "too-many-flows",
+	LiveResult:       "live-result",
+}
+
 func (r Reason) String() string {
-	switch r {
-	case OK:
-		return "ok"
-	case NotDirect:
-		return "not-direct"
-	case OutOfScope:
-		return "out-of-scope"
-	case IllegalArity:
-		return "illegal-arity"
-	case IllegalVarargs:
-		return "illegal-varargs"
-	case TechnicalRelaxed:
-		return "technical-relaxed"
-	case PragmaticAlloca:
-		return "pragmatic-alloca"
-	case PragmaticSelf:
-		return "pragmatic-self"
-	case UserNoInline:
-		return "user-noinline"
-	case NotCloneworthy:
-		return "not-cloneworthy"
+	if int(r) < len(reasonNames) && reasonNames[r] != "" {
+		return reasonNames[r]
 	}
 	return "?"
 }
@@ -76,6 +104,31 @@ func inlineLegal(e *ipa.Edge, scope Scope) Reason {
 	}
 	if callee.NoInline {
 		return UserNoInline
+	}
+	return OK
+}
+
+// outlineLegal screens one block of a profiled routine for outlining:
+// the block must not be the entry, must be cold relative to the entry,
+// must have a straight-line body worth a call, and must not touch the
+// frame (FrameAddr/Alloca cannot move to another routine's frame). The
+// data-flow shape (TooManyFlows) needs liveness and is checked
+// separately by outlineFlows.
+func outlineLegal(f *ir.Func, b *ir.Block, minSize int) Reason {
+	if b.Index == 0 {
+		return OutlineEntry
+	}
+	if b.Count*outlineColdFraction >= f.EntryCount {
+		return NotCold
+	}
+	if len(b.Instrs)-1 < minSize {
+		return TooSmall
+	}
+	for i := 0; i < len(b.Instrs)-1; i++ {
+		switch b.Instrs[i].Op {
+		case ir.FrameAddr, ir.Alloca:
+			return UsesFrame
+		}
 	}
 	return OK
 }

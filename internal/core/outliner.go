@@ -50,29 +50,42 @@ func (h *hlo) outlinePass() int {
 
 func (h *hlo) outlineFunc(f *ir.Func) int {
 	created := 0
+	// remarked tracks blocks already reported so the fixpoint rescans
+	// below do not emit duplicate remarks (nil when recording is off).
+	var remarked map[*ir.Block]bool
+	if h.rec != nil {
+		remarked = make(map[*ir.Block]bool)
+	}
+	remarkOnce := func(b *ir.Block, accepted bool, reason Reason, name string, saved int) {
+		if h.rec == nil || remarked[b] {
+			return
+		}
+		remarked[b] = true
+		h.remarkOutline(f, b, accepted, reason, name, saved)
+	}
 	// Liveness is recomputed after each extraction (cheap at our sizes;
 	// extraction changes the register footprint of the block).
 	for {
 		_, liveOut := ir.Liveness(f)
 		done := true
 		for _, b := range f.Blocks {
-			if b.Index == 0 {
-				continue // never outline the entry (parameter home)
-			}
-			if b.Count*outlineColdFraction >= f.EntryCount {
-				continue
-			}
-			if len(b.Instrs)-1 < h.opts.OutlineMinSize {
-				continue
-			}
-			if !outlineable(b) {
+			switch r := outlineLegal(f, b, h.opts.OutlineMinSize); r {
+			case OK:
+				// fall through to the data-flow check
+			case OutlineEntry, NotCold:
+				continue // not a candidate at all: nothing to report
+			default:
+				remarkOnce(b, false, r, "", 0)
 				continue
 			}
 			ins, outs, ok := outlineFlows(f, b, liveOut[b.Index])
 			if !ok {
+				remarkOnce(b, false, TooManyFlows, "", 0)
 				continue
 			}
+			saved := len(b.Instrs) - 1
 			h.extract(f, b, ins, outs)
+			remarkOnce(b, true, OK, fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq), saved)
 			h.stats.Outlines++
 			created++
 			done = false
@@ -82,18 +95,6 @@ func (h *hlo) outlineFunc(f *ir.Func) int {
 			return created
 		}
 	}
-}
-
-// outlineable checks the body (all but the terminator) for instructions
-// that cannot move to another routine.
-func outlineable(b *ir.Block) bool {
-	for i := 0; i < len(b.Instrs)-1; i++ {
-		switch b.Instrs[i].Op {
-		case ir.FrameAddr, ir.Alloca:
-			return false
-		}
-	}
-	return true
 }
 
 // outlineFlows computes the registers flowing into and out of the body.

@@ -1,0 +1,169 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// TestOutlineRemarks checks that every outlining decision is mirrored in
+// the remark stream: one accepted remark per extraction (naming the new
+// routine) and the count agreeing with Stats.Outlines.
+func TestOutlineRemarks(t *testing.T) {
+	trainP := testutil.MustBuild(t, outlineSrc)
+	res, err := interp.Run(trainP, interp.Options{Inputs: []int64{200}, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testutil.MustBuild(t, outlineSrc)
+	res.Profile.Attach(p)
+	opts := core.DefaultOptions()
+	opts.Budget = 0
+	opts.Outline = true
+	rec := obs.New()
+	opts.Obs = rec
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Outlines == 0 {
+		t.Fatalf("nothing outlined: %+v", stats)
+	}
+	accepted := 0
+	for _, rm := range rec.Remarks() {
+		if rm.Kind != core.RemarkOutline {
+			continue
+		}
+		if rm.Accepted {
+			accepted++
+			if !strings.Contains(rm.Callee, "$out") {
+				t.Errorf("accepted outline remark names %q, want a $out routine", rm.Callee)
+			}
+			if rm.Benefit <= 0 {
+				t.Errorf("accepted outline remark has benefit %d, want > 0", rm.Benefit)
+			}
+		}
+	}
+	if accepted != stats.Outlines {
+		t.Errorf("accepted outline remarks = %d, Stats.Outlines = %d", accepted, stats.Outlines)
+	}
+}
+
+// TestOutlineRejectedFrameRemark checks that a cold block kept in place
+// because it touches the caller's frame is reported with the uses-frame
+// reason code.
+func TestOutlineRejectedFrameRemark(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+noinline func withframe(v int, bad int) int {
+	var buf [4] int;
+	buf[0] = v;
+	if (bad) {
+		buf[1] = v * 3;
+		buf[2] = buf[1] + buf[0];
+		buf[3] = buf[2] ^ buf[1];
+		buf[0] = buf[3] * 7 + 1;
+		buf[1] = buf[0] - v;
+		buf[2] = buf[1] & 1023;
+	}
+	return buf[0];
+}
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < input(0); i = i + 1) { s = s + withframe(i, 0); }
+	print(s & 0xffffff);
+	return 0;
+}
+`
+	trainP := testutil.MustBuild(t, src)
+	res, err := interp.Run(trainP, interp.Options{Inputs: []int64{50}, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testutil.MustBuild(t, src)
+	res.Profile.Attach(p)
+	opts := core.DefaultOptions()
+	opts.Budget = 0
+	opts.Outline = true
+	rec := obs.New()
+	opts.Obs = rec
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if stats.Outlines != 0 {
+		t.Fatalf("frame-touching code was outlined: %+v", stats)
+	}
+	found := false
+	for _, rm := range rec.Remarks() {
+		if rm.Kind == core.RemarkOutline && !rm.Accepted && rm.Reason == "uses-frame" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no rejected uses-frame outline remark in %d remarks", len(rec.Remarks()))
+	}
+}
+
+// TestDeadCallRemarks checks that pure-call deletion reports each
+// candidate site: deleted calls as accepted, calls kept because their
+// result is live as rejected live-result.
+func TestDeadCallRemarks(t *testing.T) {
+	src := `
+module main;
+extern func print(x int) int;
+extern func curs_move(x int, y int) int;
+extern func curs_refresh(a int) int;
+
+func main() int {
+	var i int;
+	var s int;
+	for (i = 0; i < 10; i = i + 1) {
+		curs_move(i, i);
+		s = s + curs_refresh(0);
+	}
+	print(s);
+	return 0;
+}
+`
+	lib := `
+module curses;
+func curs_move(x int, y int) int { return 0; }
+func curs_refresh(a int) int { return 1; }
+`
+	p := testutil.MustBuild(t, src, lib)
+	opts := core.DefaultOptions()
+	rec := obs.New()
+	opts.Obs = rec
+	stats := core.Run(p, core.WholeProgram(), opts)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var accepted, liveKept int
+	for _, rm := range rec.Remarks() {
+		if rm.Kind != core.RemarkDeadCall {
+			continue
+		}
+		if rm.Accepted {
+			accepted++
+			if rm.Reason != "ok" {
+				t.Errorf("accepted dead-call remark has reason %q", rm.Reason)
+			}
+		} else {
+			if rm.Reason != "live-result" {
+				t.Errorf("rejected dead-call remark has reason %q, want live-result", rm.Reason)
+			}
+			liveKept++
+		}
+	}
+	if accepted != stats.DeadCalls {
+		t.Errorf("accepted dead-call remarks = %d, Stats.DeadCalls = %d", accepted, stats.DeadCalls)
+	}
+	if accepted == 0 {
+		t.Error("no accepted dead-call remark (curs_move result is discarded)")
+	}
+	if liveKept == 0 {
+		t.Error("no rejected live-result remark (curs_refresh result feeds s)")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lower"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/pa8000"
 	"repro/internal/profile"
 )
@@ -43,6 +44,11 @@ type Options struct {
 	Layout backend.Layout
 	// Machine configures the PA8000 model used by Run.
 	Machine pa8000.Config
+	// Obs receives phase spans for every pipeline stage (frontend,
+	// training, each HLO pass, backend, simulation), the optimization
+	// remarks HLO emits, and a counter registry unifying core.Stats and
+	// pa8000.Stats. A nil recorder disables all recording at zero cost.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions is the paper's peak configuration: cross-module,
@@ -90,7 +96,10 @@ func Frontend(sources []string) (*ir.Program, error) {
 
 // Compile builds the sources under the given configuration.
 func Compile(sources []string, opts Options) (*Compilation, error) {
+	rec := opts.Obs
+	sp := rec.Begin("frontend")
 	p, err := Frontend(sources)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -102,13 +111,16 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 		// Instrumented build + training run. The instrumented build is a
 		// plain front-end build (block counting needs unoptimized block
 		// identities), so its compile cost is the unoptimized cost.
+		sp := rec.Begin("train")
 		trainProg, err := Frontend(sources)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		c.CompileCost += programCost(trainProg, opts.HLO.LinearCost)
 		res, err := interp.Run(trainProg, interp.Options{Inputs: opts.TrainInputs, Profile: true})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("driver: training run: %w", err)
 		}
 		c.TrainResult = res
@@ -116,13 +128,19 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 		for _, extra := range opts.ExtraTrainInputs {
 			res2, err := interp.Run(trainProg, interp.Options{Inputs: extra, Profile: true})
 			if err != nil {
+				sp.End()
 				return nil, fmt.Errorf("driver: extra training run: %w", err)
 			}
 			db.Merge(res2.Profile, 100)
 		}
 		db.Attach(p)
+		sp.End()
 	}
 
+	opts.HLO.Obs = rec
+	if rec.Enabled() {
+		sp = rec.BeginSized("hlo", programSize(p), programCost(p, opts.HLO.LinearCost))
+	}
 	if opts.CrossModule {
 		st := core.Run(p, core.WholeProgram(), opts.HLO)
 		c.Stats = *st
@@ -143,23 +161,76 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 			c.Stats.Ops += st.Ops
 		}
 	}
+	sp.EndSized(c.Stats.SizeAfter, c.Stats.CostAfter)
 	c.CompileCost += c.Stats.CostAfter
+	publishHLOCounters(rec, &c.Stats)
 
-	if err := p.Verify(); err != nil {
+	sp = rec.Begin("verify")
+	err = p.Verify()
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("driver: post-HLO verification: %w", err)
 	}
-	mp, err := backend.LinkLayout(p, opts.Layout)
+	sp = rec.Begin("backend")
+	mp, err := backend.LinkLayoutObs(p, opts.Layout, rec)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	c.Machine = mp
 	c.CodeSize = backend.CodeSize(mp)
+	sp.EndSized(c.CodeSize, 0)
+	rec.Count("backend.code-size", int64(c.CodeSize))
 	return c, nil
 }
 
 // Run executes the compiled program on the machine model.
 func (c *Compilation) Run(opts Options, inputs []int64) (*pa8000.Stats, error) {
-	return pa8000.Run(c.Machine, opts.Machine, inputs)
+	sp := opts.Obs.Begin("simulate")
+	st, err := pa8000.Run(c.Machine, opts.Machine, inputs)
+	sp.End()
+	if err == nil {
+		publishSimCounters(opts.Obs, st)
+	}
+	return st, err
+}
+
+// publishHLOCounters exposes the HLO transformation statistics (Table 1
+// columns) through the unified counter registry.
+func publishHLOCounters(rec *obs.Recorder, st *core.Stats) {
+	if rec == nil {
+		return
+	}
+	rec.Count("hlo.inlines", int64(st.Inlines))
+	rec.Count("hlo.clones", int64(st.Clones))
+	rec.Count("hlo.clone-repls", int64(st.CloneRepls))
+	rec.Count("hlo.deletions", int64(st.Deletions))
+	rec.Count("hlo.outlines", int64(st.Outlines))
+	rec.Count("hlo.promotions", int64(st.Promotions))
+	rec.Count("hlo.dead-calls", int64(st.DeadCalls))
+	rec.Count("hlo.passes", int64(st.Passes))
+	rec.Count("hlo.size-before", int64(st.SizeBefore))
+	rec.Count("hlo.size-after", int64(st.SizeAfter))
+	rec.Count("hlo.cost-before", st.CostBefore)
+	rec.Count("hlo.cost-after", st.CostAfter)
+}
+
+// publishSimCounters exposes the machine-model counters (Figure 7's raw
+// numbers) through the unified counter registry.
+func publishSimCounters(rec *obs.Recorder, st *pa8000.Stats) {
+	if rec == nil {
+		return
+	}
+	rec.Count("sim.cycles", st.Cycles)
+	rec.Count("sim.instrs", st.Instrs)
+	rec.Count("sim.iaccesses", st.IAccesses)
+	rec.Count("sim.imisses", st.IMisses)
+	rec.Count("sim.daccesses", st.DAccesses)
+	rec.Count("sim.dmisses", st.DMisses)
+	rec.Count("sim.branches", st.Branches)
+	rec.Count("sim.mispredicts", st.Mispredicts)
+	rec.Count("sim.calls", st.Calls)
+	rec.Count("sim.returns", st.Returns)
 }
 
 // TrainProfile builds the program, runs it instrumented on the training
@@ -175,6 +246,15 @@ func TrainProfile(sources []string, trainInputs []int64) (*profile.Data, error) 
 		return nil, err
 	}
 	return res.Profile, nil
+}
+
+func programSize(p *ir.Program) int {
+	n := 0
+	p.Funcs(func(f *ir.Func) bool {
+		n += f.Size()
+		return true
+	})
+	return n
 }
 
 func programCost(p *ir.Program, linear bool) int64 {

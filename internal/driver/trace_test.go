@@ -1,0 +1,189 @@
+package driver_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/obs"
+	"repro/internal/specsuite"
+)
+
+// compileLiObserved runs the paper's peak configuration (cross-module +
+// profile) on 022.li with the given recorder attached.
+func compileLiObserved(t *testing.T, rec *obs.Recorder) (*driver.Compilation, driver.Options) {
+	t.Helper()
+	b, err := specsuite.ByName("022.li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := driver.DefaultOptions(b.Train)
+	opts.Obs = rec
+	c, err := driver.Compile(b.Sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, opts
+}
+
+// TestRemarksMatchStats is the subsystem's ground-truth check: the
+// remark stream must agree exactly with the aggregate statistics, and a
+// peak compile must produce both accepted and rejected inline remarks
+// with machine-readable reason codes.
+func TestRemarksMatchStats(t *testing.T) {
+	rec := obs.New()
+	c, _ := compileLiObserved(t, rec)
+
+	var accInline, rejInline, accClone int
+	rejReasons := map[string]int{}
+	for _, rm := range rec.Remarks() {
+		switch {
+		case rm.Kind == "inline" && rm.Accepted:
+			accInline++
+			if rm.Reason != "ok" {
+				t.Errorf("accepted inline remark has reason %q, want ok", rm.Reason)
+			}
+		case rm.Kind == "inline" && !rm.Accepted:
+			rejInline++
+			if rm.Reason == "" || rm.Reason == "ok" || rm.Reason == "?" {
+				t.Errorf("rejected inline remark has bad reason %q", rm.Reason)
+			}
+			rejReasons[rm.Reason]++
+		case rm.Kind == "clone" && rm.Accepted:
+			accClone++
+		}
+	}
+	if accInline == 0 || rejInline == 0 {
+		t.Fatalf("accepted=%d rejected=%d inline remarks, want both > 0", accInline, rejInline)
+	}
+	if accInline != c.Stats.Inlines {
+		t.Errorf("accepted inline remarks = %d, Stats.Inlines = %d", accInline, c.Stats.Inlines)
+	}
+	if accClone != c.Stats.CloneRepls {
+		t.Errorf("accepted clone remarks = %d, Stats.CloneRepls = %d", accClone, c.Stats.CloneRepls)
+	}
+	t.Logf("inline accepted=%d rejected=%d (reasons %v) clone accepted=%d", accInline, rejInline, rejReasons, accClone)
+}
+
+// TestRemarkStreamDeterministic compiles the same program twice and
+// requires byte-identical remark streams under both sinks (the remark
+// schema deliberately carries no wall-clock data).
+func TestRemarkStreamDeterministic(t *testing.T) {
+	var streams [][]byte
+	var texts [][]byte
+	for i := 0; i < 2; i++ {
+		rec := obs.New()
+		compileLiObserved(t, rec)
+		var jb, tb bytes.Buffer
+		if err := obs.WriteJSONL(&jb, rec.Remarks()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteText(&tb, rec.Remarks()); err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, jb.Bytes())
+		texts = append(texts, tb.Bytes())
+	}
+	if !bytes.Equal(streams[0], streams[1]) {
+		t.Error("JSONL remark streams differ between identical compiles")
+	}
+	if !bytes.Equal(texts[0], texts[1]) {
+		t.Error("text remark streams differ between identical compiles")
+	}
+	if len(streams[0]) == 0 {
+		t.Fatal("empty remark stream")
+	}
+}
+
+// TestRemarksJSONLRoundTrip pushes a real compile's remark stream
+// through the JSONL encoder and decoder and requires equality.
+func TestRemarksJSONLRoundTrip(t *testing.T) {
+	rec := obs.New()
+	compileLiObserved(t, rec)
+	remarks := rec.Remarks()
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, remarks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, remarks) {
+		t.Errorf("JSONL round trip lost data: %d in, %d out", len(remarks), len(got))
+	}
+}
+
+// TestPipelineSpansAndCounters checks that the phase trace covers every
+// pipeline stage and the counter registry unifies HLO and simulator
+// statistics.
+func TestPipelineSpansAndCounters(t *testing.T) {
+	rec := obs.New()
+	c, opts := compileLiObserved(t, rec)
+	b, err := specsuite.ByName("022.li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(opts, b.Train); err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[string]bool{}
+	for _, sp := range rec.Spans() {
+		names[sp.Name] = true
+		if sp.Dur < 0 {
+			t.Errorf("span %s has negative duration", sp.Name)
+		}
+	}
+	for _, want := range []string{
+		"frontend", "train", "hlo",
+		"hlo/input-opt", "hlo/dead-calls",
+		"hlo/pass1/clone", "hlo/pass1/inline", "hlo/pass1/inline-opt",
+		"hlo/delete-unreachable",
+		"verify", "backend", "backend/layout", "backend/codegen", "backend/reloc",
+		"simulate",
+	} {
+		if !names[want] {
+			t.Errorf("missing span %q (have %v)", want, names)
+		}
+	}
+
+	counters := map[string]int64{}
+	for _, ct := range rec.Counters() {
+		counters[ct.Name] = ct.Value
+	}
+	if counters["hlo.inlines"] != int64(c.Stats.Inlines) {
+		t.Errorf("hlo.inlines counter = %d, Stats.Inlines = %d", counters["hlo.inlines"], c.Stats.Inlines)
+	}
+	if counters["sim.cycles"] <= 0 {
+		t.Errorf("sim.cycles counter = %d, want > 0", counters["sim.cycles"])
+	}
+	if counters["backend.code-size"] != int64(c.CodeSize) {
+		t.Errorf("backend.code-size counter = %d, CodeSize = %d", counters["backend.code-size"], c.CodeSize)
+	}
+
+	// The trace renderer must handle a full pipeline's span tree.
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hlo/pass1/inline") {
+		t.Error("trace render missing pass span")
+	}
+}
+
+// TestNilRecorderCompileUnchanged checks that running with a nil
+// recorder neither fails nor changes the transformation outcome.
+func TestNilRecorderCompileUnchanged(t *testing.T) {
+	rec := obs.New()
+	withObs, _ := compileLiObserved(t, rec)
+	without, _ := compileLiObserved(t, nil)
+	if withObs.Stats != without.Stats {
+		t.Errorf("observability changed the compile:\nwith    %+v\nwithout %+v", withObs.Stats, without.Stats)
+	}
+	if withObs.CodeSize != without.CodeSize {
+		t.Errorf("code size differs: %d vs %d", withObs.CodeSize, without.CodeSize)
+	}
+}

@@ -22,14 +22,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/ipa"
+	"repro/internal/obs"
 	"repro/internal/pa8000"
 	"repro/internal/specsuite"
 )
+
+// recorder, when set via SetRecorder, observes every compile and run
+// the experiment generators perform.
+var recorder *obs.Recorder
+
+// SetRecorder routes all subsequent experiment compiles through rec
+// (phase spans, remarks, counters — hlobench's -trace). Pass nil to
+// detach. Not safe to change while an experiment is running.
+func SetRecorder(rec *obs.Recorder) { recorder = rec }
 
 // compileAndRun builds one benchmark under the given options and times
 // it on its ref input.
 func compileAndRun(b *specsuite.Benchmark, opts driver.Options) (*driver.Compilation, *pa8000.Stats, error) {
 	opts.TrainInputs = b.Train
+	if opts.Obs == nil {
+		opts.Obs = recorder
+	}
 	c, err := driver.Compile(b.Sources, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -232,6 +245,7 @@ func Figure7() ([]Figure7Row, error) {
 			opts := driver.DefaultOptions(b.Train)
 			opts.HLO.Inline = cfg.inline
 			opts.HLO.Clone = cfg.clone
+			opts.Obs = recorder
 			c, err := driver.Compile(b.Sources, opts)
 			if err != nil {
 				return nil, err
@@ -281,14 +295,29 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 	}
 	var points []Figure8Point
 	for _, budget := range budgets {
-		// First learn how many operations the budget allows in total.
+		// First learn how many operations the budget allows in total,
+		// and cross-check the count against the remark stream: every
+		// counted operation must have exactly one accepted inline or
+		// clone remark (the stream is the ground truth for the curve's
+		// x axis).
 		full := driver.DefaultOptions(b.Train)
 		full.HLO.Budget = budget
+		rec := obs.New()
+		full.Obs = rec
 		c, err := driver.Compile(b.Sources, full)
 		if err != nil {
 			return nil, err
 		}
 		total := c.Stats.Ops
+		acceptedOps := 0
+		for _, rm := range rec.Remarks() {
+			if rm.Accepted && (rm.Kind == core.RemarkInline || rm.Kind == core.RemarkClone) {
+				acceptedOps++
+			}
+		}
+		if acceptedOps != total {
+			return nil, fmt.Errorf("experiments: figure 8 budget %d: remark stream has %d accepted inline/clone remarks, Stats.Ops = %d", budget, acceptedOps, total)
+		}
 		stride := 1
 		if maxPoints > 0 && total > maxPoints {
 			stride = (total + maxPoints - 1) / maxPoints

@@ -1,0 +1,136 @@
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleRemarks() []obs.Remark {
+	return []obs.Remark{
+		{Kind: "inline", Pass: 1, Caller: "main:eval", Callee: "cell:car", Site: 17,
+			Accepted: true, Reason: "ok", Benefit: 1840, Cost: 441, Headroom: 9559},
+		{Kind: "inline", Pass: 1, Caller: "main:eval", Callee: "cell:vprint", Site: 19,
+			Accepted: false, Reason: "illegal-varargs"},
+		{Kind: "clone", Pass: 2, Caller: "main:step", Callee: "alu:exec", Site: 31,
+			Accepted: true, Reason: "ok", Benefit: 900, Detail: "alu:exec$c1"},
+		{Kind: "dead-call", Caller: "main:main", Callee: "curses:refresh", Site: 3,
+			Accepted: true, Reason: "ok"},
+		{Kind: "outline", Caller: "main:hot", Callee: "main:hot$out1", Site: 4,
+			Accepted: true, Reason: "ok", Benefit: 9},
+	}
+}
+
+// TestWriteTextGolden pins the human renderer's exact output.
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteText(&buf, sampleRemarks()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"inline p1 main:eval @17 <- cell:car: accepted benefit=1840 cost=441 headroom=9559",
+		"inline p1 main:eval @19 <- cell:vprint: rejected illegal-varargs",
+		"clone p2 main:step @31 <- alu:exec: accepted benefit=900 -> alu:exec$c1",
+		"dead-call main:main @3 <- curses:refresh: accepted",
+		"outline main:hot @4 <- main:hot$out1: accepted benefit=9",
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Errorf("text render mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestJSONLRoundTrip checks encode → decode → equal.
+func TestJSONLRoundTrip(t *testing.T) {
+	remarks := sampleRemarks()
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, remarks); err != nil {
+		t.Fatal(err)
+	}
+	// Every line must be a standalone JSON object.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(remarks) {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), len(remarks))
+	}
+	got, err := obs.DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, remarks) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, remarks)
+	}
+}
+
+func TestDecodeJSONLBadInput(t *testing.T) {
+	if _, err := obs.DecodeJSONL(strings.NewReader("{\"kind\":\"inline\"}\nnot json\n")); err == nil {
+		t.Error("DecodeJSONL accepted malformed input")
+	}
+}
+
+// TestNilRecorder verifies the disabled path is a total no-op.
+func TestNilRecorder(t *testing.T) {
+	var r *obs.Recorder
+	if r.Enabled() {
+		t.Error("nil recorder claims enabled")
+	}
+	r.Remark(obs.Remark{Kind: "inline"})
+	tm := r.BeginSized("phase", 10, 100)
+	tm.EndSized(20, 400)
+	r.Begin("other").End()
+	r.Count("x", 1)
+	r.Reset()
+	if r.Remarks() != nil || r.Spans() != nil || r.Counters() != nil {
+		t.Error("nil recorder returned non-nil data")
+	}
+}
+
+// TestNilRecorderAllocFree pins the disabled-recorder decision hot path
+// at zero allocations (the contract the inliner/cloner rely on).
+func TestNilRecorderAllocFree(t *testing.T) {
+	var r *obs.Recorder
+	rm := obs.Remark{Kind: "inline", Caller: "a", Callee: "b", Site: 1, Benefit: 3}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Remark(rm)
+		t := r.BeginSized("p", 1, 1)
+		t.EndSized(2, 2)
+		r.Count("c", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRecorderCollects(t *testing.T) {
+	r := obs.New()
+	outer := r.BeginSized("outer", 1, 1)
+	inner := r.Begin("inner")
+	inner.End()
+	outer.EndSized(2, 4)
+	r.Remark(obs.Remark{Kind: "inline", Caller: "f", Site: 1, Accepted: true, Reason: "ok"})
+	r.Count("b", 2)
+	r.Count("a", 1)
+	r.Count("b", 3)
+
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "outer" || spans[1].Name != "inner" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Depth != 0 || spans[1].Depth != 1 {
+		t.Errorf("depths = %d, %d, want 0, 1", spans[0].Depth, spans[1].Depth)
+	}
+	if spans[0].SizeBefore != 1 || spans[0].SizeAfter != 2 || spans[0].CostAfter != 4 {
+		t.Errorf("outer size/cost not recorded: %+v", spans[0])
+	}
+	if got := r.Counters(); len(got) != 2 || got[0] != (obs.Counter{Name: "a", Value: 1}) || got[1] != (obs.Counter{Name: "b", Value: 5}) {
+		t.Errorf("counters = %+v", got)
+	}
+	if len(r.Remarks()) != 1 {
+		t.Errorf("remarks = %+v", r.Remarks())
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 || len(r.Remarks()) != 0 || len(r.Counters()) != 0 {
+		t.Error("Reset left data behind")
+	}
+}
