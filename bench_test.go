@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
@@ -15,7 +16,19 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pa8000"
 	"repro/internal/specsuite"
+	"repro/internal/testutil"
 )
+
+// benchModes runs the experiment generators both serially (-j 1, the
+// reference) and on the full worker pool; the recorded wall times are
+// the parallel-harness speedup evidence in BENCH_experiments.json.
+var benchModes = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 0}, // 0 = one worker per CPU
+}
 
 // BenchmarkFigure5 regenerates the static call-site classification.
 func BenchmarkFigure5(b *testing.B) {
@@ -35,14 +48,25 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 }
 
-// BenchmarkTable1 regenerates the per-scope transformation table.
+// BenchmarkTable1 regenerates the per-scope transformation table, once
+// serially and once on the worker pool (identical rows either way).
 func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments.SetParallelism(mode.workers)
+			defer experiments.SetParallelism(0)
+			var rows []experiments.Table1Row
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.Table1()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			wall := time.Since(start).Seconds()
+			cps := float64(len(rows)*b.N) / wall
+			b.ReportMetric(cps, "cells/s")
 			// Headline: cp must beat base on every benchmark.
 			var base, cp int64
 			for _, r := range rows {
@@ -54,21 +78,38 @@ func BenchmarkTable1(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(base)/float64(cp), "base/cp-cycles")
-			b.Logf("\n%s", experiments.RenderTable1(rows))
-		}
+			if mode.workers == 0 {
+				b.Logf("\n%s", experiments.RenderTable1(rows))
+			}
+			testutil.RecordBenchJSON(b, "table1/"+mode.name, map[string]float64{
+				"wall_s":        wall / float64(b.N),
+				"cells_per_sec": cps,
+			})
+		})
 	}
 }
 
-// BenchmarkFigure6 regenerates the speedup figure; the reported metric is
-// the overall geometric-mean speedup with both transformations (the
-// paper's 1.32× headline for SPECint95).
+// BenchmarkFigure6 regenerates the speedup figure serially and on the
+// worker pool; the reported headline metric is the overall
+// geometric-mean speedup with both transformations (the paper's 1.32×
+// headline for SPECint95).
 func BenchmarkFigure6(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure6()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments.SetParallelism(mode.workers)
+			defer experiments.SetParallelism(0)
+			var rows []experiments.Figure6Row
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.Figure6()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			wall := time.Since(start).Seconds()
+			cps := float64(len(rows)*4*b.N) / wall
+			b.ReportMetric(cps, "cells/s")
 			gms := experiments.GeoMeans(rows)
 			if g, ok := gms["SPECint95"]; ok {
 				b.ReportMetric(g.Both, "specint95-geomean-speedup")
@@ -76,8 +117,14 @@ func BenchmarkFigure6(b *testing.B) {
 			if g, ok := gms["SPECint92"]; ok {
 				b.ReportMetric(g.Both, "specint92-geomean-speedup")
 			}
-			b.Logf("\n%s", experiments.RenderFigure6(rows))
-		}
+			if mode.workers == 0 {
+				b.Logf("\n%s", experiments.RenderFigure6(rows))
+			}
+			testutil.RecordBenchJSON(b, "figure6/"+mode.name, map[string]float64{
+				"wall_s":        wall / float64(b.N),
+				"cells_per_sec": cps,
+			})
+		})
 	}
 }
 

@@ -3,18 +3,22 @@
 //
 // Usage:
 //
-//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace]
+//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace] [-j N]
 //
 // With no flags it behaves as -all. Figure 8 accepts -fig8points to
 // bound the sweep resolution. -trace prints, after each experiment, the
 // pipeline phase spans and the unified counter registry accumulated
-// over the experiment's compiles and runs (to stderr).
+// over the experiment's compiles and runs (to stderr). -j fans the
+// independent (benchmark × configuration) cells of each experiment over
+// N workers (default: one per CPU); output is byte-identical for every
+// N, so -j 1 is purely the slow reference mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,11 +36,13 @@ func main() {
 	prodSeeds := flag.Int("prodseeds", 3, "number of generated programs for -prod")
 	all := flag.Bool("all", false, "everything")
 	trace := flag.Bool("trace", false, "print per-experiment phase traces and counters to stderr")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the experiment cells (1 = serial)")
 	flag.Parse()
 
 	if !*fig5 && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*prod {
 		*all = true
 	}
+	experiments.SetParallelism(*jobs)
 	var rec *obs.Recorder
 	if *trace {
 		rec = obs.New()
@@ -74,7 +80,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		return experiments.RenderTable1(rows), nil
+		return experiments.RenderTable1(rows) + experiments.RenderTable1Totals(rows), nil
 	})
 	run("figure6", *fig6, func() (string, error) {
 		rows, err := experiments.Figure6()

@@ -84,6 +84,10 @@ func main() {
 		Profile:     *profileFlag,
 		TrainInputs: parseInputs(*train),
 		HLO:         core.DefaultOptions(),
+		// One compile still benefits from the cache: under -profile the
+		// instrumented build reuses the final build's front-end output
+		// instead of parsing and lowering the sources a second time.
+		Cache: driver.NewCache(),
 	}
 	// -stats needs the per-pass spans, so any observability flag turns
 	// the recorder on.

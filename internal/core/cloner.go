@@ -311,6 +311,7 @@ func (h *hlo) makeClone(spec *cloneSpec) *ir.Func {
 	}
 	entry := clone.Blocks[0]
 	entry.Instrs = append(prologue, entry.Instrs...)
+	clone.InvalidateSize()
 	clone.NumParams = k
 	clone.ParamNames = names
 
@@ -321,6 +322,9 @@ func (h *hlo) makeClone(spec *cloneSpec) *ir.Func {
 		panic(err) // unique by construction
 	}
 	h.optimizeFunc(clone)
+	if h.scope.Contains(clone) {
+		h.liveCost += h.costOf(int64(clone.Size()))
+	}
 	return clone
 }
 

@@ -142,3 +142,22 @@ type Stats struct {
 	// Ops records the order of operations for Figure 8 replays.
 	Ops int
 }
+
+// Add accumulates o into s: the per-module aggregation of the
+// traditional compile path (one HLO invocation per module) and of the
+// experiment harness's totals.
+func (s *Stats) Add(o *Stats) {
+	s.Inlines += o.Inlines
+	s.Clones += o.Clones
+	s.CloneRepls += o.CloneRepls
+	s.Deletions += o.Deletions
+	s.Outlines += o.Outlines
+	s.Promotions += o.Promotions
+	s.DeadCalls += o.DeadCalls
+	s.Passes += o.Passes
+	s.CostBefore += o.CostBefore
+	s.CostAfter += o.CostAfter
+	s.SizeBefore += o.SizeBefore
+	s.SizeAfter += o.SizeAfter
+	s.Ops += o.Ops
+}

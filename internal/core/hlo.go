@@ -9,11 +9,20 @@ import (
 
 // hlo carries the state of one HLO invocation.
 type hlo struct {
-	prog       *ir.Program
-	scope      Scope
-	opts       Options
-	stats      *Stats
-	cost       int64 // current compile-cost model value over the scope
+	prog  *ir.Program
+	scope Scope
+	opts  Options
+	stats *Stats
+	// cost is the compile-cost model value the passes read; it advances
+	// only at the sync points of the budget driver (once per pass
+	// iteration and after unreachable-routine deletion), exactly where
+	// the driver used to recompute it with a full Σ size² rewalk.
+	cost int64
+	// liveCost is the incrementally maintained current value: every
+	// accepted inline, clone, outline, re-optimization and routine
+	// deletion folds its size delta in, so a sync is one assignment
+	// instead of a whole-scope rewalk.
+	liveCost   int64
 	hasProfile bool
 	pure       map[string]bool
 	cloneDB    map[string]string // spec key -> clone QName
@@ -74,8 +83,10 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 		h.endPhase(sp)
 	}
 
-	// Figure 2: determine the budget and its staging.
-	h.cost = h.computeCost()
+	// Figure 2: determine the budget and its staging. This is the only
+	// full cost rewalk; from here on liveCost is maintained by delta.
+	h.liveCost = h.computeCost()
+	h.syncCost()
 	h.stats.CostBefore = h.cost
 	h.stats.SizeBefore = h.scopeSize()
 	c0 := h.cost
@@ -103,7 +114,7 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 			h.reoptimize()
 			h.endPhase(sp)
 		}
-		h.cost = h.computeCost()
+		h.syncCost()
 		h.stats.Passes++
 	}
 	h.pass = 0
@@ -122,7 +133,7 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 	sp = h.beginPhase("delete-unreachable")
 	h.stats.Deletions = h.deleteUnreachable()
 	h.endPhase(sp)
-	h.cost = h.computeCost()
+	h.syncCost()
 	h.stats.CostAfter = h.cost
 	h.stats.SizeAfter = h.scopeSize()
 	h.stats.Ops = h.ops
@@ -161,6 +172,17 @@ func (h *hlo) computeCost() int64 {
 	var c int64
 	h.forScope(func(f *ir.Func) { c += h.costOf(int64(f.Size())) })
 	return c
+}
+
+// syncCost publishes the incrementally maintained cost to the
+// pass-visible field. Called exactly where the driver used to run a full
+// computeCost rewalk, so the passes observe the same values as before.
+func (h *hlo) syncCost() { h.cost = h.liveCost }
+
+// recost folds f's size change into liveCost, given its size before the
+// mutation. The caller must ensure f is in scope.
+func (h *hlo) recost(f *ir.Func, oldSize int64) {
+	h.liveCost += h.costOf(int64(f.Size())) - h.costOf(oldSize)
 }
 
 func (h *hlo) scopeSize() int {
@@ -208,7 +230,11 @@ func (h *hlo) purityOrNil() opt.Purity {
 // transformation pass (Figures 3 and 4: "optimize clones/inlines and
 // recalibrate").
 func (h *hlo) reoptimize() {
-	h.forScope(func(f *ir.Func) { h.optimizeFunc(f) })
+	h.forScope(func(f *ir.Func) {
+		old := int64(f.Size())
+		h.optimizeFunc(f)
+		h.recost(f, old)
+	})
 }
 
 // deleteUnreachable removes routines that can no longer be called:
@@ -260,6 +286,9 @@ func (h *hlo) deleteUnreachable() int {
 		return true
 	})
 	for _, f := range dead {
+		if h.scope.Contains(f) {
+			h.liveCost -= h.costOf(int64(f.Size()))
+		}
 		h.prog.RemoveFunc(f)
 	}
 	return len(dead)

@@ -97,7 +97,9 @@ func (h *hlo) inlinePass(stageBudget int64) {
 			}
 			return
 		}
+		old := int64(cand.caller.Size())
 		if err := h.performInline(cand); err == nil {
+			h.recost(cand.caller, old)
 			h.stats.Inlines++
 			h.countOp()
 			h.remarkInline(cand, true, OK)
@@ -262,6 +264,7 @@ func (h *hlo) performInline(cand *inlineCand) error {
 
 	caller.Blocks = append(caller.Blocks, copies...)
 	caller.Blocks = append(caller.Blocks, cont)
+	caller.InvalidateSize()
 
 	// Adapt the callee's residual profile: the inlined portion of its
 	// execution no longer flows through the original body.

@@ -84,7 +84,9 @@ func (h *hlo) outlineFunc(f *ir.Func) int {
 				continue
 			}
 			saved := len(b.Instrs) - 1
+			old := int64(f.Size())
 			h.extract(f, b, ins, outs)
+			h.recost(f, old)
 			remarkOnce(b, true, OK, fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq), saved)
 			h.stats.Outlines++
 			created++
@@ -201,6 +203,9 @@ func (h *hlo) extract(f *ir.Func, b *ir.Block, ins []ir.Reg, outs []ir.Reg) {
 	if err := h.prog.AddFunc(out); err != nil {
 		panic(err) // sequence numbers make the name unique
 	}
+	if h.scope.Contains(out) {
+		h.liveCost += h.costOf(int64(out.Size()))
+	}
 
 	// The cold block shrinks to call + original terminator.
 	dst := ir.NoReg
@@ -215,4 +220,5 @@ func (h *hlo) extract(f *ir.Func, b *ir.Block, ins []ir.Reg, outs []ir.Reg) {
 		{Op: ir.Call, Dst: dst, Callee: qname, Args: args, Pos: f.Pos},
 		term,
 	}
+	f.InvalidateSize()
 }

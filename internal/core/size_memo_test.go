@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/randprog"
+	"repro/internal/testutil"
+)
+
+// recount is the non-memoized reference for ir.Func.Size.
+func recount(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// TestSizeMemoMatchesRecount drives HLO — the heaviest mutator of
+// function bodies in the repo — over random programs under random
+// option sets and checks that the memoized Func.Size always agrees
+// with a fresh instruction recount afterwards, and that the
+// incrementally maintained Stats.CostAfter equals the cost model
+// recomputed from scratch. Any missing InvalidateSize hook or missed
+// liveCost delta shows up here.
+func TestSizeMemoMatchesRecount(t *testing.T) {
+	check := func(seed int64) bool {
+		srcs := randprog.Generate(seed, randprog.DefaultConfig())
+		p, err := testutil.Build(srcs...)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+
+		// Random-but-derived option set: budget, pass count, every
+		// transformation toggle, both cost models, both scopes.
+		opts := core.DefaultOptions()
+		opts.Budget = []int{25, 100, 400, 1000}[uint64(seed)%4]
+		opts.Passes = 1 + int(uint64(seed>>2)%4)
+		opts.Inline = seed>>4&1 == 0
+		opts.Clone = seed>>5&1 == 0
+		opts.LinearCost = seed>>6&1 == 0
+		opts.Outline = seed>>7&1 == 0
+		if opts.Outline || seed>>8&1 == 0 {
+			// Outlining is profile-directed; attach a training profile.
+			res, err := interp.Run(p, interp.Options{Inputs: []int64{2, 5, 9}, Profile: true})
+			if err != nil {
+				t.Fatalf("seed %d: training run: %v", seed, err)
+			}
+			res.Profile.Attach(p)
+		}
+		scope := core.WholeProgram()
+		if seed>>9&1 == 0 && len(p.Modules) > 0 {
+			scope = core.SingleModule(p.Modules[uint64(seed>>10)%uint64(len(p.Modules))].Name)
+		}
+
+		stats := core.Run(p, scope, opts)
+
+		ok := true
+		var cost int64
+		p.Funcs(func(f *ir.Func) bool {
+			want := recount(f) // before Size() refreshes the memo
+			if got := f.Size(); got != want {
+				t.Errorf("seed %d: %s: memoized Size() = %d, recount = %d", seed, f.QName, got, want)
+				ok = false
+			}
+			if scope.Contains(f) {
+				s := int64(want)
+				if opts.LinearCost {
+					cost += s
+				} else {
+					cost += s * s
+				}
+			}
+			return true
+		})
+		if stats.CostAfter != cost {
+			t.Errorf("seed %d: incremental CostAfter = %d, full recompute = %d", seed, stats.CostAfter, cost)
+			ok = false
+		}
+		return ok
+	}
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Rand:     rand.New(rand.NewSource(20260805)),
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// Cache memoizes the configuration-independent stages of Compile: the
+// front end (parse, check, lower — identical for every scope and budget
+// of the same sources) and the training run (the instrumented build and
+// interpreter execution depend only on the sources and training inputs,
+// so the "p" and "cp" configurations of one benchmark can share it).
+// The experiment harness compiles every benchmark under many
+// configurations; with a cache the frontend and training work is done
+// once per benchmark instead of once per cell.
+//
+// Cached front-end output is pristine: every hit returns a fresh deep
+// copy (ir.Program.Clone), so concurrent compilations never share
+// mutable IR. Cached profile databases are shared without copying —
+// profile.Data.Attach only reads the database. A nil *Cache is valid
+// and disables memoization.
+//
+// Hits are observationally identical to misses apart from wall time:
+// the same spans are emitted, the same compile-cost charges apply, and
+// errors carry the same messages (the cached error is returned on every
+// subsequent lookup).
+type Cache struct {
+	mu        sync.Mutex
+	frontends map[string]*frontendEntry
+	trains    map[string]*trainEntry
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+type frontendEntry struct {
+	once sync.Once
+	prog *ir.Program
+	err  error
+}
+
+type trainEntry struct {
+	once sync.Once
+	data *profile.Data
+	res  *interp.Result
+	// costQuad/costLinear are the instrumented build's compile cost
+	// under both cost models, so one entry serves any HLO.LinearCost.
+	costQuad   int64
+	costLinear int64
+	err        error
+}
+
+// cost returns the instrumented build's compile cost under the given
+// cost model.
+func (e *trainEntry) cost(linear bool) int64 {
+	if linear {
+		return e.costLinear
+	}
+	return e.costQuad
+}
+
+// sourceKey hashes the source list with length prefixes, so
+// {"ab"} and {"a","b"} key differently.
+func sourceKey(sources []string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, src := range sources {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(src)))
+		h.Write(n[:])
+		h.Write([]byte(src))
+	}
+	return string(h.Sum(nil))
+}
+
+// trainKey extends the source key with the training inputs.
+func trainKey(sources []string, train []int64, extras [][]int64) string {
+	return fmt.Sprintf("%x|%v|%v", sourceKey(sources), train, extras)
+}
+
+// Frontend is the memoizing counterpart of the package-level Frontend:
+// parse+check+lower happen once per distinct source set, and every call
+// returns a private deep copy of the result. On a nil cache it simply
+// runs the front end.
+func (c *Cache) Frontend(sources []string) (*ir.Program, error) {
+	if c == nil {
+		return Frontend(sources)
+	}
+	key := sourceKey(sources)
+	c.mu.Lock()
+	if c.frontends == nil {
+		c.frontends = make(map[string]*frontendEntry)
+	}
+	e, ok := c.frontends[key]
+	if !ok {
+		e = &frontendEntry{}
+		c.frontends[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = Frontend(sources) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.prog.Clone(), nil
+}
+
+// trainProfile memoizes the PBO training stage: instrumented build,
+// training run(s), profile merge. The entry records the instrumented
+// build's compile cost under both cost models so the caller can charge
+// exactly what an uncached run would have charged.
+func (c *Cache) trainProfile(sources []string, train []int64, extras [][]int64) (*trainEntry, error) {
+	if c == nil {
+		e := &trainEntry{}
+		e.fill(c, sources, train, extras)
+		return e, e.err
+	}
+	key := trainKey(sources, train, extras)
+	c.mu.Lock()
+	if c.trains == nil {
+		c.trains = make(map[string]*trainEntry)
+	}
+	e, ok := c.trains[key]
+	if !ok {
+		e = &trainEntry{}
+		c.trains[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.fill(c, sources, train, extras) })
+	return e, e.err
+}
+
+// fill runs the training stage, reusing the front-end cache for the
+// instrumented build. Error messages match the historical uncached
+// paths exactly.
+func (e *trainEntry) fill(c *Cache, sources []string, train []int64, extras [][]int64) {
+	trainProg, err := c.Frontend(sources)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.costQuad = programCost(trainProg, false)
+	e.costLinear = programCost(trainProg, true)
+	res, err := interp.Run(trainProg, interp.Options{Inputs: train, Profile: true})
+	if err != nil {
+		e.err = fmt.Errorf("driver: training run: %w", err)
+		return
+	}
+	e.res = res
+	db := res.Profile
+	for _, extra := range extras {
+		res2, err := interp.Run(trainProg, interp.Options{Inputs: extra, Profile: true})
+		if err != nil {
+			e.err = fmt.Errorf("driver: extra training run: %w", err)
+			return
+		}
+		db.Merge(res2.Profile, 100)
+	}
+	e.data = db
+}

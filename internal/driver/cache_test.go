@@ -1,0 +1,144 @@
+package driver_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/obs"
+	"repro/internal/specsuite"
+)
+
+// TestCacheEquivalence compiles the same benchmark under the same
+// configuration with no cache, with a cold cache, and with a warm cache,
+// and requires identical observable results: statistics, compile cost,
+// code size, run outcome, remark stream, and span structure. The cache
+// must be a pure wall-clock optimization.
+func TestCacheEquivalence(t *testing.T) {
+	b, err := specsuite.ByName("022.li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compile := func(cache *driver.Cache) (*driver.Compilation, []obs.Remark, []obs.Span, []int64) {
+		t.Helper()
+		rec := obs.New()
+		opts := driver.DefaultOptions(b.Train)
+		opts.ExtraTrainInputs = [][]int64{{3, 2}}
+		opts.Obs = rec
+		opts.Cache = cache
+		c, err := driver.Compile(b.Sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run(opts, b.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, rec.Remarks(), rec.Spans(), st.Output
+	}
+
+	cache := driver.NewCache()
+	base, baseRemarks, baseSpans, baseOut := compile(nil)
+	cold, coldRemarks, coldSpans, coldOut := compile(cache)
+	warm, warmRemarks, warmSpans, warmOut := compile(cache)
+
+	for _, tc := range []struct {
+		name string
+		c    *driver.Compilation
+		rm   []obs.Remark
+		sp   []obs.Span
+		out  []int64
+	}{
+		{"cold cache", cold, coldRemarks, coldSpans, coldOut},
+		{"warm cache", warm, warmRemarks, warmSpans, warmOut},
+	} {
+		if tc.c.Stats != base.Stats {
+			t.Errorf("%s: Stats = %+v, want %+v", tc.name, tc.c.Stats, base.Stats)
+		}
+		if tc.c.CompileCost != base.CompileCost {
+			t.Errorf("%s: CompileCost = %d, want %d", tc.name, tc.c.CompileCost, base.CompileCost)
+		}
+		if tc.c.CodeSize != base.CodeSize {
+			t.Errorf("%s: CodeSize = %d, want %d", tc.name, tc.c.CodeSize, base.CodeSize)
+		}
+		if !reflect.DeepEqual(tc.out, baseOut) {
+			t.Errorf("%s: run output = %v, want %v", tc.name, tc.out, baseOut)
+		}
+		if !reflect.DeepEqual(tc.rm, baseRemarks) {
+			t.Errorf("%s: remark stream differs (%d vs %d remarks)", tc.name, len(tc.rm), len(baseRemarks))
+		}
+		if len(tc.sp) != len(baseSpans) {
+			t.Fatalf("%s: %d spans, want %d", tc.name, len(tc.sp), len(baseSpans))
+		}
+		for i := range tc.sp {
+			if tc.sp[i].Name != baseSpans[i].Name || tc.sp[i].Depth != baseSpans[i].Depth ||
+				tc.sp[i].SizeAfter != baseSpans[i].SizeAfter || tc.sp[i].CostAfter != baseSpans[i].CostAfter {
+				t.Errorf("%s: span %d = %s(depth %d), want %s(depth %d)", tc.name,
+					i, tc.sp[i].Name, tc.sp[i].Depth, baseSpans[i].Name, baseSpans[i].Depth)
+			}
+		}
+	}
+}
+
+// TestCacheSharesTrainingAcrossScopes checks the harness-critical reuse:
+// the p and cp configurations of one benchmark share training inputs, so
+// the second compile must reuse the first's training entry (observable
+// as an identical instrumented-build compile-cost charge) and still
+// produce its own correct result.
+func TestCacheSharesTrainingAcrossScopes(t *testing.T) {
+	b, err := specsuite.ByName("072.sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := driver.NewCache()
+	compile := func(cross bool) *driver.Compilation {
+		t.Helper()
+		opts := driver.Options{Profile: true, CrossModule: cross, TrainInputs: b.Train, Cache: cache}
+		opts.HLO = driver.DefaultOptions(b.Train).HLO
+		c, err := driver.Compile(b.Sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	p := compile(false)
+	cp := compile(true)
+	if p.TrainResult != cp.TrainResult {
+		t.Error("p and cp scopes did not share the cached training run")
+	}
+	if p.Stats == cp.Stats {
+		t.Error("p and cp scopes produced identical stats — scope not applied?")
+	}
+}
+
+// TestCacheFrontendIsolation verifies that two compiles served by one
+// cache cannot see each other's IR mutations: each gets a private clone.
+func TestCacheFrontendIsolation(t *testing.T) {
+	cache := driver.NewCache()
+	srcs := []string{"module main;\nextern func print(x int) int;\nfunc main() int { print(7); return 0; }\n"}
+	p1, err := cache.Frontend(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cache.Frontend(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("cache handed out the same Program twice")
+	}
+	f1, err := p1.MainFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f1.Size()
+	f1.Blocks[0].Instrs = f1.Blocks[0].Instrs[:1]
+	f1.InvalidateSize()
+	f2, err := p2.MainFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Size() == f1.Size() || f2.Size() != before {
+		t.Errorf("mutating one clone leaked into the other: %d vs %d (orig %d)", f1.Size(), f2.Size(), before)
+	}
+}

@@ -49,6 +49,9 @@ type Options struct {
 	// remarks HLO emits, and a counter registry unifying core.Stats and
 	// pa8000.Stats. A nil recorder disables all recording at zero cost.
 	Obs *obs.Recorder
+	// Cache memoizes the front end and the training stage across
+	// compilations of the same sources (see Cache). nil disables caching.
+	Cache *Cache
 }
 
 // DefaultOptions is the paper's peak configuration: cross-module,
@@ -98,7 +101,7 @@ func Frontend(sources []string) (*ir.Program, error) {
 func Compile(sources []string, opts Options) (*Compilation, error) {
 	rec := opts.Obs
 	sp := rec.Begin("frontend")
-	p, err := Frontend(sources)
+	p, err := opts.Cache.Frontend(sources)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -112,56 +115,35 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 		// plain front-end build (block counting needs unoptimized block
 		// identities), so its compile cost is the unoptimized cost.
 		sp := rec.Begin("train")
-		trainProg, err := Frontend(sources)
+		e, err := opts.Cache.trainProfile(sources, opts.TrainInputs, opts.ExtraTrainInputs)
 		if err != nil {
 			sp.End()
 			return nil, err
 		}
-		c.CompileCost += programCost(trainProg, opts.HLO.LinearCost)
-		res, err := interp.Run(trainProg, interp.Options{Inputs: opts.TrainInputs, Profile: true})
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("driver: training run: %w", err)
-		}
-		c.TrainResult = res
-		db := res.Profile
-		for _, extra := range opts.ExtraTrainInputs {
-			res2, err := interp.Run(trainProg, interp.Options{Inputs: extra, Profile: true})
-			if err != nil {
-				sp.End()
-				return nil, fmt.Errorf("driver: extra training run: %w", err)
-			}
-			db.Merge(res2.Profile, 100)
-		}
-		db.Attach(p)
+		c.CompileCost += e.cost(opts.HLO.LinearCost)
+		c.TrainResult = e.res
+		e.data.Attach(p)
 		sp.End()
 	}
 
 	opts.HLO.Obs = rec
-	if rec.Enabled() {
-		sp = rec.BeginSized("hlo", programSize(p), programCost(p, opts.HLO.LinearCost))
-	}
+	hsp := rec.BeginSized("hlo", programSize(p), programCost(p, opts.HLO.LinearCost))
 	if opts.CrossModule {
 		st := core.Run(p, core.WholeProgram(), opts.HLO)
 		c.Stats = *st
 	} else {
-		// Traditional path: HLO buffers one module at a time.
+		// Traditional path: HLO buffers one module at a time, each under
+		// its own span so per-module cost is visible in the trace.
 		for _, m := range p.Modules {
-			st := core.Run(p, core.SingleModule(m.Name), opts.HLO)
-			c.Stats.Inlines += st.Inlines
-			c.Stats.Clones += st.Clones
-			c.Stats.CloneRepls += st.CloneRepls
-			c.Stats.Deletions += st.Deletions
-			c.Stats.Promotions += st.Promotions
-			c.Stats.DeadCalls += st.DeadCalls
-			c.Stats.CostBefore += st.CostBefore
-			c.Stats.CostAfter += st.CostAfter
-			c.Stats.SizeBefore += st.SizeBefore
-			c.Stats.SizeAfter += st.SizeAfter
-			c.Stats.Ops += st.Ops
+			scope := core.SingleModule(m.Name)
+			msp := rec.BeginSized("hlo/module-"+m.Name,
+				scopeSize(p, scope), scopeCost(p, scope, opts.HLO.LinearCost))
+			st := core.Run(p, scope, opts.HLO)
+			msp.EndSized(st.SizeAfter, st.CostAfter)
+			c.Stats.Add(st)
 		}
 	}
-	sp.EndSized(c.Stats.SizeAfter, c.Stats.CostAfter)
+	hsp.EndSized(c.Stats.SizeAfter, c.Stats.CostAfter)
 	c.CompileCost += c.Stats.CostAfter
 	publishHLOCounters(rec, &c.Stats)
 
@@ -255,6 +237,33 @@ func programSize(p *ir.Program) int {
 		return true
 	})
 	return n
+}
+
+func scopeSize(p *ir.Program, scope core.Scope) int {
+	n := 0
+	p.Funcs(func(f *ir.Func) bool {
+		if scope.Contains(f) {
+			n += f.Size()
+		}
+		return true
+	})
+	return n
+}
+
+func scopeCost(p *ir.Program, scope core.Scope, linear bool) int64 {
+	var c int64
+	p.Funcs(func(f *ir.Func) bool {
+		if scope.Contains(f) {
+			s := int64(f.Size())
+			if linear {
+				c += s
+			} else {
+				c += s * s
+			}
+		}
+		return true
+	})
+	return c
 }
 
 func programCost(p *ir.Program, linear bool) int64 {

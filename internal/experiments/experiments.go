@@ -24,6 +24,7 @@ import (
 	"repro/internal/ipa"
 	"repro/internal/obs"
 	"repro/internal/pa8000"
+	"repro/internal/par"
 	"repro/internal/specsuite"
 )
 
@@ -36,13 +37,38 @@ var recorder *obs.Recorder
 // detach. Not safe to change while an experiment is running.
 func SetRecorder(rec *obs.Recorder) { recorder = rec }
 
+// workers is the fan-out width of the experiment generators; 0 means
+// one worker per CPU (par.DefaultWorkers).
+var workers int
+
+// SetParallelism sets how many workers the experiment generators fan
+// their (benchmark × configuration) cells over: hlobench's -j. n <= 0
+// restores the default of one worker per CPU; 1 forces the serial
+// reference behaviour. Results are byte-identical under any setting.
+// Not safe to change while an experiment is running.
+func SetParallelism(n int) { workers = n }
+
+// cache memoizes the front end and training stage across every cell of
+// every experiment: Table 1 compiles each benchmark 4 times, Figure 8
+// compiles 022.li dozens of times, and all of them share one frontend
+// and (per training-input set) one training run.
+var cache = driver.NewCache()
+
+// forEachCell runs n independent experiment cells across the configured
+// workers. Every cell gets a private recorder (when a global recorder
+// is attached) merged back in submission order, so traces are identical
+// to a serial run's.
+func forEachCell(n int, task func(i int, rec *obs.Recorder) error) error {
+	return par.DoObs(workers, recorder, n, task)
+}
+
 // compileAndRun builds one benchmark under the given options and times
-// it on its ref input.
-func compileAndRun(b *specsuite.Benchmark, opts driver.Options) (*driver.Compilation, *pa8000.Stats, error) {
+// it on its ref input. rec is the cell's recorder (nil when recording
+// is off).
+func compileAndRun(b *specsuite.Benchmark, opts driver.Options, rec *obs.Recorder) (*driver.Compilation, *pa8000.Stats, error) {
 	opts.TrainInputs = b.Train
-	if opts.Obs == nil {
-		opts.Obs = recorder
-	}
+	opts.Obs = rec
+	opts.Cache = cache
 	c, err := driver.Compile(b.Sources, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
@@ -65,7 +91,7 @@ type Figure5Row struct {
 func Figure5() ([]Figure5Row, error) {
 	var rows []Figure5Row
 	for _, b := range specsuite.All() {
-		p, err := driver.Frontend(b.Sources)
+		p, err := cache.Frontend(b.Sources)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -77,55 +103,87 @@ func Figure5() ([]Figure5Row, error) {
 // Table1Row is one configuration line of Table 1.
 type Table1Row struct {
 	Name        string
-	Scope       string // "", "c", "p", "cp"
-	Inlines     int
-	Clones      int
-	CloneRepls  int
-	Deletions   int
-	CompileCost int64 // compile-time model units (Σ size², + instrumented build for p)
+	Scope       string     // "", "c", "p", "cp"
+	Stats       core.Stats // full HLO transformation statistics
+	CompileCost int64      // compile-time model units (Σ size², + instrumented build for p)
 	RunCycles   int64
 }
 
+// table1Configs are the four scope configurations of Table 1.
+var table1Configs = []struct {
+	scope       string
+	cross, prof bool
+}{
+	{"", false, false},
+	{"c", true, false},
+	{"p", false, true},
+	{"cp", true, true},
+}
+
 // Table1 reproduces the paper's per-scope transformation statistics for
-// the Table 1 benchmark subset.
+// the Table 1 benchmark subset. Every (benchmark, scope) cell is
+// independent and runs on the worker pool.
 func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range specsuite.Table1Names() {
+	names := specsuite.Table1Names()
+	benches := make([]*specsuite.Benchmark, len(names))
+	for i, name := range names {
 		b, err := specsuite.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, cfg := range []struct {
-			scope       string
-			cross, prof bool
-		}{
-			{"", false, false},
-			{"c", true, false},
-			{"p", false, true},
-			{"cp", true, true},
-		} {
-			opts := driver.Options{
-				CrossModule: cfg.cross,
-				Profile:     cfg.prof,
-				HLO:         core.DefaultOptions(),
-			}
-			c, st, err := compileAndRun(b, opts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table1Row{
-				Name:        b.Name,
-				Scope:       cfg.scope,
-				Inlines:     c.Stats.Inlines,
-				Clones:      c.Stats.Clones,
-				CloneRepls:  c.Stats.CloneRepls,
-				Deletions:   c.Stats.Deletions,
-				CompileCost: c.CompileCost,
-				RunCycles:   st.Cycles,
-			})
+		benches[i] = b
+	}
+	nc := len(table1Configs)
+	rows := make([]Table1Row, len(benches)*nc)
+	err := forEachCell(len(rows), func(i int, rec *obs.Recorder) error {
+		b, cfg := benches[i/nc], table1Configs[i%nc]
+		opts := driver.Options{
+			CrossModule: cfg.cross,
+			Profile:     cfg.prof,
+			HLO:         core.DefaultOptions(),
 		}
+		c, st, err := compileAndRun(b, opts, rec)
+		if err != nil {
+			return err
+		}
+		rows[i] = Table1Row{
+			Name:        b.Name,
+			Scope:       cfg.scope,
+			Stats:       c.Stats,
+			CompileCost: c.CompileCost,
+			RunCycles:   st.Cycles,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// Table1Totals aggregates a Table 1 result set into one row per scope
+// (in scope order), summing the transformation statistics with
+// core.Stats.Add — the "all benchmarks" summary line of hlobench.
+func Table1Totals(rows []Table1Row) []Table1Row {
+	byScope := make(map[string]*Table1Row)
+	var order []string
+	for i := range rows {
+		r := &rows[i]
+		t, ok := byScope[r.Scope]
+		if !ok {
+			t = &Table1Row{Name: "total", Scope: r.Scope}
+			byScope[r.Scope] = t
+			order = append(order, r.Scope)
+		}
+		t.Stats.Add(&r.Stats)
+		t.CompileCost += r.CompileCost
+		t.RunCycles += r.RunCycles
+	}
+	out := make([]Table1Row, 0, len(order))
+	for _, s := range order {
+		out = append(out, *byScope[s])
+	}
+	return out
 }
 
 // Figure6Row is one benchmark's bar group in Figure 6.
@@ -140,36 +198,49 @@ type Figure6Row struct {
 	Both   float64
 }
 
+// toggleConfigs are the four inline/clone settings of Figures 6 and 7,
+// in the paper's presentation order ("neither" first: it is the
+// baseline the other three are normalized against).
+var toggleConfigs = []struct {
+	key           string
+	inline, clone bool
+}{
+	{"neither", false, false},
+	{"inline", true, false},
+	{"clone", false, true},
+	{"both", true, true},
+}
+
 // Figure6 measures the relative speedup of inlining, cloning, and both.
+// All (benchmark × setting) cells run on the worker pool.
 func Figure6() ([]Figure6Row, error) {
-	var rows []Figure6Row
-	for _, b := range specsuite.All() {
-		cycles := map[string]int64{}
-		for _, cfg := range []struct {
-			key           string
-			inline, clone bool
-		}{
-			{"neither", false, false},
-			{"inline", true, false},
-			{"clone", false, true},
-			{"both", true, true},
-		} {
-			opts := driver.DefaultOptions(b.Train)
-			opts.HLO.Inline = cfg.inline
-			opts.HLO.Clone = cfg.clone
-			_, st, err := compileAndRun(b, opts)
-			if err != nil {
-				return nil, err
-			}
-			cycles[cfg.key] = st.Cycles
+	benches := specsuite.All()
+	nc := len(toggleConfigs)
+	cycles := make([]int64, len(benches)*nc)
+	err := forEachCell(len(cycles), func(i int, rec *obs.Recorder) error {
+		b, cfg := benches[i/nc], toggleConfigs[i%nc]
+		opts := driver.DefaultOptions(b.Train)
+		opts.HLO.Inline = cfg.inline
+		opts.HLO.Clone = cfg.clone
+		_, st, err := compileAndRun(b, opts, rec)
+		if err != nil {
+			return err
 		}
-		base := float64(cycles["neither"])
+		cycles[i] = st.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure6Row, 0, len(benches))
+	for bi, b := range benches {
+		base := float64(cycles[bi*nc]) // toggleConfigs[0] is "neither"
 		rows = append(rows, Figure6Row{
 			Name:   b.Name,
 			Suite:  b.Suite,
-			Inline: base / float64(cycles["inline"]),
-			Clone:  base / float64(cycles["clone"]),
-			Both:   base / float64(cycles["both"]),
+			Inline: base / float64(cycles[bi*nc+1]),
+			Clone:  base / float64(cycles[bi*nc+2]),
+			Both:   base / float64(cycles[bi*nc+3]),
 		})
 	}
 	return rows, nil
@@ -226,37 +297,43 @@ type Figure7Row struct {
 // simplified (train-sized) inputs, as the paper did ("simplified input
 // sets designed to closely mimic the behavior of the benchmark").
 func Figure7() ([]Figure7Row, error) {
-	var rows []Figure7Row
-	for _, name := range specsuite.Figure7Names() {
+	names := specsuite.Figure7Names()
+	benches := make([]*specsuite.Benchmark, len(names))
+	for i, name := range names {
 		b, err := specsuite.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		var base *pa8000.Stats
-		for _, cfg := range []struct {
-			key           string
-			inline, clone bool
-		}{
-			{"neither", false, false},
-			{"inline", true, false},
-			{"clone", false, true},
-			{"both", true, true},
-		} {
-			opts := driver.DefaultOptions(b.Train)
-			opts.HLO.Inline = cfg.inline
-			opts.HLO.Clone = cfg.clone
-			opts.Obs = recorder
-			c, err := driver.Compile(b.Sources, opts)
-			if err != nil {
-				return nil, err
-			}
-			st, err := c.Run(opts, b.Train) // simplified inputs
-			if err != nil {
-				return nil, err
-			}
-			if cfg.key == "neither" {
-				base = st
-			}
+		benches[i] = b
+	}
+	nc := len(toggleConfigs)
+	stats := make([]*pa8000.Stats, len(benches)*nc)
+	err := forEachCell(len(stats), func(i int, rec *obs.Recorder) error {
+		b, cfg := benches[i/nc], toggleConfigs[i%nc]
+		opts := driver.DefaultOptions(b.Train)
+		opts.HLO.Inline = cfg.inline
+		opts.HLO.Clone = cfg.clone
+		opts.Obs = rec
+		opts.Cache = cache
+		c, err := driver.Compile(b.Sources, opts)
+		if err != nil {
+			return err
+		}
+		st, err := c.Run(opts, b.Train) // simplified inputs
+		if err != nil {
+			return err
+		}
+		stats[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure7Row, 0, len(stats))
+	for bi, b := range benches {
+		base := stats[bi*nc] // toggleConfigs[0] is "neither"
+		for ci, cfg := range toggleConfigs {
+			st := stats[bi*nc+ci]
 			rows = append(rows, Figure7Row{
 				Name:        b.Name,
 				Config:      cfg.key,
@@ -293,20 +370,23 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var points []Figure8Point
-	for _, budget := range budgets {
-		// First learn how many operations the budget allows in total,
-		// and cross-check the count against the remark stream: every
-		// counted operation must have exactly one accepted inline or
-		// clone remark (the stream is the ground truth for the curve's
-		// x axis).
+	// Phase A, one task per budget: learn how many operations the budget
+	// allows in total, and cross-check the count against the remark
+	// stream: every counted operation must have exactly one accepted
+	// inline or clone remark (the stream is the ground truth for the
+	// curve's x axis). Each task uses a local throwaway recorder for the
+	// cross-check — these full compiles have never fed the attached
+	// recorder, only the per-point compiles of phase B do.
+	totals := make([]int, len(budgets))
+	err = par.Do(workers, len(budgets), func(i int) error {
 		full := driver.DefaultOptions(b.Train)
-		full.HLO.Budget = budget
+		full.HLO.Budget = budgets[i]
 		rec := obs.New()
 		full.Obs = rec
+		full.Cache = cache
 		c, err := driver.Compile(b.Sources, full)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		total := c.Stats.Ops
 		acceptedOps := 0
@@ -316,8 +396,19 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 			}
 		}
 		if acceptedOps != total {
-			return nil, fmt.Errorf("experiments: figure 8 budget %d: remark stream has %d accepted inline/clone remarks, Stats.Ops = %d", budget, acceptedOps, total)
+			return fmt.Errorf("experiments: figure 8 budget %d: remark stream has %d accepted inline/clone remarks, Stats.Ops = %d", budgets[i], acceptedOps, total)
 		}
+		totals[i] = total
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase B: enumerate the sample points budget-major (the rendering
+	// order) and fan every (budget, ops) compile out over the pool.
+	var points []Figure8Point
+	for bi, budget := range budgets {
+		total := totals[bi]
 		stride := 1
 		if maxPoints > 0 && total > maxPoints {
 			stride = (total + maxPoints - 1) / maxPoints
@@ -326,24 +417,32 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 			if ops > total {
 				ops = total
 			}
-			opts := driver.DefaultOptions(b.Train)
-			opts.HLO.Budget = budget
-			opts.HLO.StopAfter = ops
-			if ops == 0 {
-				// StopAfter=0 means unlimited; use inline/clone off for
-				// the zero-operations point instead.
-				opts.HLO.Inline = false
-				opts.HLO.Clone = false
-			}
-			_, st, err := compileAndRun(b, opts)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, Figure8Point{Budget: budget, Ops: ops, RunCycles: st.Cycles})
+			points = append(points, Figure8Point{Budget: budget, Ops: ops})
 			if ops >= total {
 				break
 			}
 		}
+	}
+	err = forEachCell(len(points), func(i int, rec *obs.Recorder) error {
+		pt := &points[i]
+		opts := driver.DefaultOptions(b.Train)
+		opts.HLO.Budget = pt.Budget
+		opts.HLO.StopAfter = pt.Ops
+		if pt.Ops == 0 {
+			// StopAfter=0 means unlimited; use inline/clone off for
+			// the zero-operations point instead.
+			opts.HLO.Inline = false
+			opts.HLO.Clone = false
+		}
+		_, st, err := compileAndRun(b, opts, rec)
+		if err != nil {
+			return err
+		}
+		pt.RunCycles = st.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -73,8 +73,8 @@ func TestTable1Shapes(t *testing.T) {
 		if p.CompileCost <= base.CompileCost {
 			t.Errorf("%s: profile compile cost must include instrumentation (p=%d base=%d)", name, p.CompileCost, base.CompileCost)
 		}
-		if c.Inlines < base.Inlines {
-			t.Errorf("%s: cross-module scope found fewer inlines (%d) than base (%d)", name, c.Inlines, base.Inlines)
+		if c.Stats.Inlines < base.Stats.Inlines {
+			t.Errorf("%s: cross-module scope found fewer inlines (%d) than base (%d)", name, c.Stats.Inlines, base.Stats.Inlines)
 		}
 	}
 }

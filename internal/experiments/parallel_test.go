@@ -1,0 +1,75 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// runDeterministic regenerates an experiment at the given parallelism
+// with a fresh recorder attached and returns the rendered rows plus the
+// remark stream serialized as JSONL — the two byte streams hlobench and
+// hlocc -remarks-json expose.
+func runDeterministic(t *testing.T, workers int, gen func() (string, error)) (string, []byte) {
+	t.Helper()
+	rec := obs.New()
+	experiments.SetRecorder(rec)
+	experiments.SetParallelism(workers)
+	defer experiments.SetRecorder(nil)
+	defer experiments.SetParallelism(0)
+	rendered, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	if err := obs.WriteJSONL(&jsonl, rec.Remarks()); err != nil {
+		t.Fatal(err)
+	}
+	return rendered, jsonl.Bytes()
+}
+
+// TestParallelDeterminism is the harness's headline guarantee: the
+// rendered Table 1 and Figure 6 outputs AND the full remark streams are
+// byte-identical between -j 1 (the serial reference) and -j 8.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table/figure regeneration is slow")
+	}
+	cases := []struct {
+		name string
+		gen  func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			rows, err := experiments.Table1()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable1(rows) + experiments.RenderTable1Totals(rows), nil
+		}},
+		{"figure6", func() (string, error) {
+			rows, err := experiments.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure6(rows), nil
+		}},
+	}
+	for _, exp := range cases {
+		t.Run(exp.name, func(t *testing.T) {
+			serialOut, serialJSON := runDeterministic(t, 1, exp.gen)
+			parallelOut, parallelJSON := runDeterministic(t, 8, exp.gen)
+			if serialOut != parallelOut {
+				t.Errorf("rendered output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serialOut, parallelOut)
+			}
+			if len(serialJSON) == 0 {
+				t.Fatal("serial run recorded no remarks — determinism check is vacuous")
+			}
+			if !bytes.Equal(serialJSON, parallelJSON) {
+				t.Errorf("JSONL remark stream differs between -j 1 and -j 8 (%d vs %d bytes)",
+					len(serialJSON), len(parallelJSON))
+			}
+		})
+	}
+}

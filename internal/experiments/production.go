@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
+	"repro/internal/par"
 	"repro/internal/randprog"
 )
 
@@ -29,52 +30,60 @@ func productionConfig() randprog.Config {
 }
 
 // Production builds nSeeds large generated programs and measures the
-// aggregate effect of HLO at peak configuration.
+// aggregate effect of HLO at peak configuration. Seeds are independent
+// and run on the worker pool (these compiles never fed the attached
+// recorder, so no per-cell recorders are needed).
 func Production(nSeeds int) ([]ProductionRow, error) {
 	if nSeeds <= 0 {
 		nSeeds = 3
 	}
-	var rows []ProductionRow
-	for seed := int64(1); seed <= int64(nSeeds); seed++ {
+	rows := make([]ProductionRow, nSeeds)
+	err := par.Do(workers, nSeeds, func(i int) error {
+		seed := int64(i + 1)
 		srcs := randprog.Generate(seed*7919, productionConfig())
 		inputs := []int64{seed & 3, seed & 7, seed & 15}
 
-		base := driver.Options{}
+		base := driver.Options{Cache: cache}
 		base.HLO.Passes = 1 // front end + back end only
 		cBase, err := driver.Compile(srcs, base)
 		if err != nil {
-			return nil, fmt.Errorf("production seed %d: %w", seed, err)
+			return fmt.Errorf("production seed %d: %w", seed, err)
 		}
 		stBase, err := cBase.Run(base, inputs)
 		if err != nil {
-			return nil, fmt.Errorf("production seed %d: %w", seed, err)
+			return fmt.Errorf("production seed %d: %w", seed, err)
 		}
 
 		peak := driver.DefaultOptions(inputs)
+		peak.Cache = cache
 		cOpt, err := driver.Compile(srcs, peak)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stOpt, err := cOpt.Run(peak, inputs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if stOpt.ExitCode != stBase.ExitCode || len(stOpt.Output) != len(stBase.Output) {
-			return nil, fmt.Errorf("production seed %d: behaviour changed", seed)
+			return fmt.Errorf("production seed %d: behaviour changed", seed)
 		}
 		for i := range stBase.Output {
 			if stOpt.Output[i] != stBase.Output[i] {
-				return nil, fmt.Errorf("production seed %d: output[%d] differs", seed, i)
+				return fmt.Errorf("production seed %d: output[%d] differs", seed, i)
 			}
 		}
-		rows = append(rows, ProductionRow{
+		rows[i] = ProductionRow{
 			Seed:      seed * 7919,
 			Modules:   len(srcs),
 			IRSize:    cBase.IR.TotalSize(),
 			BaseCycle: stBase.Cycles,
 			HLOCycle:  stOpt.Cycles,
 			Speedup:   float64(stBase.Cycles) / float64(stOpt.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -36,7 +36,21 @@ func RenderTable1(rows []Table1Row) string {
 			prev = name
 		}
 		fmt.Fprintf(&b, "%-14s %-5s %8d %7d %11d %10d %13d %12d\n",
-			name, r.Scope, r.Inlines, r.Clones, r.CloneRepls, r.Deletions, r.CompileCost, r.RunCycles)
+			name, r.Scope, r.Stats.Inlines, r.Stats.Clones, r.Stats.CloneRepls, r.Stats.Deletions, r.CompileCost, r.RunCycles)
+	}
+	return b.String()
+}
+
+// RenderTable1Totals formats the per-scope aggregate of a Table 1
+// result set (Table1Totals) in the same column layout.
+func RenderTable1Totals(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("totals per scope (all benchmarks)\n")
+	fmt.Fprintf(&b, "%-14s %-5s %8s %7s %11s %10s %13s %12s\n",
+		"", "scope", "inlines", "clones", "clone-repls", "deletions", "compile-cost", "run-cycles")
+	for _, r := range Table1Totals(rows) {
+		fmt.Fprintf(&b, "%-14s %-5s %8d %7d %11d %10d %13d %12d\n",
+			r.Name, r.Scope, r.Stats.Inlines, r.Stats.Clones, r.Stats.CloneRepls, r.Stats.Deletions, r.CompileCost, r.RunCycles)
 	}
 	return b.String()
 }

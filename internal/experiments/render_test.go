@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestGeoMeans(t *testing.T) {
@@ -49,8 +51,8 @@ func TestRenderersIncludeEveryRow(t *testing.T) {
 		t.Errorf("figure 8 rendering missing budget sections:\n%s", f8)
 	}
 	t1 := RenderTable1([]Table1Row{
-		{Name: "z", Scope: "", Inlines: 1, RunCycles: 7},
-		{Name: "z", Scope: "cp", Inlines: 2, RunCycles: 5},
+		{Name: "z", Scope: "", Stats: core.Stats{Inlines: 1}, RunCycles: 7},
+		{Name: "z", Scope: "cp", Stats: core.Stats{Inlines: 2}, RunCycles: 5},
 	})
 	// Repeated benchmark names are blanked after the first row.
 	if strings.Count(t1, "z") != 1 {

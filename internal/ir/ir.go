@@ -350,17 +350,35 @@ type Func struct {
 	// Provenance for transformation statistics.
 	ClonedFrom string // QName of the clonee if this func is a clone
 	Pos        source.Pos
+
+	// sizeMemo caches Size()+1; 0 means unknown (the zero value of a
+	// freshly built Func is dirty by construction). Transformations that
+	// add or remove instructions must call InvalidateSize.
+	sizeMemo int32
 }
 
 // Size returns the instruction count of f, the size metric used by the
 // paper's compile-time cost model (cost of optimizing f ~ Size(f)²).
+// The count is memoized under a dirty bit: HLO consults sizes on every
+// budget decision and phase boundary, so a full recount per query would
+// dominate. Mutators must call InvalidateSize after changing the number
+// of instructions. Memoization makes Size unsafe for concurrent use on
+// a shared Func; the parallel harness works on private Program clones.
 func (f *Func) Size() int {
+	if f.sizeMemo > 0 {
+		return int(f.sizeMemo - 1)
+	}
 	n := 0
 	for _, b := range f.Blocks {
 		n += len(b.Instrs)
 	}
+	f.sizeMemo = int32(n + 1)
 	return n
 }
+
+// InvalidateSize drops the memoized instruction count. Every pass that
+// inserts or deletes instructions (or whole blocks) must call it.
+func (f *Func) InvalidateSize() { f.sizeMemo = 0 }
 
 // NewReg allocates a fresh virtual register.
 func (f *Func) NewReg() Reg {
@@ -373,6 +391,7 @@ func (f *Func) NewReg() Reg {
 func (f *Func) Entry() *Block { return f.Blocks[0] }
 
 // Clone returns a deep copy of the function under the given new name.
+// The memoized size carries over (the body is copied verbatim).
 func (f *Func) Clone(qname string) *Func {
 	nf := *f
 	nf.QName = qname
@@ -515,6 +534,45 @@ func (p *Program) RemoveFunc(fn *Func) {
 			return
 		}
 	}
+}
+
+// Clone returns a deep copy of the program: modules, functions, globals
+// and freshly built symbol tables. The receiver must be resolved; the
+// copy is resolved too (all names are already canonical). The compilation
+// cache uses Clone to hand each compile a private copy of a memoized
+// front-end result, so concurrent compiles never share mutable IR.
+func (p *Program) Clone() *Program {
+	np := &Program{
+		Modules: make([]*Module, len(p.Modules)),
+		funcs:   make(map[string]*Func, len(p.funcs)),
+		globals: make(map[string]*Global, len(p.globals)),
+	}
+	for i, m := range p.Modules {
+		nm := &Module{
+			Name:    m.Name,
+			Globals: make([]*Global, len(m.Globals)),
+			Funcs:   make([]*Func, len(m.Funcs)),
+		}
+		if m.Externs != nil {
+			nm.Externs = make(map[string]ExternSig, len(m.Externs))
+			for k, v := range m.Externs {
+				nm.Externs[k] = v
+			}
+		}
+		for j, g := range m.Globals {
+			ng := *g
+			ng.Init = append([]int64(nil), g.Init...)
+			nm.Globals[j] = &ng
+			np.globals[ng.QName] = &ng
+		}
+		for j, f := range m.Funcs {
+			nf := f.Clone(f.QName)
+			nm.Funcs[j] = nf
+			np.funcs[nf.QName] = nf
+		}
+		np.Modules[i] = nm
+	}
+	return np
 }
 
 // TotalSize returns the instruction count of the whole program.

@@ -184,6 +184,45 @@ func (r *Recorder) Counters() []Counter {
 	return out
 }
 
+// Merge appends everything child has recorded — remarks and spans in
+// their emission order, counters by addition — onto r. The parallel
+// harness gives each task its own recorder and merges them back in
+// submission order, so a fan-out produces byte-identical remark streams
+// regardless of worker count. Child span depths are rebased onto r's
+// current nesting level. No-op when either recorder is nil.
+func (r *Recorder) Merge(child *Recorder) {
+	if r == nil || child == nil || r == child {
+		return
+	}
+	child.mu.Lock()
+	remarks := append([]Remark(nil), child.remarks...)
+	spans := append([]Span(nil), child.spans...)
+	var counters map[string]int64
+	if len(child.counters) > 0 {
+		counters = make(map[string]int64, len(child.counters))
+		for k, v := range child.counters {
+			counters[k] = v
+		}
+	}
+	child.mu.Unlock()
+
+	r.mu.Lock()
+	r.remarks = append(r.remarks, remarks...)
+	for i := range spans {
+		spans[i].Depth += r.depth
+	}
+	r.spans = append(r.spans, spans...)
+	if counters != nil {
+		if r.counters == nil {
+			r.counters = make(map[string]int64, len(counters))
+		}
+		for k, v := range counters {
+			r.counters[k] += v
+		}
+	}
+	r.mu.Unlock()
+}
+
 // Reset discards everything recorded so far, keeping the recorder
 // enabled (used between experiments that share one recorder).
 func (r *Recorder) Reset() {

@@ -12,6 +12,11 @@ func Cleanup(f *ir.Func) bool {
 		c = mergeChains(f) || c
 		c = dropUnreachable(f) || c
 		if !c {
+			if changed {
+				// Merging chains and dropping blocks change the
+				// instruction count.
+				f.InvalidateSize()
+			}
 			return changed
 		}
 		changed = true

@@ -105,6 +105,9 @@ func DCE(f *ir.Func, pure Purity) bool {
 		}
 		b.Instrs = kept
 	}
+	if removedAny {
+		f.InvalidateSize()
+	}
 	return removedAny
 }
 

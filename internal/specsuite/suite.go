@@ -29,7 +29,10 @@
 // configuration (interpreter, simulator, any HLO setting) must agree.
 package specsuite
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Benchmark is one synthetic SPEC program.
 type Benchmark struct {
@@ -40,8 +43,24 @@ type Benchmark struct {
 	Ref     []int64  // reference input vector (timed run)
 }
 
-// All returns the benchmarks in the paper's Figure 5 order.
+// suite builds the benchmark set once: the source generators assemble
+// sizeable MiniC programs, and the experiment harness asks for the
+// suite from many goroutines. Callers treat the shared *Benchmark
+// values as read-only.
+var suite struct {
+	once sync.Once
+	all  []*Benchmark
+}
+
+// All returns the benchmarks in the paper's Figure 5 order. The
+// returned slice is fresh but the *Benchmark values are shared:
+// callers must not mutate them.
 func All() []*Benchmark {
+	suite.once.Do(func() { suite.all = build() })
+	return append([]*Benchmark(nil), suite.all...)
+}
+
+func build() []*Benchmark {
 	return []*Benchmark{
 		{Name: "008.espresso", Suite: "SPECint92", Sources: espressoSources(), Train: []int64{6, 13}, Ref: []int64{14, 13}},
 		{Name: "022.li", Suite: "SPECint92", Sources: liSources(), Train: []int64{40, 5}, Ref: []int64{260, 5}},

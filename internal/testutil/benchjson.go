@@ -1,0 +1,54 @@
+package testutil
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sync"
+	"testing"
+)
+
+// benchJSON is where RecordBenchJSON accumulates benchmark metrics.
+// `go test -bench . -benchjson=other.json` redirects it; an empty value
+// disables recording. The file is only touched by benchmarks that call
+// RecordBenchJSON, so plain `go test` runs never write it.
+var benchJSON = flag.String("benchjson", "BENCH_experiments.json",
+	"file accumulating benchmark metrics as JSON (empty disables)")
+
+var benchJSONMu sync.Mutex
+
+// RecordBenchJSON merges the named benchmark's metrics into the
+// -benchjson file (read-modify-write, so several benchmarks and several
+// `go test -bench` invocations accumulate into one document). Keys are
+// benchmark names, values are metric name → value.
+func RecordBenchJSON(tb testing.TB, name string, metrics map[string]float64) {
+	tb.Helper()
+	if *benchJSON == "" || len(metrics) == 0 {
+		return
+	}
+	benchJSONMu.Lock()
+	defer benchJSONMu.Unlock()
+	all := map[string]map[string]float64{}
+	if data, err := os.ReadFile(*benchJSON); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			all = map[string]map[string]float64{} // overwrite corrupt files
+		}
+	}
+	m := all[name]
+	if m == nil {
+		m = map[string]float64{}
+		all[name] = m
+	}
+	for k, v := range metrics {
+		m[k] = v
+	}
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		tb.Errorf("benchjson: marshal: %v", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+		tb.Errorf("benchjson: write %s: %v", *benchJSON, err)
+	}
+}
