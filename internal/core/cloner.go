@@ -222,6 +222,7 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		cloneName = clone.QName
 		h.cloneDB[key] = cloneName
 		h.stats.Clones++
+		h.checkMutation("clone "+cloneName, clone)
 	}
 	for i, site := range grp.sites {
 		if h.stopped() {
@@ -253,6 +254,7 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		h.stats.CloneRepls++
 		h.countOp()
 		h.remarkCloneSite(grp, i, true, OK, grp.cost, grp.headroom, cloneName)
+		h.checkMutation("retarget site in "+caller.QName+" to "+cloneName, caller)
 	}
 	if clonee.Module != h.prog.Func(cloneName).Module {
 		// Cannot happen (clones live in the clonee's module), but keep

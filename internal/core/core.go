@@ -102,7 +102,25 @@ type Options struct {
 	// dead-call decision) and per-pass phase spans. A nil recorder is a
 	// no-op: the decision hot paths pay nothing when disabled.
 	Obs *obs.Recorder
+	// VerifyEach runs ir.Program.VerifyFuncStrict over the functions
+	// touched by every accepted inline, clone call-site replacement, and
+	// outline, latching the first failure (reported by RunChecked; Run
+	// panics on it). Strict verification assumes honest extern
+	// declarations — front-end output and fuzzer-generated programs
+	// qualify; hand-written IR with lying externs does not. Intended for
+	// tests and the differential fuzzer, not production compiles.
+	VerifyEach bool
+	// InjectBug deliberately miscompiles: the named defect is introduced
+	// into a transformation so the fuzzer's oracles and minimizer can be
+	// mutation-tested against a known-bad compiler. Empty means off.
+	// Never set outside tests.
+	InjectBug string
 }
+
+// BugInlineSwapArgs is an InjectBug value: performInline binds the first
+// two actuals to the wrong formals (a structurally valid miscompile that
+// only a behavioural oracle can see).
+const BugInlineSwapArgs = "inline-swap-args"
 
 // DefaultOptions mirrors the paper's defaults: budget 100, four passes,
 // both transformations on, profile-style heuristics on.

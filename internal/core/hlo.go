@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/ipa"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -32,13 +34,29 @@ type hlo struct {
 	siteSeq    int32
 	rec        *obs.Recorder // nil when observability is off
 	pass       int           // 1-based pass number inside the pass loop; 0 outside
+	// verifyErr latches the first VerifyEach failure. Once set, stopped()
+	// reports true so no further transformation runs on the broken IR and
+	// the offending mutation stays the last one performed.
+	verifyErr error
 }
 
 // Run applies HLO to the program under the given scope and options and
 // returns the transformation statistics. The program must be resolved;
 // it is verified on completion in debug builds via ir.Program.Verify by
-// callers that care.
+// callers that care. Run panics if Options.VerifyEach detects a broken
+// transformation — callers that want the error use RunChecked.
 func Run(p *ir.Program, scope Scope, opts Options) *Stats {
+	st, err := RunChecked(p, scope, opts)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// RunChecked is Run returning the first per-mutation verification
+// failure instead of panicking. Without Options.VerifyEach the error is
+// always nil.
+func RunChecked(p *ir.Program, scope Scope, opts Options) (*Stats, error) {
 	if opts.Passes <= 0 {
 		opts.Passes = 1
 	}
@@ -137,7 +155,7 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 	h.stats.CostAfter = h.cost
 	h.stats.SizeAfter = h.scopeSize()
 	h.stats.Ops = h.ops
-	return h.stats
+	return h.stats, h.verifyErr
 }
 
 // stageFraction apportions the budget across passes in percent:
@@ -153,7 +171,29 @@ func stageFraction(pass, total int) int64 {
 func (h *hlo) purity(callee string) bool { return h.pure[callee] }
 
 func (h *hlo) stopped() bool {
+	if h.verifyErr != nil {
+		return true
+	}
 	return h.opts.StopAfter > 0 && h.ops >= h.opts.StopAfter
+}
+
+// checkMutation verifies every function touched by one accepted
+// transformation under Options.VerifyEach (no-op otherwise). The first
+// failure latches into verifyErr, which also trips stopped() so the
+// broken IR is not transformed further.
+func (h *hlo) checkMutation(what string, funcs ...*ir.Func) {
+	if !h.opts.VerifyEach || h.verifyErr != nil {
+		return
+	}
+	for _, f := range funcs {
+		if f == nil {
+			continue
+		}
+		if err := h.prog.VerifyFuncStrict(f); err != nil {
+			h.verifyErr = fmt.Errorf("core: after %s: %w", what, err)
+			return
+		}
+	}
 }
 
 func (h *hlo) countOp() { h.ops++ }

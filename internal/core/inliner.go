@@ -103,6 +103,8 @@ func (h *hlo) inlinePass(stageBudget int64) {
 			h.stats.Inlines++
 			h.countOp()
 			h.remarkInline(cand, true, OK)
+			h.checkMutation(fmt.Sprintf("inline %s into %s", cand.callee.QName, cand.caller.QName),
+				cand.caller, cand.callee)
 		} else {
 			h.remarkInline(cand, false, RejRetargeted)
 		}
@@ -249,6 +251,9 @@ func (h *hlo) performInline(cand *inlineCand) error {
 	}
 
 	// The split block binds formals and jumps into the copied entry.
+	if h.opts.InjectBug == BugInlineSwapArgs && len(call.Args) >= 2 {
+		call.Args[0], call.Args[1] = call.Args[1], call.Args[0]
+	}
 	head := blk.Instrs[:idx:idx]
 	for i := 0; i < callee.NumParams; i++ {
 		var a ir.Operand

@@ -87,9 +87,14 @@ func (h *hlo) outlineFunc(f *ir.Func) int {
 			old := int64(f.Size())
 			h.extract(f, b, ins, outs)
 			h.recost(f, old)
-			remarkOnce(b, true, OK, fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq), saved)
+			name := fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq)
+			remarkOnce(b, true, OK, name, saved)
 			h.stats.Outlines++
 			created++
+			h.checkMutation("outline "+name, f, h.prog.Func(name))
+			if h.stopped() {
+				return created
+			}
 			done = false
 			break // block list changed; recompute liveness
 		}

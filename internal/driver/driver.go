@@ -129,7 +129,11 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 	opts.HLO.Obs = rec
 	hsp := rec.BeginSized("hlo", programSize(p), programCost(p, opts.HLO.LinearCost))
 	if opts.CrossModule {
-		st := core.Run(p, core.WholeProgram(), opts.HLO)
+		st, err := core.RunChecked(p, core.WholeProgram(), opts.HLO)
+		if err != nil {
+			hsp.EndSized(st.SizeAfter, st.CostAfter)
+			return nil, err
+		}
 		c.Stats = *st
 	} else {
 		// Traditional path: HLO buffers one module at a time, each under
@@ -138,8 +142,12 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 			scope := core.SingleModule(m.Name)
 			msp := rec.BeginSized("hlo/module-"+m.Name,
 				scopeSize(p, scope), scopeCost(p, scope, opts.HLO.LinearCost))
-			st := core.Run(p, scope, opts.HLO)
+			st, err := core.RunChecked(p, scope, opts.HLO)
 			msp.EndSized(st.SizeAfter, st.CostAfter)
+			if err != nil {
+				hsp.EndSized(st.SizeAfter, st.CostAfter)
+				return nil, err
+			}
 			c.Stats.Add(st)
 		}
 	}

@@ -1,0 +1,143 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Corpus files are single .minic files holding every module of a
+// failing program plus replay metadata in leading comment lines:
+//
+//	// fuzz-seed: 17
+//	// fuzz-cell: cross/b100
+//	// fuzz-kind: output
+//	// fuzz-inputs: 1,2,3
+//	// fuzz-train: 2,3,4
+//	module main;
+//	...
+//	// ===module===
+//	module mod1;
+//	...
+//
+// The separator line splits modules; the metadata keys feed replay.
+
+// moduleSeparator splits modules inside one corpus file.
+const moduleSeparator = "// ===module==="
+
+// EncodeCorpus renders a failure as corpus-file contents.
+func EncodeCorpus(f *Failure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// fuzz-seed: %d\n", f.Seed)
+	fmt.Fprintf(&b, "// fuzz-cell: %s\n", f.Cell)
+	fmt.Fprintf(&b, "// fuzz-kind: %s\n", f.Kind)
+	fmt.Fprintf(&b, "// fuzz-inputs: %s\n", joinInts(f.Inputs))
+	fmt.Fprintf(&b, "// fuzz-train: %s\n", joinInts(f.Train))
+	for i, src := range f.Sources {
+		if i > 0 {
+			b.WriteString(moduleSeparator + "\n")
+		}
+		b.WriteString(strings.TrimRight(src, "\n") + "\n")
+	}
+	return b.String()
+}
+
+// DecodeCorpus parses corpus-file contents back into sources and replay
+// inputs. Unknown or missing metadata lines default to zero inputs.
+func DecodeCorpus(data string) (sources []string, inputs, train []int64) {
+	var body []string
+	for _, line := range strings.Split(data, "\n") {
+		if v, ok := strings.CutPrefix(line, "// fuzz-inputs: "); ok {
+			inputs = parseInts(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "// fuzz-train: "); ok {
+			train = parseInts(v)
+			continue
+		}
+		if strings.HasPrefix(line, "// fuzz-") {
+			continue
+		}
+		body = append(body, line)
+	}
+	for _, part := range strings.Split(strings.Join(body, "\n"), moduleSeparator+"\n") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			sources = append(sources, part+"\n")
+		}
+	}
+	return sources, inputs, train
+}
+
+// WriteCorpus stores a failure in dir (created if needed) and returns
+// the file path. File names are deterministic per seed and oracle so
+// replays stay stable and duplicates overwrite themselves.
+func WriteCorpus(dir string, f *Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	cell := strings.NewReplacer("/", "-", " ", "").Replace(f.Cell)
+	name := fmt.Sprintf("seed%d-%s-%s.minic", f.Seed, cell, f.Kind)
+	path := filepath.Join(dir, name)
+	return path, os.WriteFile(path, []byte(EncodeCorpus(f)), 0o644)
+}
+
+// ReplayFile re-checks one corpus entry; nil means it no longer fails.
+func ReplayFile(path string, cfg Config) (*Failure, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sources, inputs, train := DecodeCorpus(string(data))
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("fuzz: %s: no modules", path)
+	}
+	return CheckSources(sources, inputs, train, cfg), nil
+}
+
+// CorpusFiles lists the .minic entries of a corpus directory in sorted
+// order. A missing directory is an empty corpus, not an error.
+func CorpusFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".minic") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func joinInts(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseInts(s string) []int64 {
+	var out []int64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/randprog"
+)
+
+// TestFuzzSmoke runs a short differential campaign over the shipped
+// generator configuration; any divergence is a released bug.
+func TestFuzzSmoke(t *testing.T) {
+	n := 32
+	if testing.Short() {
+		n = 8
+	}
+	for _, f := range Run(1, n, Config{}) {
+		t.Errorf("%v\nsources:\n%s", f, strings.Join(f.Sources, "// ===module===\n"))
+	}
+}
+
+// TestInjectedBugCaughtAndMinimized mutation-tests the oracles: with
+// core.BugInlineSwapArgs injected (performInline swaps the first two
+// actuals — structurally valid IR, so only behavioural oracles can
+// notice), the fuzzer must find a divergence quickly, and the greedy
+// minimizer must shrink the reproducer to a handful of lines that still
+// fails under the bug but passes under the clean compiler.
+func TestInjectedBugCaughtAndMinimized(t *testing.T) {
+	cfg := Config{InjectBug: core.BugInlineSwapArgs}
+	var fail *Failure
+	for seed := int64(1); seed <= 64; seed++ {
+		if fail = CheckSeed(seed, cfg); fail != nil {
+			break
+		}
+	}
+	if fail == nil {
+		t.Fatalf("injected bug %q not caught in 64 seeds", core.BugInlineSwapArgs)
+	}
+	t.Logf("caught: %v", fail)
+
+	min := Minimize(fail.Sources, func(cand []string) bool {
+		r := CheckSources(cand, fail.Inputs, fail.Train, cfg)
+		return r != nil && r.Kind == fail.Kind && r.Cell == fail.Cell
+	})
+	if n := LineCount(min); n > 25 {
+		t.Errorf("minimized reproducer is %d lines, want <= 25:\n%s",
+			n, strings.Join(min, "// ===module===\n"))
+	}
+	if r := CheckSources(min, fail.Inputs, fail.Train, cfg); r == nil {
+		t.Errorf("minimized reproducer no longer fails under the injected bug")
+	}
+	if r := CheckSources(min, fail.Inputs, fail.Train, Config{}); r != nil {
+		t.Errorf("minimized reproducer fails even without the injected bug: %v", r)
+	}
+}
+
+// TestSizeMemoNeverStale drives HLO over random programs with
+// per-mutation strict verification on: ir.VerifyFuncStrict cross-checks
+// the memoized Func.Size against a fresh recount after every accepted
+// inline, clone and outline, so a mutation path that forgot
+// InvalidateSize fails the compile. A final sweep re-checks the
+// fixpoint state.
+func TestSizeMemoNeverStale(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		sources := randprog.Generate(seed, randprog.FuzzConfig())
+		p, err := driver.Frontend(sources)
+		if err != nil {
+			t.Fatalf("seed %d: frontend: %v", seed, err)
+		}
+		opts := core.DefaultOptions()
+		opts.VerifyEach = true
+		opts.Outline = seed%2 == 0
+		if opts.Outline {
+			res, err := interp.Run(p, interp.Options{
+				Inputs: TrainFor(seed), Profile: true, MemSize: fuzzMemWords})
+			if err != nil {
+				t.Fatalf("seed %d: training run: %v", seed, err)
+			}
+			res.Profile.Attach(p)
+		}
+		if _, err := core.RunChecked(p, core.WholeProgram(), opts); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			continue
+		}
+		p.Funcs(func(f *ir.Func) bool {
+			want := sizeRecount(f)
+			if got := f.Size(); got != want {
+				t.Errorf("seed %d: %s: memoized Size() = %d, recount = %d", seed, f.QName, got, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestCorpusReplay is the regression suite over the stored crash
+// corpus: every entry is a once-failing program whose bug has since
+// been fixed, so every replay must pass. An empty corpus passes
+// trivially.
+func TestCorpusReplay(t *testing.T) {
+	files, err := CorpusFiles("../../testdata/fuzz-corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		f, err := ReplayFile(path, Config{})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if f != nil {
+			t.Errorf("%s: regressed: %v", path, f)
+		}
+	}
+}
+
+// TestCorpusRoundTrip checks that corpus encoding preserves everything
+// replay needs.
+func TestCorpusRoundTrip(t *testing.T) {
+	f := &Failure{
+		Seed: 7, Cell: "cross/b100", Kind: "output", Detail: "x",
+		Sources: []string{
+			"module main;\nfunc main() int { print(1); }\n",
+			"module mod1;\nfunc f() int { return 2; }\n",
+		},
+		Inputs: []int64{1, 2, 3},
+		Train:  []int64{4, 5, 6},
+	}
+	sources, inputs, train := DecodeCorpus(EncodeCorpus(f))
+	if len(sources) != 2 ||
+		!strings.Contains(sources[0], "module main;") ||
+		!strings.Contains(sources[1], "module mod1;") {
+		t.Errorf("sources did not round-trip: %q", sources)
+	}
+	if !equalOutput(inputs, f.Inputs) || !equalOutput(train, f.Train) {
+		t.Errorf("inputs %v train %v did not round-trip", inputs, train)
+	}
+}
+
+// FuzzDifferential is the native fuzzing entry point: go test
+// -fuzz=FuzzDifferential explores seeds beyond the deterministic smoke
+// range.
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 31, 57, 1 << 20} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if fail := CheckSeed(seed, Config{}); fail != nil {
+			t.Errorf("%v", fail)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package fuzz
+
+import "strings"
+
+// Minimize greedily shrinks a failing program while pred keeps
+// reporting failure, ddmin-style: whole modules first, then
+// line chunks per module with the chunk size halving from half the
+// module down to single lines, iterated to a fixpoint. pred receives a
+// candidate source set and must return true iff the candidate still
+// reproduces the original failure — candidates that no longer parse or
+// that fail differently should return false, which simply rejects the
+// removal. The result is 1-minimal with respect to single-line removal.
+func Minimize(sources []string, pred func([]string) bool) []string {
+	cur := append([]string(nil), sources...)
+	if !pred(cur) {
+		return cur // not a reproducer as given; nothing safe to do
+	}
+	for changed := true; changed; {
+		changed = false
+		// Drop whole modules.
+		for i := 0; i < len(cur) && len(cur) > 1; i++ {
+			cand := append(append([]string(nil), cur[:i]...), cur[i+1:]...)
+			if pred(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+		// Shrink each module by line chunks.
+		for i := range cur {
+			lines := strings.Split(cur[i], "\n")
+			shrunk := false
+			for chunk := len(lines) / 2; chunk >= 1; chunk /= 2 {
+				for at := 0; at+chunk <= len(lines); {
+					cand := append(append([]string(nil), lines[:at]...), lines[at+chunk:]...)
+					next := append([]string(nil), cur...)
+					next[i] = strings.Join(cand, "\n")
+					if pred(next) {
+						lines = cand
+						cur = next
+						shrunk = true
+						// Do not advance: the next chunk slid into place.
+					} else {
+						at += chunk
+					}
+				}
+			}
+			if shrunk {
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// LineCount counts the non-blank source lines across all modules — the
+// size metric minimization reports.
+func LineCount(sources []string) int {
+	n := 0
+	for _, src := range sources {
+		for _, line := range strings.Split(src, "\n") {
+			if strings.TrimSpace(line) != "" {
+				n++
+			}
+		}
+	}
+	return n
+}

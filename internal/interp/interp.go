@@ -16,10 +16,11 @@ import (
 
 // Options configures a run.
 type Options struct {
-	Inputs  []int64 // the run's input vector (read by the input() runtime routine)
-	MemSize int64   // words of data memory; 0 means DefaultMemSize
-	Fuel    int64   // instruction budget; 0 means DefaultFuel
-	Profile bool    // collect block execution counts
+	Inputs   []int64 // the run's input vector (read by the input() runtime routine)
+	MemSize  int64   // words of data memory; 0 means DefaultMemSize
+	Fuel     int64   // instruction budget; 0 means DefaultFuel
+	MaxDepth int     // call-depth budget; 0 means DefaultMaxDepth
+	Profile  bool    // collect block execution counts
 }
 
 // DefaultMemSize is the data memory size in words.
@@ -27,6 +28,15 @@ const DefaultMemSize = 1 << 22
 
 // DefaultFuel is the instruction execution budget.
 const DefaultFuel = 500_000_000
+
+// DefaultMaxDepth bounds the call depth. The interpreter recurses on
+// the Go stack, and the simulated stack pointer only moves for
+// functions with frame objects, so a frameless runaway recursion (e.g.
+// a miscompile that breaks a recursion clamp — exactly what the
+// differential fuzzer injects) would otherwise crash the process
+// instead of returning an error. Any legitimate program stays far
+// below this.
+const DefaultMaxDepth = 1 << 16
 
 // Result is the outcome of a run.
 type Result struct {
@@ -46,7 +56,9 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	m := newMachine(p, opts)
-	ret, err := m.call(main, nil)
+	// The "OS" calls main with all parameters zero, so a parameterful
+	// main is well-defined rather than an arity violation.
+	ret, err := m.call(main, make([]int64, main.NumParams))
 	if err != nil {
 		var h haltSignal
 		if !errors.As(err, &h) {
@@ -70,14 +82,16 @@ type haltSignal struct{ code int64 }
 func (h haltSignal) Error() string { return fmt.Sprintf("halt(%d)", h.code) }
 
 type machine struct {
-	prog   *ir.Program
-	mem    []int64
-	sp     int64 // stack pointer (grows down); frame bases are sp values
-	limit  int64 // lowest legal stack address (top of globals)
-	fuel   int64
-	fuel0  int64
-	inputs []int64
-	res    *Result
+	prog     *ir.Program
+	mem      []int64
+	sp       int64 // stack pointer (grows down); frame bases are sp values
+	limit    int64 // lowest legal stack address (top of globals)
+	fuel     int64
+	fuel0    int64
+	depth    int // current call depth
+	maxDepth int
+	inputs   []int64
+	res      *Result
 
 	globalBase  map[string]int64
 	funcID      map[string]int64
@@ -100,12 +114,17 @@ func newMachine(p *ir.Program, opts Options) *machine {
 	if fuel == 0 {
 		fuel = DefaultFuel
 	}
+	maxDepth := opts.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
 	m := &machine{
 		prog:        p,
 		mem:         make([]int64, memSize),
 		sp:          memSize,
 		fuel:        fuel,
 		fuel0:       fuel,
+		maxDepth:    maxDepth,
 		inputs:      opts.Inputs,
 		res:         &Result{},
 		globalBase:  make(map[string]int64),
@@ -160,21 +179,36 @@ func (m *machine) store(addr, v int64) error {
 	return nil
 }
 
-// call executes f with the given arguments (extra arguments are dropped,
-// missing ones are zero — the machine-level behaviour of arity-mismatched
-// calls) and returns its return value.
+// call executes f with the given arguments and returns its return value.
+//
+// Arity contract: passing FEWER arguments than the callee's parameters
+// is an error. The front end rejects such calls statically, so reaching
+// one at run time means either a lying extern declaration or — the case
+// the differential fuzzer cares about — a transformation that rewrote a
+// call wrongly; silently zero-filling would let the pre/post-HLO oracle
+// mask that miscompile. Passing EXTRA arguments is defined behaviour
+// (the surplus is dropped): the varargs calling convention depends on
+// it, and the machine model behaves the same way (a callee only reads
+// its declared parameter registers).
 func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
-	regs := make([]int64, f.NumRegs)
-	for i := 0; i < f.NumParams && i < len(args); i++ {
-		regs[i] = args[i]
+	if len(args) < f.NumParams {
+		return 0, fmt.Errorf("interp: call of %s with %d args, needs %d", f.QName, len(args), f.NumParams)
 	}
+	m.depth++
+	if m.depth > m.maxDepth {
+		m.depth--
+		return 0, fmt.Errorf("interp: call depth exceeds %d in %s", m.maxDepth, f.QName)
+	}
+	regs := make([]int64, f.NumRegs)
+	copy(regs, args[:f.NumParams])
 	savedSP := m.sp
 	m.sp -= f.FrameSize
 	frameBase := m.sp
 	if m.sp < m.limit {
+		m.depth--
 		return 0, fmt.Errorf("interp: stack overflow in %s", f.QName)
 	}
-	defer func() { m.sp = savedSP }()
+	defer func() { m.sp = savedSP; m.depth-- }()
 
 	var counts []int64
 	if m.prof != nil {
@@ -362,6 +396,13 @@ func (m *machine) runtimeCall(name string, args []int64) (int64, error) {
 		m.res.Output = append(m.res.Output, arg(0))
 		return arg(0), nil
 	case "input":
+		// Contract: input(i) returns the i-th input word, and 0 for any
+		// out-of-range index. The zero return is DEFINED behaviour, not an
+		// error — the PA8000 model's input routine implements the same
+		// rule (pa8000.SysInput), so both engines stay comparable on any
+		// index a program produces. Programs that want to react to short
+		// input vectors can consult ninputs(). randprog-generated code
+		// never reads past randprog.MinInputs-1, by construction.
 		i := arg(0)
 		if i < 0 || i >= int64(len(m.inputs)) {
 			return 0, nil

@@ -126,7 +126,9 @@ func main() int {
 }
 
 func TestArityMismatchSemantics(t *testing.T) {
-	// Missing args are zero; extra args are dropped.
+	// Too FEW arguments (reachable only through a lying extern or a
+	// miscompile) is a hard error: zero-filling would let the
+	// differential oracle mask a transformation bug.
 	p := testutil.MustBuild(t, `
 module main;
 extern func print(x int) int;
@@ -139,8 +141,50 @@ func main() int {
 module lib;
 func f(a int, b int) int { return a * 100 + b; }
 `)
+	_, err := interp.Run(p, interp.Options{})
+	if err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("err = %v, want arity error", err)
+	}
+
+	// Too MANY arguments is defined behaviour: the surplus is dropped
+	// (the varargs calling convention relies on this).
+	p = testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func f(a int, b int, c int) int;
+func main() int {
+	print(f(7, 5, 99));
+	return 0;
+}
+`, `
+module lib;
+func f(a int, b int) int { return a * 100 + b; }
+`)
 	res := testutil.MustRun(t, p)
-	testutil.EqualOutput(t, res, 0, 700)
+	testutil.EqualOutput(t, res, 0, 705)
+}
+
+func TestInputOutOfRangeContract(t *testing.T) {
+	// input(i) returns 0 for any out-of-range index — defined behaviour,
+	// identical in the interpreter and the PA8000 model (SysInput).
+	p := testutil.MustBuild(t, `
+module main;
+extern func print(x int) int;
+extern func input(i int) int;
+extern func ninputs() int;
+func main() int {
+	print(input(0));
+	print(input(5));
+	print(input(-1));
+	print(ninputs());
+	return 0;
+}
+`)
+	res, err := interp.Run(p, interp.Options{Inputs: []int64{42, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.EqualOutput(t, res, 0, 42, 0, 0, 2)
 }
 
 func TestStepsCounted(t *testing.T) {
@@ -151,5 +195,21 @@ func main() int { return 1 + 2; }
 	res := testutil.MustRun(t, p)
 	if res.Steps <= 0 || res.Steps > 10 {
 		t.Errorf("steps = %d, want a small positive count", res.Steps)
+	}
+}
+
+// TestRunawayRecursionDepthLimited: a frameless infinite recursion must
+// come back as an error, not crash the process — the interpreter
+// recurses on the Go stack and the simulated stack pointer never moves
+// for functions without frame objects.
+func TestRunawayRecursionDepthLimited(t *testing.T) {
+	p := testutil.MustBuild(t, `
+module main;
+func spin(n int) int { return spin(n + 1); }
+func main() int { return spin(0); }
+`)
+	_, err := interp.Run(p, interp.Options{MaxDepth: 1000})
+	if err == nil || !strings.Contains(err.Error(), "call depth") {
+		t.Fatalf("runaway recursion: got err %v, want call-depth error", err)
 	}
 }

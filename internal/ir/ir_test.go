@@ -124,6 +124,62 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	}, "out of range")
 }
 
+func TestVerifyStrictRules(t *testing.T) {
+	// The tiny program is clean: strict verification passes.
+	if err := tinyProgram(t).VerifyStrict(); err != nil {
+		t.Fatalf("clean program rejected: %v", err)
+	}
+	check := func(mutate func(*Program), wantSub string) {
+		t.Helper()
+		p := tinyProgram(t)
+		mutate(p)
+		err := p.VerifyStrict()
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("want error containing %q, got %v", wantSub, err)
+		}
+	}
+	// Direct call with too few arguments for the callee.
+	check(func(p *Program) {
+		f := p.Func("main:main")
+		f.Blocks[0].Instrs[0].Args = nil
+	}, "with 0 args")
+	// Direct call with too many arguments to a non-varargs callee.
+	check(func(p *Program) {
+		f := p.Func("main:main")
+		f.Blocks[0].Instrs[0].Args = []Operand{ConstOp(1), ConstOp(2)}
+	}, "with 2 args")
+	// Indirect call through a known function address (the constprop
+	// devirtualization shape) is held to the same rule.
+	check(func(p *Program) {
+		f := p.Func("main:main")
+		f.Blocks[0].Instrs[0] = Instr{Op: ICall, Dst: 0, A: FuncOp("lib:helper")}
+	}, "with 0 args")
+	// Profile flow: entry block count must match EntryCount.
+	check(func(p *Program) {
+		f := p.Func("lib:helper")
+		f.EntryCount = 10
+		f.Blocks[0].Count = 7
+	}, "profile flow")
+	check(func(p *Program) {
+		f := p.Func("lib:helper")
+		f.Blocks[0].Count = -1
+	}, "negative profile count")
+	// Stale size memo: mutate instructions without InvalidateSize.
+	check(func(p *Program) {
+		f := p.Func("lib:helper")
+		f.Size() // prime the memo
+		f.Blocks[0].Instrs = append([]Instr{{Op: Nop}}, f.Blocks[0].Instrs...)
+	}, "stale size memo")
+
+	// Varargs callees accept surplus arguments under strict rules.
+	p := tinyProgram(t)
+	p.Func("lib:helper").Varargs = true
+	p.Func("main:main").Blocks[0].Instrs[0].Args = []Operand{ConstOp(1), ConstOp(2)}
+	if err := p.VerifyStrict(); err != nil {
+		t.Errorf("varargs surplus rejected: %v", err)
+	}
+}
+
 func TestFuncCloneIsDeep(t *testing.T) {
 	p := tinyProgram(t)
 	f := p.Func("lib:helper")

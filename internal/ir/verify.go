@@ -109,6 +109,104 @@ func (p *Program) VerifyFunc(f *Func) error {
 	return nil
 }
 
+// VerifyStrict runs VerifyFuncStrict over every function.
+func (p *Program) VerifyStrict() error {
+	if err := p.Verify(); err != nil {
+		return err
+	}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if err := p.VerifyFuncStrict(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyFuncStrict checks invariants that hold for front-end output and
+// must be PRESERVED by every HLO transformation, on top of VerifyFunc's
+// structural rules (which already reject dangling Callee names — e.g. a
+// cloning rename that left a site pointing at a deleted symbol):
+//
+//   - call arity: every direct call to a user function, and every
+//     indirect call whose target operand is a known function address
+//     (the shape constprop devirtualizes), passes exactly the callee's
+//     parameter count — or at least that many for a varargs callee.
+//     Source programs with lying extern declarations violate this
+//     legally, so the rule lives here and not in VerifyFunc; fuzzing
+//     and VerifyEach runs, where the front end guarantees honest
+//     declarations, use the strict form to catch transformations that
+//     rewrite a call's argument list wrongly.
+//   - profile flow conservation: block counts are non-negative and the
+//     entry block's count equals the function's EntryCount (the
+//     profile.Data.Attach invariant, maintained exactly by inline
+//     residual scaling, cloning, and outlining).
+//   - size-memo freshness: a memoized Size() equals a fresh recount —
+//     a mutation path that forgot InvalidateSize is a budget-accounting
+//     bug even when the IR itself is sound.
+func (p *Program) VerifyFuncStrict(f *Func) error {
+	if err := p.VerifyFunc(f); err != nil {
+		return err
+	}
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("ir: strict: %s: %s", f.QName, fmt.Sprintf(format, args...))
+	}
+	checkArity := func(i, j int, callee string, nargs int) error {
+		if IsRuntime(callee) {
+			// Runtime routines are permissive by contract (missing
+			// arguments read as zero; see internal/interp).
+			return nil
+		}
+		g := p.funcs[callee]
+		if g == nil {
+			return nil // unresolved is VerifyFunc's department
+		}
+		if nargs < g.NumParams || (nargs > g.NumParams && !g.Varargs) {
+			return bad("block %d instr %d: call of %s with %d args, declared with %d (varargs=%v)",
+				i, j, callee, nargs, g.NumParams, g.Varargs)
+		}
+		return nil
+	}
+	for i, b := range f.Blocks {
+		if b.Count < 0 {
+			return bad("block %d has negative profile count %d", i, b.Count)
+		}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			switch in.Op {
+			case Call:
+				if err := checkArity(i, j, in.Callee, len(in.Args)); err != nil {
+					return err
+				}
+			case ICall:
+				if in.A.Kind == KindFuncAddr {
+					if err := checkArity(i, j, in.A.Sym, len(in.Args)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if f.EntryCount < 0 {
+		return bad("negative entry count %d", f.EntryCount)
+	}
+	if f.EntryCount > 0 && f.Blocks[0].Count != f.EntryCount {
+		return bad("profile flow broken: entry block count %d != entry count %d",
+			f.Blocks[0].Count, f.EntryCount)
+	}
+	if f.sizeMemo > 0 {
+		n := 0
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+		if int(f.sizeMemo-1) != n {
+			return bad("stale size memo: memo %d != recount %d", f.sizeMemo-1, n)
+		}
+	}
+	return nil
+}
+
 func checkFuncSym(p *Program, rts Runtime, sym string) error {
 	if IsRuntime(sym) {
 		if _, ok := rts[RuntimeName(sym)]; !ok {

@@ -186,20 +186,22 @@ func main() int {
 }
 
 func TestArityMismatchAcrossModules(t *testing.T) {
-	// main's extern declaration promises 1 parameter, but the definition
-	// takes 2: the call still executes (missing args are zero) but is
-	// flagged illegal for inlining by HLO.
+	// main's extern declaration promises 2 parameters, but the
+	// definition takes 1: the call still executes (surplus arguments
+	// are dropped, the varargs convention) but is flagged illegal for
+	// inlining by HLO. The opposite mismatch — fewer arguments than the
+	// definition needs — is an interpreter error.
 	p := testutil.MustBuild(t, `
 module main;
 extern func print(x int) int;
-extern func f(a int) int;
+extern func f(a int, b int) int;
 func main() int {
-	print(f(5));
+	print(f(5, 9));
 	return 0;
 }
 `, `
 module lib;
-func f(a int, b int) int { return a * 10 + b; }
+func f(a int) int { return a * 10; }
 `)
 	res := testutil.MustRun(t, p)
 	testutil.EqualOutput(t, res, 0, 50)

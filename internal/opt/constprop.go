@@ -47,33 +47,38 @@ func meet(a, b latticeVal) latticeVal {
 	}
 }
 
-type env map[ir.Reg]latticeVal
+// env is a per-block lattice environment, indexed densely by register
+// (the zero latticeVal is top, so a fresh slice is the all-top state).
+// ConstProp clones an environment per block per fixpoint round; the
+// dense representation keeps that a single copy, where a register→value
+// map made environment cloning the hottest path in the whole compiler
+// on heavily inlined functions. Out-of-range registers are illegal IR
+// (Verify rejects them), so set may drop such writes.
+type env []latticeVal
 
-func (e env) get(r ir.Reg) latticeVal { return e[r] }
+func (e env) get(r ir.Reg) latticeVal {
+	if r < 0 || int(r) >= len(e) {
+		return latticeVal{}
+	}
+	return e[r]
+}
 
 func (e env) set(r ir.Reg, v latticeVal) {
-	if v.set || v.bot {
+	if r >= 0 && int(r) < len(e) {
 		e[r] = v
-	} else {
-		delete(e, r)
 	}
 }
 
 func (e env) clone() env {
 	n := make(env, len(e))
-	for k, v := range e {
-		n[k] = v
-	}
+	copy(n, e)
 	return n
 }
 
 func (e env) equal(o env) bool {
-	if len(e) != len(o) {
-		return false
-	}
-	for k, v := range e {
-		w, ok := o[k]
-		if !ok || v.bot != w.bot || v.set != w.set || !v.op.Eq(w.op) {
+	for r := range e {
+		v, w := e[r], o[r]
+		if v.bot != w.bot || v.set != w.set || !v.op.Eq(w.op) {
 			return false
 		}
 	}
@@ -89,9 +94,9 @@ func ConstProp(f *ir.Func) bool {
 	ins := make([]env, len(f.Blocks))
 	// Entry: parameters and everything else start varying only when
 	// used before definition; the lattice handles that via top.
-	entry := make(env)
+	entry := make(env, f.NumRegs)
 	for i := 0; i < f.NumParams; i++ {
-		entry[ir.Reg(i)] = bottom
+		entry[i] = bottom
 	}
 	ins[0] = entry
 
@@ -115,11 +120,11 @@ func ConstProp(f *ir.Func) bool {
 				next = out.clone()
 			} else {
 				next = ins[s].clone()
-				for k, v := range out {
-					next[k] = meet(next.get(k), v)
+				for r := range out {
+					// meet with top is the identity, so top entries of out
+					// leave next unchanged.
+					next[r] = meet(next[r], out[r])
 				}
-				// Registers in next but absent from out meet with top and
-				// are unchanged.
 				if next.equal(ins[s]) {
 					continue
 				}

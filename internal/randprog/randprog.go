@@ -5,8 +5,15 @@
 //
 // Safety by construction: array indexes are masked to power-of-two
 // bounds, loops are counted with generator-owned induction variables,
-// recursion always decreases a counter parameter toward a base case, and
-// division is total by language definition.
+// recursion always decreases a counter parameter toward a base case
+// (and clamps runaway start values), and division is total by language
+// definition.
+//
+// Input contract: generated programs read input indices 0..MinInputs-1
+// only. The runtime's input() routine is defined to return 0 for
+// out-of-range indices (see internal/interp), but generated programs do
+// not depend on that clause — harnesses must supply at least MinInputs
+// input words so every read is in range.
 package randprog
 
 import (
@@ -14,6 +21,10 @@ import (
 	"math/rand"
 	"strings"
 )
+
+// MinInputs is the number of input words a generated program may read:
+// every input() call the generator emits uses an index below MinInputs.
+const MinInputs = 3
 
 // Config bounds the generated program.
 type Config struct {
@@ -29,6 +40,22 @@ type Config struct {
 	// with hundreds of routines still terminate quickly — the shape used
 	// by the Section 3.5 large-program experiment.
 	BoundedCallDepth bool
+
+	// Varargs emits one varargs routine per module plus call sites that
+	// pass extra arguments (exercising the IllegalVarargs legality class
+	// and the defined drop-extras call semantics).
+	Varargs bool
+	// FuncPtrGlobals emits, per module, a scalar global holding a code
+	// address and a routine that stores a function into it and calls
+	// through it (indirect calls through memory, address-taken statics).
+	FuncPtrGlobals bool
+	// MutualRecursion emits a pair of mutually-recursive static routines
+	// per module (recursive cycles the inliner must handle without
+	// PragmaticSelf protection).
+	MutualRecursion bool
+	// DeepRecursion raises the recursion depth main drives the
+	// controlled recursive routines to (near the recursionCap).
+	DeepRecursion bool
 }
 
 // DefaultConfig is sized so programs compile and run in well under a
@@ -37,12 +64,50 @@ func DefaultConfig() Config {
 	return Config{Modules: 3, Funcs: 4, Stmts: 6, Depth: 2, ExprDepth: 3}
 }
 
+// FuzzConfig is the configuration the differential fuzzer
+// (internal/fuzz) ships with: every grammar extension enabled, with
+// slightly smaller bodies than DefaultConfig — each fuzz seed is
+// compiled a dozen times across the configuration matrix, and the
+// scalar pipeline's constant-propagation cost grows quadratically with
+// the inlined function sizes, so body size directly bounds seed
+// throughput.
+func FuzzConfig() Config {
+	c := DefaultConfig()
+	c.Funcs = 3
+	c.Stmts = 4
+	c.Varargs = true
+	c.FuncPtrGlobals = true
+	c.MutualRecursion = true
+	c.DeepRecursion = true
+	return c
+}
+
+// recursionCap bounds the depth of every generated recursive routine:
+// bodies clamp their counter so arbitrary (even input-derived) argument
+// values cannot recurse past it.
+const recursionCap = 96
+
+// fnKind discriminates the routines the generator plans.
+type fnKind uint8
+
+const (
+	fnNormal  fnKind = iota
+	fnVarargs        // leaf accepting extra arguments
+	fnMutA           // first of a mutually-recursive static pair
+	fnMutB           // second of the pair
+	fnRec            // self-recursive accumulator
+	fnFPUse          // stores a function into a global and calls through it
+)
+
 type fn struct {
-	module string
-	name   string
-	arity  int
-	static bool
-	leaf   bool // call-free under Config.BoundedCallDepth
+	module  string
+	name    string
+	arity   int
+	static  bool
+	leaf    bool // call-free under Config.BoundedCallDepth
+	kind    fnKind
+	varargs bool
+	partner string // fnMutA/fnMutB: the other routine of the pair
 }
 
 type gen struct {
@@ -63,6 +128,13 @@ type global struct {
 	name   string
 	size   int // 0 = scalar; otherwise power of two
 	static bool
+	// funcPtr globals hold code addresses. They are only ever written
+	// and called by their module's fpu routine, never read as integers:
+	// a code address has one encoding in the reference interpreter and
+	// another in the linked machine image, so leaking one into
+	// arithmetic (or even a zero test) makes program output
+	// implementation-defined and breaks the differential oracle.
+	funcPtr bool
 }
 
 // Generate produces the MiniC sources (one per module) for the given
@@ -78,7 +150,10 @@ func Generate(seed int64, cfg Config) []string {
 	}
 
 	// Plan globals and functions first so every module can declare
-	// externs for the others.
+	// externs for the others. Definition order doubles as the callable
+	// order: a routine may only call routines planned before it, which
+	// (together with the clamped recursive kinds) guarantees
+	// termination.
 	for mi, mod := range modNames {
 		ng := 1 + g.r.Intn(3)
 		for gi := 0; gi < ng; gi++ {
@@ -93,6 +168,14 @@ func Generate(seed int64, cfg Config) []string {
 				static: g.r.Intn(3) == 0,
 			})
 		}
+		if cfg.FuncPtrGlobals {
+			g.globals = append(g.globals, global{
+				module:  mod,
+				name:    fmt.Sprintf("fpg%d", mi),
+				static:  g.r.Intn(2) == 0,
+				funcPtr: true,
+			})
+		}
 		nf := 1 + g.r.Intn(cfg.Funcs)
 		for fi := 0; fi < nf; fi++ {
 			g.funcs = append(g.funcs, fn{
@@ -101,6 +184,28 @@ func Generate(seed int64, cfg Config) []string {
 				arity:  g.r.Intn(4),
 				static: g.r.Intn(4) == 0,
 				leaf:   cfg.BoundedCallDepth && fi <= nf/2,
+				kind:   fnNormal,
+			})
+		}
+		if cfg.Varargs {
+			g.funcs = append(g.funcs, fn{
+				module: mod, name: fmt.Sprintf("va%d", mi),
+				arity: 1, leaf: true, kind: fnVarargs, varargs: true,
+			})
+		}
+		if cfg.MutualRecursion {
+			a := fmt.Sprintf("mra%d", mi)
+			b := fmt.Sprintf("mrb%d", mi)
+			g.funcs = append(g.funcs,
+				fn{module: mod, name: a, arity: 2, static: true, kind: fnMutA, partner: b},
+				fn{module: mod, name: b, arity: 2, static: true, kind: fnMutB, partner: a})
+		}
+		g.funcs = append(g.funcs, fn{
+			module: mod, name: "rec_" + mod, arity: 2, kind: fnRec,
+		})
+		if cfg.FuncPtrGlobals {
+			g.funcs = append(g.funcs, fn{
+				module: mod, name: fmt.Sprintf("fpu%d", mi), arity: 1, kind: fnFPUse,
 			})
 		}
 	}
@@ -115,8 +220,8 @@ func Generate(seed int64, cfg Config) []string {
 // visibleFuncs returns the functions callable from module mod up to
 // index limit in definition order (callees must be earlier than the
 // caller to guarantee termination, except for the controlled recursion
-// pattern emitted separately). With leavesOnly, only call-free leaf
-// functions qualify (the bounded production shape inside loops).
+// patterns emitted as dedicated kinds). With leavesOnly, only call-free
+// leaf functions qualify (the bounded production shape inside loops).
 func (g *gen) visibleFuncs(mod string, limit int, leavesOnly bool) []fn {
 	var out []fn
 	for i, f := range g.funcs {
@@ -134,13 +239,17 @@ func (g *gen) visibleFuncs(mod string, limit int, leavesOnly bool) []fn {
 	return out
 }
 
-// visibleGlobals returns the globals nameable from module mod. MiniC has
-// no extern-variable declarations: cross-module data is reached through
-// accessor functions, so only same-module globals are visible by name.
+// visibleGlobals returns the globals usable in expressions and
+// assignments from module mod. MiniC has no extern-variable
+// declarations: cross-module data is reached through accessor
+// functions, so only same-module globals are visible by name. Function-
+// pointer globals are excluded — their integer value is
+// implementation-defined (see global.funcPtr), so only the fpu routine
+// may touch them.
 func (g *gen) visibleGlobals(mod string) []global {
 	var out []global
 	for _, gl := range g.globals {
-		if gl.module == mod {
+		if gl.module == mod && !gl.funcPtr {
 			out = append(out, gl)
 		}
 	}
@@ -158,7 +267,11 @@ func (g *gen) module(mi int, mod string) string {
 		if f.module == mod || f.static {
 			continue
 		}
-		fmt.Fprintf(&b, "extern func %s(%s) int;\n", f.name, params(f.arity))
+		va := ""
+		if f.varargs {
+			va = "varargs "
+		}
+		fmt.Fprintf(&b, "extern %sfunc %s(%s) int;\n", va, f.name, params(f.arity))
 	}
 	for _, gl := range g.globals {
 		if gl.module != mod {
@@ -181,47 +294,117 @@ func (g *gen) module(mi int, mod string) string {
 		if f.module != mod {
 			continue
 		}
-		staticKw := ""
-		if f.static {
-			staticKw = "static "
-		}
-		fmt.Fprintf(&b, "%sfunc %s(%s) int {\n", staticKw, f.name, params(f.arity))
-		b.WriteString(g.body(mod, fi, f.arity, f.leaf))
+		g.fnBody(&b, mi, fi, f)
 	}
-
-	// A controlled self-recursive function per module exercises the
-	// recursive call-site class.
-	fmt.Fprintf(&b, "func rec_%s(n int, acc int) int {\n", mod)
-	fmt.Fprintf(&b, "\tif (n <= 0) { return acc; }\n")
-	fmt.Fprintf(&b, "\treturn rec_%s(n - 1, acc + %s);\n}\n",
-		mod, g.expr(mod, 0, 0, 0, 1))
 
 	if mod == "main" {
-		b.WriteString("func main() int {\n")
-		n := 2 + g.r.Intn(4)
-		for i := 0; i < n; i++ {
-			all := g.visibleFuncs(mod, len(g.funcs), false)
-			if len(all) == 0 {
-				break
-			}
-			f := all[g.r.Intn(len(all))]
-			fmt.Fprintf(&b, "\tprint(%s(%s));\n", f.name, g.args(mod, len(g.funcs), 0, f.arity))
-		}
-		fmt.Fprintf(&b, "\tprint(rec_main(%d, 1));\n", 1+g.r.Intn(12))
-		// Indirect call through a variable to a random same-arity pair.
-		all := g.visibleFuncs(mod, len(g.funcs), false)
-		if len(all) >= 2 {
-			a := all[g.r.Intn(len(all))]
-			c := all[g.r.Intn(len(all))]
-			if a.arity == c.arity {
-				b.WriteString("\tvar fp int;\n")
-				fmt.Fprintf(&b, "\tif (input(0) & 1) { fp = %s; } else { fp = %s; }\n", a.name, c.name)
-				fmt.Fprintf(&b, "\tprint(fp(%s));\n", g.args(mod, len(g.funcs), 0, a.arity))
-			}
-		}
-		b.WriteString("\treturn 0;\n}\n")
+		g.mainBody(&b, mod)
 	}
 	return b.String()
+}
+
+// fnBody emits one planned routine.
+func (g *gen) fnBody(b *strings.Builder, mi, fi int, f fn) {
+	staticKw := ""
+	if f.static {
+		staticKw = "static "
+	}
+	mod := f.module
+	switch f.kind {
+	case fnNormal:
+		fmt.Fprintf(b, "%sfunc %s(%s) int {\n", staticKw, f.name, params(f.arity))
+		b.WriteString(g.body(mod, fi, f.arity, f.leaf))
+	case fnVarargs:
+		// A leaf that only sees its declared parameter; callers pass
+		// extra arguments, which the language defines as dropped.
+		fmt.Fprintf(b, "varargs func %s(p0 int) int {\n", f.name)
+		fmt.Fprintf(b, "\treturn (p0 * %d) ^ %d;\n}\n", 1+g.r.Intn(7), g.r.Intn(64))
+	case fnMutA:
+		// Mutually-recursive static pair: p0 strictly decreases through B
+		// and back, with a clamp against runaway start values. B is
+		// defined after A; module-level names resolve regardless of
+		// definition order.
+		fmt.Fprintf(b, "%sfunc %s(p0 int, p1 int) int {\n", staticKw, f.name)
+		fmt.Fprintf(b, "\tif ((p0 <= 0) || (p0 > %d)) { return p1; }\n", recursionCap)
+		fmt.Fprintf(b, "\treturn %s(p0 - 1, p1 + %s);\n}\n", f.partner, g.expr(mod, fi, 2, 0, 1))
+	case fnMutB:
+		fmt.Fprintf(b, "%sfunc %s(p0 int, p1 int) int {\n", staticKw, f.name)
+		fmt.Fprintf(b, "\tif ((p0 <= 0) || (p0 > %d)) { return p1 + 1; }\n", recursionCap)
+		fmt.Fprintf(b, "\treturn %s(p0 - 1, p1 ^ %s);\n}\n", f.partner, g.expr(mod, fi, 2, 0, 1))
+	case fnRec:
+		// A controlled self-recursive routine per module exercises the
+		// recursive call-site class (PragmaticSelf). Clamped so random
+		// callers cannot drive it past recursionCap frames.
+		fmt.Fprintf(b, "func %s(p0 int, p1 int) int {\n", f.name)
+		fmt.Fprintf(b, "\tif ((p0 <= 0) || (p0 > %d)) { return p1; }\n", recursionCap)
+		fmt.Fprintf(b, "\treturn %s(p0 - 1, p1 + %s);\n}\n", f.name, g.expr(mod, fi, 2, 0, 1))
+	case fnFPUse:
+		// Store a code address into the module's function-pointer global
+		// and call through it: indirect calls through memory, and the
+		// stored routines become address-taken.
+		fmt.Fprintf(b, "func %s(p0 int) int {\n", f.name)
+		fpg := fmt.Sprintf("fpg%d", mi)
+		cands := g.sameArityPair(mod, fi)
+		if cands == nil {
+			fmt.Fprintf(b, "\treturn p0;\n}\n")
+			return
+		}
+		fmt.Fprintf(b, "\tif (p0 & 1) { %s = %s; } else { %s = %s; }\n",
+			fpg, cands[0].name, fpg, cands[1].name)
+		fmt.Fprintf(b, "\treturn %s(%s);\n}\n", fpg, g.args(mod, fi, 1, cands[0].arity))
+	}
+}
+
+// sameArityPair picks two (possibly equal) earlier visible functions of
+// equal arity to route through a function pointer, or nil if none exist.
+func (g *gen) sameArityPair(mod string, limit int) []fn {
+	all := g.visibleFuncs(mod, limit, false)
+	if len(all) == 0 {
+		return nil
+	}
+	a := all[g.r.Intn(len(all))]
+	var same []fn
+	for _, c := range all {
+		if c.arity == a.arity && !c.varargs {
+			same = append(same, c)
+		}
+	}
+	if a.varargs || len(same) == 0 {
+		return nil
+	}
+	return []fn{same[g.r.Intn(len(same))], same[g.r.Intn(len(same))]}
+}
+
+// mainBody emits func main: direct calls across the program, the deep
+// recursion driver, and an indirect call through a local.
+func (g *gen) mainBody(b *strings.Builder, mod string) {
+	b.WriteString("func main() int {\n")
+	n := 2 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		all := g.visibleFuncs(mod, len(g.funcs), false)
+		if len(all) == 0 {
+			break
+		}
+		f := all[g.r.Intn(len(all))]
+		fmt.Fprintf(b, "\tprint(%s(%s));\n", f.name, g.args(mod, len(g.funcs), 0, f.arity+g.extraArgs(f)))
+	}
+	depth := 12
+	if g.cfg.DeepRecursion {
+		depth = recursionCap
+	}
+	fmt.Fprintf(b, "\tprint(rec_main(%d, 1));\n", 1+g.r.Intn(depth))
+	// Indirect call through a variable to a random same-arity pair.
+	all := g.visibleFuncs(mod, len(g.funcs), false)
+	if len(all) >= 2 {
+		a := all[g.r.Intn(len(all))]
+		c := all[g.r.Intn(len(all))]
+		if a.arity == c.arity && !a.varargs && !c.varargs {
+			b.WriteString("\tvar fp int;\n")
+			fmt.Fprintf(b, "\tif (input(0) & 1) { fp = %s; } else { fp = %s; }\n", a.name, c.name)
+			fmt.Fprintf(b, "\tprint(fp(%s));\n", g.args(mod, len(g.funcs), 0, a.arity))
+		}
+	}
+	b.WriteString("\treturn 0;\n}\n")
 }
 
 func params(arity int) string {
@@ -230,6 +413,15 @@ func params(arity int) string {
 		names[i] = fmt.Sprintf("p%d int", i)
 	}
 	return strings.Join(names, ", ")
+}
+
+// extraArgs picks how many surplus arguments to pass to a varargs
+// callee (0 for everything else).
+func (g *gen) extraArgs(f fn) int {
+	if !f.varargs {
+		return 0
+	}
+	return g.r.Intn(3)
 }
 
 // body emits local declarations, statements, and the final return.
@@ -294,10 +486,11 @@ func (g *gen) stmt(b *strings.Builder, mod string, fi, arity, nv, indent, depth 
 			return
 		}
 		f := callees[g.r.Intn(len(callees))]
+		nargs := f.arity + g.extraArgs(f)
 		if g.r.Intn(2) == 0 {
-			fmt.Fprintf(b, "%sv%d = %s(%s);\n", pad, g.r.Intn(nv), f.name, g.args(mod, fi, arity, f.arity))
+			fmt.Fprintf(b, "%sv%d = %s(%s);\n", pad, g.r.Intn(nv), f.name, g.args(mod, fi, arity, nargs))
 		} else {
-			fmt.Fprintf(b, "%s%s(%s);\n", pad, f.name, g.args(mod, fi, arity, f.arity))
+			fmt.Fprintf(b, "%s%s(%s);\n", pad, f.name, g.args(mod, fi, arity, nargs))
 		}
 	case 5: // early return, occasionally
 		if g.r.Intn(3) == 0 {
@@ -395,7 +588,7 @@ func (g *gen) leaf(mod string, arity, nv int) string {
 		}
 		return "7"
 	case 3:
-		return fmt.Sprintf("input(%d)", g.r.Intn(3))
+		return fmt.Sprintf("input(%d)", g.r.Intn(MinInputs))
 	default:
 		return fmt.Sprintf("%d", 1+g.r.Intn(31))
 	}
