@@ -28,9 +28,11 @@
 //	-remarks        print optimization remarks (one line per decision)
 //	-remarks-json F write the remark stream as JSONL to file F
 //	-trace          print the pipeline phase trace and counters to stderr
+//	-timeout D      abort compilation/training/simulation after duration D
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,7 +66,15 @@ func main() {
 	remarks := flag.Bool("remarks", false, "print optimization remarks (one line per inline/clone/outline/dead-call decision)")
 	remarksJSON := flag.String("remarks-json", "", "write the optimization remark stream as JSONL to this file")
 	trace := flag.Bool("trace", false, "print the pipeline phase trace and counters to stderr")
+	timeout := flag.Duration("timeout", 0, "abort compilation/training/simulation after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "hlocc: no input files")
@@ -104,7 +114,7 @@ func main() {
 		opts.Layout = backend.LayoutCallAffinity
 	}
 	if *emitProfile != "" {
-		db, err := driver.TrainProfile(sources, opts.TrainInputs)
+		db, err := opts.Cache.TrainProfile(ctx, sources, opts.TrainInputs, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,7 +142,7 @@ func main() {
 		opts.ProfileData = db
 	}
 
-	c, err := driver.Compile(sources, opts)
+	c, err := driver.CompileCtx(ctx, sources, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -180,7 +190,7 @@ func main() {
 		}
 	}
 	if *runInputs != "" || flagProvided("run") {
-		st, err := c.Run(opts, parseInputs(*runInputs))
+		st, err := c.RunCtx(ctx, opts, parseInputs(*runInputs))
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,104 @@
+// Command hlod is the compilation-as-a-service daemon: the full hlocc
+// pipeline (frontend → HLO → backend, plus training and PA8000
+// simulation) behind an HTTP front door with admission control,
+// per-request cancellation, single-flight deduplication, live metrics,
+// and graceful drain.
+//
+// Usage:
+//
+//	hlod [flags]
+//
+// Flags:
+//
+//	-addr :8080       listen address
+//	-workers N        compile worker pool size (default: one per CPU)
+//	-queue N          admission queue depth (default: 2×workers)
+//	-timeout 2m       per-request execution ceiling
+//	-max-body 8388608 request body limit in bytes
+//	-drain 30s        graceful-drain deadline after SIGTERM/SIGINT
+//	-quiet            disable the JSON access log on stderr
+//
+// Endpoints:
+//
+//	POST /compile     sources + options → stats, compile cost, code size, remarks
+//	POST /run         compile + PA8000 simulation → the above + cycles/CPI/output
+//	POST /train       training run → profile database (profile.Write text format)
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /queue       admission-control snapshot (JSON)
+//	GET  /metrics     Prometheus text format
+//
+// On SIGTERM (or SIGINT) the daemon stops admitting work, fails
+// /healthz so load balancers drain it, finishes in-flight requests,
+// and exits within -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "compile worker pool size (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 2×workers)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request execution ceiling")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	quiet := flag.Bool("quiet", false, "disable the JSON access log")
+	flag.Parse()
+
+	var accessLog io.Writer = os.Stderr
+	if *quiet {
+		accessLog = nil
+	}
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		AccessLog:      accessLog,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hlod: listening on %s (%d workers, queue %d)\n",
+		*addr, s.Queue().Workers, s.Queue().QueueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "hlod: %v: draining (deadline %s)\n", got, *drain)
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// In-flight requests outlived the drain deadline; their
+			// contexts are canceled by Close and they unwind promptly.
+			srv.Close()
+			fatal(fmt.Errorf("drain incomplete: %v", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "hlod: drained cleanly")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlod:", err)
+	os.Exit(1)
+}

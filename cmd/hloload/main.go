@@ -1,0 +1,132 @@
+// Command hloload is the load generator for hlod: it drives N
+// concurrent clients over the specsuite benchmark × budget matrix for
+// a fixed duration and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	hloload [flags]
+//
+// Flags:
+//
+//	-addr URL      daemon base URL (default http://127.0.0.1:8080)
+//	-c N           concurrent clients (default 4)
+//	-d 10s         run duration
+//	-endpoint E    compile | run (default compile)
+//	-bench a,b,c   specsuite benchmarks to cycle (default small trio)
+//	-budgets list  HLO budgets to cycle (default 50,100,150,200)
+//	-profile       enable PBO (training) on every request
+//	-cross         cross-module scope
+//	-json FILE     merge the report into FILE (default BENCH_serve.json,
+//	               empty disables)
+//
+// Exit status is non-zero if the run saw any transport error or any
+// response that was neither 2xx nor 429 — under admission control
+// those are the only healthy answers, which makes hloload double as
+// the CI smoke check against a live daemon.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	clients := flag.Int("c", 4, "concurrent clients")
+	dur := flag.Duration("d", 10*time.Second, "run duration")
+	endpoint := flag.String("endpoint", "compile", "compile | run")
+	bench := flag.String("bench", "", "comma-separated specsuite benchmarks")
+	budgets := flag.String("budgets", "", "comma-separated HLO budgets")
+	profileFlag := flag.Bool("profile", false, "enable PBO training on every request")
+	cross := flag.Bool("cross", false, "cross-module scope")
+	jsonOut := flag.String("json", "BENCH_serve.json", "merge the report into this file (empty disables)")
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Clients:     *clients,
+		Duration:    *dur,
+		Endpoint:    *endpoint,
+		Profile:     *profileFlag,
+		CrossModule: *cross,
+	}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	for _, b := range strings.Split(*budgets, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			v, err := strconv.Atoi(b)
+			if err != nil {
+				fatal(fmt.Errorf("bad budget %q: %v", b, err))
+			}
+			cfg.Budgets = append(cfg.Budgets, v)
+		}
+	}
+
+	rep, err := serve.RunLoad(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("endpoint=%s clients=%d duration=%.1fs\n", cfg.Endpoint, cfg.Clients, rep.WallS)
+	fmt.Printf("requests=%d throughput=%.1f req/s rejected-429=%d transport-errors=%d bad-responses=%d\n",
+		rep.Requests, rep.Throughput, rep.Rejected, rep.TransportErrors, rep.BadResponses)
+	fmt.Printf("latency p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
+		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+	for code, n := range rep.ByStatus {
+		fmt.Printf("  status %s: %d\n", code, n)
+	}
+
+	if *jsonOut != "" {
+		if err := mergeReport(*jsonOut, cfg, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if !rep.Healthy() {
+		fmt.Fprintln(os.Stderr, "hloload: unhealthy run (non-2xx/429 responses or transport errors)")
+		os.Exit(1)
+	}
+}
+
+// mergeReport read-modify-writes the report into the JSON file under a
+// key naming the scenario, in the same shape as BENCH_experiments.json
+// (scenario → metric → value).
+func mergeReport(path string, cfg serve.LoadConfig, rep *serve.LoadReport) error {
+	key := fmt.Sprintf("hloload/%s/c%d", cfg.Endpoint, cfg.Clients)
+	all := map[string]map[string]float64{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			all = map[string]map[string]float64{} // overwrite corrupt files
+		}
+	}
+	all[key] = map[string]float64{
+		"requests":         float64(rep.Requests),
+		"throughput_rps":   rep.Throughput,
+		"p50_ms":           rep.P50MS,
+		"p90_ms":           rep.P90MS,
+		"p99_ms":           rep.P99MS,
+		"max_ms":           rep.MaxMS,
+		"rejected_429":     float64(rep.Rejected),
+		"transport_errors": float64(rep.TransportErrors),
+		"bad_responses":    float64(rep.BadResponses),
+		"wall_s":           rep.WallS,
+	}
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hloload:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ipa"
@@ -11,6 +12,7 @@ import (
 
 // hlo carries the state of one HLO invocation.
 type hlo struct {
+	ctx   context.Context
 	prog  *ir.Program
 	scope Scope
 	opts  Options
@@ -57,10 +59,26 @@ func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 // failure instead of panicking. Without Options.VerifyEach the error is
 // always nil.
 func RunChecked(p *ir.Program, scope Scope, opts Options) (*Stats, error) {
+	return RunCheckedCtx(context.Background(), p, scope, opts)
+}
+
+// RunCheckedCtx is RunChecked with cancellation: the pass driver
+// consults ctx at every pass boundary, and the clone/inline/outline
+// site loops consult it through stopped(), so a long HLO invocation
+// unwinds within one transformation of the context dying. On
+// cancellation the returned error wraps ctx.Err() (the IR may be
+// mid-transformation and must be discarded); a per-mutation
+// verification failure still takes precedence, since it describes what
+// was wrong before the cancellation stopped the run.
+func RunCheckedCtx(ctx context.Context, p *ir.Program, scope Scope, opts Options) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Passes <= 0 {
 		opts.Passes = 1
 	}
 	h := &hlo{
+		ctx:     ctx,
 		prog:    p,
 		scope:   scope,
 		opts:    opts,
@@ -137,6 +155,17 @@ func RunChecked(p *ir.Program, scope Scope, opts Options) (*Stats, error) {
 	}
 	h.pass = 0
 
+	// A dead context unwinds here, before the outline/cleanup phases: the
+	// caller discards the (mid-transformation) IR on error anyway. A
+	// verification failure keeps the historical path so the stats and the
+	// offending IR stay inspectable.
+	if h.verifyErr == nil {
+		if err := ctx.Err(); err != nil {
+			h.stats.Ops = h.ops
+			return h.stats, fmt.Errorf("core: canceled after pass %d: %w", h.stats.Passes, err)
+		}
+	}
+
 	if opts.Outline {
 		if opts.OutlineMinSize <= 0 {
 			h.opts.OutlineMinSize = 6
@@ -155,7 +184,13 @@ func RunChecked(p *ir.Program, scope Scope, opts Options) (*Stats, error) {
 	h.stats.CostAfter = h.cost
 	h.stats.SizeAfter = h.scopeSize()
 	h.stats.Ops = h.ops
-	return h.stats, h.verifyErr
+	if h.verifyErr != nil {
+		return h.stats, h.verifyErr
+	}
+	if err := ctx.Err(); err != nil {
+		return h.stats, fmt.Errorf("core: canceled after pass %d: %w", h.stats.Passes, err)
+	}
+	return h.stats, nil
 }
 
 // stageFraction apportions the budget across passes in percent:
@@ -172,6 +207,9 @@ func (h *hlo) purity(callee string) bool { return h.pure[callee] }
 
 func (h *hlo) stopped() bool {
 	if h.verifyErr != nil {
+		return true
+	}
+	if h.ctx.Err() != nil {
 		return true
 	}
 	return h.opts.StopAfter > 0 && h.ops >= h.opts.StopAfter

@@ -1,8 +1,10 @@
 package driver
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -28,8 +30,9 @@ import (
 //
 // Hits are observationally identical to misses apart from wall time:
 // the same spans are emitted, the same compile-cost charges apply, and
-// errors carry the same messages (the cached error is returned on every
-// subsequent lookup).
+// errors carry the same messages (a cached permanent error is returned
+// on every subsequent lookup; context-cancellation errors are never
+// cached — see trainProfile).
 type Cache struct {
 	mu        sync.Mutex
 	frontends map[string]*frontendEntry
@@ -46,7 +49,15 @@ type frontendEntry struct {
 }
 
 type trainEntry struct {
-	once sync.Once
+	// done is closed when the filling caller finishes (successfully or
+	// not). Unlike the frontend's sync.Once, training is cancellable: the
+	// fill runs under the FIRST requester's context, and if that context
+	// dies mid-train the entry is evicted before done is closed, so a
+	// waiting requester retries as the new filler under its own context
+	// instead of inheriting a stranger's cancellation error. Permanent
+	// errors (bad sources, failing training run) are latched forever,
+	// matching the frontend cache.
+	done chan struct{}
 	data *profile.Data
 	res  *interp.Result
 	// costQuad/costLinear are the instrumented build's compile cost
@@ -113,31 +124,76 @@ func (c *Cache) Frontend(sources []string) (*ir.Program, error) {
 // training run(s), profile merge. The entry records the instrumented
 // build's compile cost under both cost models so the caller can charge
 // exactly what an uncached run would have charged.
-func (c *Cache) trainProfile(sources []string, train []int64, extras [][]int64) (*trainEntry, error) {
+//
+// Cancellation protocol: the first requester for a key fills the entry
+// under its own context. Requesters that find a fill in flight wait for
+// it (or their own context, whichever dies first). A fill that ends in
+// a context error is evicted rather than latched — the canceling
+// requester gets its own ctx error, and any waiter retries from the
+// top, becoming the new filler.
+func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int64, extras [][]int64) (*trainEntry, error) {
 	if c == nil {
 		e := &trainEntry{}
-		e.fill(c, sources, train, extras)
+		e.fill(ctx, c, sources, train, extras)
 		return e, e.err
 	}
 	key := trainKey(sources, train, extras)
-	c.mu.Lock()
-	if c.trains == nil {
-		c.trains = make(map[string]*trainEntry)
+	for {
+		c.mu.Lock()
+		if c.trains == nil {
+			c.trains = make(map[string]*trainEntry)
+		}
+		e, ok := c.trains[key]
+		if !ok {
+			e = &trainEntry{done: make(chan struct{})}
+			c.trains[key] = e
+			c.mu.Unlock()
+			e.fill(ctx, c, sources, train, extras)
+			if isCtxErr(e.err) {
+				c.mu.Lock()
+				if c.trains[key] == e {
+					delete(c.trains, key)
+				}
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e, e.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if isCtxErr(e.err) {
+				continue // the filler was canceled; retry as the filler
+			}
+			return e, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	e, ok := c.trains[key]
-	if !ok {
-		e = &trainEntry{}
-		c.trains[key] = e
+}
+
+// TrainProfile is the memoizing, cancellable counterpart of the
+// package-level TrainProfile: instrumented build, training run(s) on
+// train plus each extras vector, merged profile database. Identical
+// (sources, inputs) requests share one training run; the database is
+// shared and must be treated as read-only. Valid on a nil *Cache
+// (uncached).
+func (c *Cache) TrainProfile(ctx context.Context, sources []string, train []int64, extras [][]int64) (*profile.Data, error) {
+	e, err := c.trainProfile(ctx, sources, train, extras)
+	if err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.fill(c, sources, train, extras) })
-	return e, e.err
+	return e.data, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // fill runs the training stage, reusing the front-end cache for the
 // instrumented build. Error messages match the historical uncached
 // paths exactly.
-func (e *trainEntry) fill(c *Cache, sources []string, train []int64, extras [][]int64) {
+func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train []int64, extras [][]int64) {
 	trainProg, err := c.Frontend(sources)
 	if err != nil {
 		e.err = err
@@ -145,7 +201,7 @@ func (e *trainEntry) fill(c *Cache, sources []string, train []int64, extras [][]
 	}
 	e.costQuad = programCost(trainProg, false)
 	e.costLinear = programCost(trainProg, true)
-	res, err := interp.Run(trainProg, interp.Options{Inputs: train, Profile: true})
+	res, err := interp.RunCtx(ctx, trainProg, interp.Options{Inputs: train, Profile: true})
 	if err != nil {
 		e.err = fmt.Errorf("driver: training run: %w", err)
 		return
@@ -153,7 +209,7 @@ func (e *trainEntry) fill(c *Cache, sources []string, train []int64, extras [][]
 	e.res = res
 	db := res.Profile
 	for _, extra := range extras {
-		res2, err := interp.Run(trainProg, interp.Options{Inputs: extra, Profile: true})
+		res2, err := interp.RunCtx(ctx, trainProg, interp.Options{Inputs: extra, Profile: true})
 		if err != nil {
 			e.err = fmt.Errorf("driver: extra training run: %w", err)
 			return

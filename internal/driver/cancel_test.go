@@ -1,0 +1,163 @@
+package driver_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/pa8000"
+)
+
+// spinSource loops input(0) times so tests control how long a
+// training run or simulation lasts.
+const spinSource = `
+module spin;
+extern func input(i int) int;
+
+func work(n int) int {
+	var i int;
+	var s int;
+	i = 0;
+	s = 0;
+	while (i < n) {
+		s = s + i * 3;
+		i = i + 1;
+	}
+	return s;
+}
+
+func main() int {
+	return work(input(0));
+}
+`
+
+// longSpin would interpret/simulate for tens of seconds; every test
+// that uses it cancels or times out long before completion.
+const longSpin = 200_000_000
+
+func compileSpin(t *testing.T) *driver.Compilation {
+	t.Helper()
+	c, err := driver.Compile([]string{spinSource}, driver.Options{HLO: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := driver.CompileCtx(ctx, []string{spinSource}, driver.Options{HLO: core.DefaultOptions()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompileCtx with dead context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompileCtxTrainingDeadline(t *testing.T) {
+	// The deadline must interrupt the training run's interpreter, which
+	// would otherwise spin for tens of seconds.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := driver.CompileCtx(ctx, []string{spinSource}, driver.Options{
+		Profile:     true,
+		TrainInputs: []int64{longSpin},
+		HLO:         core.DefaultOptions(),
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("training cancellation took %v", d)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	c := compileSpin(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.RunCtx(ctx, driver.Options{}, []int64{longSpin})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("simulation cancellation took %v", d)
+	}
+}
+
+func TestInterpRunCtxCanceled(t *testing.T) {
+	c := compileSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := interp.RunCtx(ctx, c.IR, interp.Options{Inputs: []int64{longSpin}})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interp.RunCtx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interpreter did not notice cancellation")
+	}
+}
+
+func TestPA8000RunCtxCanceled(t *testing.T) {
+	c := compileSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pa8000.RunCtx(ctx, c.Machine, pa8000.Config{}, []int64{longSpin})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pa8000.RunCtx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulator did not notice cancellation")
+	}
+}
+
+func TestCoreRunCheckedCtxCanceled(t *testing.T) {
+	c := compileSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.RunCheckedCtx(ctx, c.IR, core.Scope{Whole: true}, core.DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCheckedCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTrainProfileCtxErrorNotCached checks that a cancellation outcome
+// is never latched into the cache: a later request with a live context
+// must succeed.
+func TestTrainProfileCtxErrorNotCached(t *testing.T) {
+	cache := driver.NewCache()
+	sources := []string{spinSource}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cache.TrainProfile(ctx, sources, []int64{3}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first TrainProfile err = %v, want context.Canceled", err)
+	}
+
+	db, err := cache.TrainProfile(context.Background(), sources, []int64{3}, nil)
+	if err != nil {
+		t.Fatalf("second TrainProfile after canceled first: %v", err)
+	}
+	if db == nil || len(db.Blocks) == 0 {
+		t.Fatal("second TrainProfile returned an empty database")
+	}
+}

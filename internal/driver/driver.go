@@ -7,6 +7,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/backend"
@@ -99,6 +100,21 @@ func Frontend(sources []string) (*ir.Program, error) {
 
 // Compile builds the sources under the given configuration.
 func Compile(sources []string, opts Options) (*Compilation, error) {
+	return CompileCtx(context.Background(), sources, opts)
+}
+
+// CompileCtx is Compile with cancellation: the context is threaded
+// through every interruptible stage — the training run's interpreter
+// (step-budget boundaries), HLO's pass driver and site loops (pass
+// boundaries), and the stage seams in between — so a canceled or
+// timed-out context unwinds the whole pipeline within one
+// transformation or a few thousand interpreted steps. On cancellation
+// the returned error wraps ctx.Err(); the partially built Compilation
+// is discarded. A nil ctx means context.Background().
+func CompileCtx(ctx context.Context, sources []string, opts Options) (*Compilation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rec := opts.Obs
 	sp := rec.Begin("frontend")
 	p, err := opts.Cache.Frontend(sources)
@@ -115,7 +131,7 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 		// plain front-end build (block counting needs unoptimized block
 		// identities), so its compile cost is the unoptimized cost.
 		sp := rec.Begin("train")
-		e, err := opts.Cache.trainProfile(sources, opts.TrainInputs, opts.ExtraTrainInputs)
+		e, err := opts.Cache.trainProfile(ctx, sources, opts.TrainInputs, opts.ExtraTrainInputs)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -129,7 +145,7 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 	opts.HLO.Obs = rec
 	hsp := rec.BeginSized("hlo", programSize(p), programCost(p, opts.HLO.LinearCost))
 	if opts.CrossModule {
-		st, err := core.RunChecked(p, core.WholeProgram(), opts.HLO)
+		st, err := core.RunCheckedCtx(ctx, p, core.WholeProgram(), opts.HLO)
 		if err != nil {
 			hsp.EndSized(st.SizeAfter, st.CostAfter)
 			return nil, err
@@ -142,7 +158,7 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 			scope := core.SingleModule(m.Name)
 			msp := rec.BeginSized("hlo/module-"+m.Name,
 				scopeSize(p, scope), scopeCost(p, scope, opts.HLO.LinearCost))
-			st, err := core.RunChecked(p, scope, opts.HLO)
+			st, err := core.RunCheckedCtx(ctx, p, scope, opts.HLO)
 			msp.EndSized(st.SizeAfter, st.CostAfter)
 			if err != nil {
 				hsp.EndSized(st.SizeAfter, st.CostAfter)
@@ -176,8 +192,15 @@ func Compile(sources []string, opts Options) (*Compilation, error) {
 
 // Run executes the compiled program on the machine model.
 func (c *Compilation) Run(opts Options, inputs []int64) (*pa8000.Stats, error) {
+	return c.RunCtx(context.Background(), opts, inputs)
+}
+
+// RunCtx is Run with cancellation: the PA8000 model checks the context
+// at instruction-budget boundaries, so a canceled context stops a
+// simulation within a few thousand retired instructions.
+func (c *Compilation) RunCtx(ctx context.Context, opts Options, inputs []int64) (*pa8000.Stats, error) {
 	sp := opts.Obs.Begin("simulate")
-	st, err := pa8000.Run(c.Machine, opts.Machine, inputs)
+	st, err := pa8000.RunCtx(ctx, c.Machine, opts.Machine, inputs)
 	sp.End()
 	if err == nil {
 		publishSimCounters(opts.Obs, st)
@@ -227,15 +250,8 @@ func publishSimCounters(rec *obs.Recorder, st *pa8000.Stats) {
 // inputs, and returns the profile database (exposed for tools that store
 // profiles in files).
 func TrainProfile(sources []string, trainInputs []int64) (*profile.Data, error) {
-	p, err := Frontend(sources)
-	if err != nil {
-		return nil, err
-	}
-	res, err := interp.Run(p, interp.Options{Inputs: trainInputs, Profile: true})
-	if err != nil {
-		return nil, err
-	}
-	return res.Profile, nil
+	var c *Cache // nil cache: uncached, like the historical path
+	return c.TrainProfile(context.Background(), sources, trainInputs, nil)
 }
 
 func programSize(p *ir.Program) int {

@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,13 +50,36 @@ type Result struct {
 // ErrFuel is returned when the instruction budget is exhausted.
 var ErrFuel = errors.New("interp: fuel exhausted")
 
+// ctxStride is how many executed IR instructions pass between context
+// checks in RunCtx: cancellation latency stays in the microseconds
+// while the per-instruction overhead is one AND and one predictable
+// branch on the fuel counter.
+const ctxStride = 8192
+
 // Run executes the resolved program from main.
 func Run(p *ir.Program, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), p, opts)
+}
+
+// RunCtx is Run with cancellation: execution checks ctx at
+// step-budget boundaries (every ctxStride instructions, riding the
+// fuel counter) and returns ctx.Err() — wrapped, so errors.Is sees
+// context.Canceled or context.DeadlineExceeded — when the context
+// dies mid-run.
+func RunCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, error) {
 	main, err := p.MainFunc()
 	if err != nil {
 		return nil, err
 	}
 	m := newMachine(p, opts)
+	if ctx != nil {
+		// Fail fast on a dead context: a short run could otherwise finish
+		// between stride checks and mask the cancellation entirely.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interp: canceled before start: %w", err)
+		}
+		m.ctx = ctx
+	}
 	// The "OS" calls main with all parameters zero, so a parameterful
 	// main is well-defined rather than an arity violation.
 	ret, err := m.call(main, make([]int64, main.NumParams))
@@ -82,6 +106,7 @@ type haltSignal struct{ code int64 }
 func (h haltSignal) Error() string { return fmt.Sprintf("halt(%d)", h.code) }
 
 type machine struct {
+	ctx      context.Context
 	prog     *ir.Program
 	mem      []int64
 	sp       int64 // stack pointer (grows down); frame bases are sp values
@@ -119,6 +144,7 @@ func newMachine(p *ir.Program, opts Options) *machine {
 		maxDepth = DefaultMaxDepth
 	}
 	m := &machine{
+		ctx:         context.Background(),
 		prog:        p,
 		mem:         make([]int64, memSize),
 		sp:          memSize,
@@ -235,6 +261,11 @@ func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
 			m.fuel--
 			if m.fuel < 0 {
 				return 0, ErrFuel
+			}
+			if m.fuel&(ctxStride-1) == 0 {
+				if err := m.ctx.Err(); err != nil {
+					return 0, fmt.Errorf("interp: canceled after %d steps: %w", m.stepsUsed(), err)
+				}
 			}
 			switch in.Op {
 			case ir.Nop:

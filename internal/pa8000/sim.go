@@ -1,6 +1,7 @@
 package pa8000
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -106,8 +107,30 @@ func (s *Stats) BranchMissRate() float64 {
 // ErrFuel is returned when the cycle budget is exhausted.
 var ErrFuel = errors.New("pa8000: fuel exhausted")
 
+// ctxStride is how many retired instructions pass between context
+// checks in RunCtx: frequent enough that cancellation latency is
+// microseconds, rare enough that the per-instruction cost is one AND
+// and one predictable branch.
+const ctxStride = 8192
+
 // Run executes a linked program with the given inputs.
 func Run(p *Program, cfg Config, inputs []int64) (*Stats, error) {
+	return RunCtx(context.Background(), p, cfg, inputs)
+}
+
+// RunCtx is Run with cancellation: the simulation checks ctx at
+// instruction-budget boundaries (every ctxStride retired instructions)
+// and returns ctx.Err() — wrapped, so errors.Is sees context.Canceled
+// or context.DeadlineExceeded — when the context dies mid-run.
+func RunCtx(ctx context.Context, p *Program, cfg Config, inputs []int64) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fail fast on a dead context: a short simulation could otherwise
+	// finish between stride checks and mask the cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pa8000: canceled before start: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	st := &Stats{}
 	icache := NewCache(cfg.ICacheBytes, cfg.ICacheLine, cfg.ICacheAssoc)
@@ -162,6 +185,11 @@ func Run(p *Program, cfg Config, inputs []int64) (*Stats, error) {
 		fuel--
 		if fuel < 0 {
 			return nil, ErrFuel
+		}
+		if fuel&(ctxStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pa8000: canceled after %d instructions: %w", st.Instrs, err)
+			}
 		}
 		in := &p.Code[pc]
 		st.Instrs++

@@ -32,9 +32,15 @@ func New() *Data {
 
 // Attach decorates the program with the database's counts: every block's
 // Count and every function's EntryCount. Functions absent from the
-// database (never executed in training) get zero counts.
+// database (never executed in training) get zero counts, and a function
+// with no blocks at all (an extern stub or a declaration-only routine)
+// is skipped rather than dereferenced.
 func (d *Data) Attach(p *ir.Program) {
 	p.Funcs(func(f *ir.Func) bool {
+		if len(f.Blocks) == 0 {
+			f.EntryCount = 0
+			return true
+		}
 		counts := d.Blocks[f.QName]
 		for _, b := range f.Blocks {
 			if b.Index < len(counts) {
@@ -53,6 +59,13 @@ func (d *Data) Attach(p *ir.Program) {
 // future-work item of "incorporating profile information from a variety
 // of sources": several training runs — or a stale profile plus a fresh
 // one — can be blended before attachment.
+//
+// Scaling rounds to nearest rather than truncating, so a rarely-taken
+// block with count 1 survives a weight-50 merge as 1 (0.5 rounded up)
+// instead of vanishing, and the quotient/remainder split keeps the
+// arithmetic overflow-free for counts near MaxInt64 (the naive
+// c*weight/100 wraps once c exceeds MaxInt64/weight). Weight 100 is an
+// exact pass-through.
 func (d *Data) Merge(other *Data, weight int64) {
 	for name, counts := range other.Blocks {
 		dst := d.Blocks[name]
@@ -62,7 +75,8 @@ func (d *Data) Merge(other *Data, weight int64) {
 			dst = grown
 		}
 		for i, c := range counts {
-			dst[i] += c * weight / 100
+			q, r := c/100, c%100
+			dst[i] += q*weight + (r*weight+50)/100
 		}
 		d.Blocks[name] = dst
 	}
@@ -98,7 +112,10 @@ func (d *Data) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a database written by Write.
+// Read parses a database written by Write. Blank lines are skipped; a
+// duplicate "func" line for the same function replaces the earlier one
+// (last entry wins), which lets concatenated databases act as simple
+// overlays.
 func Read(r io.Reader) (*Data, error) {
 	d := New()
 	sc := bufio.NewScanner(r)

@@ -1,10 +1,12 @@
 package profile_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/ir"
 	"repro/internal/profile"
 )
 
@@ -115,5 +117,128 @@ func TestMerge(t *testing.T) {
 	a2.Merge(c, 50)
 	if a2.Blocks["m:f"][0] != 50 {
 		t.Errorf("weighted merge = %v, want 50", a2.Blocks["m:f"])
+	}
+}
+
+func TestMergeRoundsToNearest(t *testing.T) {
+	// A count of 1 at half weight must survive as 1, not truncate to 0:
+	// a rarely-taken block that vanishes from the profile would flip the
+	// HLO's hot/cold classification of its function.
+	src := profile.New()
+	src.Blocks["m:f"] = []int64{1, 3, 49, 50, 99}
+	d := profile.New()
+	d.Merge(src, 50)
+	want := []int64{1, 2, 25, 25, 50} // round half up
+	for i, w := range want {
+		if got := d.Blocks["m:f"][i]; got != w {
+			t.Errorf("merge(weight=50)[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMergeMaxInt64NoOverflow(t *testing.T) {
+	src := profile.New()
+	src.Blocks["m:f"] = []int64{math.MaxInt64}
+
+	// Weight 100 is an exact pass-through even at the extreme.
+	d := profile.New()
+	d.Merge(src, 100)
+	if got := d.Blocks["m:f"][0]; got != math.MaxInt64 {
+		t.Errorf("merge(weight=100) of MaxInt64 = %d, want %d", got, int64(math.MaxInt64))
+	}
+
+	// Half weight must stay positive (the naive c*weight/100 wraps).
+	d2 := profile.New()
+	d2.Merge(src, 50)
+	if got := d2.Blocks["m:f"][0]; got <= 0 || got < math.MaxInt64/2 {
+		t.Errorf("merge(weight=50) of MaxInt64 = %d: overflowed or lost magnitude", got)
+	}
+}
+
+func TestReadDuplicateFuncLines(t *testing.T) {
+	// A later line for the same function replaces the earlier one, so
+	// concatenated databases behave as overlays.
+	src := "func m:f 1 2 3\nfunc m:g 9\nfunc m:f 7 8\n"
+	d, err := profile.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Blocks["m:f"]
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Errorf("duplicate func line: got %v, want [7 8]", got)
+	}
+	if g := d.Blocks["m:g"]; len(g) != 1 || g[0] != 9 {
+		t.Errorf("m:g clobbered: %v", g)
+	}
+}
+
+func TestEmptyDatabaseRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	if err := profile.New().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "" {
+		t.Errorf("empty database serialized to %q, want empty", buf.String())
+	}
+	d, err := profile.Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != 0 {
+		t.Errorf("empty input parsed to %d entries", len(d.Blocks))
+	}
+	// Whitespace-only input is also an empty database.
+	d2, err := profile.Read(strings.NewReader("\n  \n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Blocks) != 0 {
+		t.Errorf("blank input parsed to %d entries", len(d2.Blocks))
+	}
+}
+
+func TestMaxInt64RoundTrip(t *testing.T) {
+	d := profile.New()
+	d.Blocks["m:hot"] = []int64{math.MaxInt64, 0, math.MaxInt64 - 1}
+	var buf strings.Builder
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := profile.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.Blocks["m:hot"]
+	for i, w := range d.Blocks["m:hot"] {
+		if got[i] != w {
+			t.Errorf("m:hot[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestAttachZeroBlockFunc(t *testing.T) {
+	// A declaration-only function (no blocks) must not panic Attach and
+	// must come out with a zero entry count, while its neighbors still
+	// receive their profiled counts.
+	stub := &ir.Func{Name: "stub", Module: "m", QName: "m:stub", EntryCount: 42}
+	body := &ir.Func{
+		Name: "body", Module: "m", QName: "m:body",
+		Blocks: []*ir.Block{{Index: 0}, {Index: 1}},
+	}
+	p := ir.NewProgram(&ir.Module{Name: "m", Funcs: []*ir.Func{stub, body}})
+
+	d := profile.New()
+	d.Blocks["m:body"] = []int64{17, 3}
+	d.Blocks["m:stub"] = []int64{99} // stale entry for a now-bodyless func
+	d.Attach(p)
+
+	if stub.EntryCount != 0 {
+		t.Errorf("zero-block func EntryCount = %d, want 0", stub.EntryCount)
+	}
+	if body.EntryCount != 17 {
+		t.Errorf("body EntryCount = %d, want 17", body.EntryCount)
+	}
+	if body.Blocks[1].Count != 3 {
+		t.Errorf("body block 1 count = %d, want 3", body.Blocks[1].Count)
 	}
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// accessEntry is one structured access-log record, emitted as a JSON
+// line when the request finishes.
+type accessEntry struct {
+	Time    string  `json:"time"`
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Status  int     `json:"status"`
+	DurMS   float64 `json:"dur_ms"`
+	Bytes   int     `json:"bytes"`
+	Remote  string  `json:"remote,omitempty"`
+	Dedup   bool    `json:"dedup,omitempty"`   // served from a shared single-flight result
+	Err     string  `json:"err,omitempty"`     // terminal error (client gone, queue full, ...)
+	Timeout bool    `json:"timeout,omitempty"` // the per-request deadline fired
+}
+
+// accessLogger serializes entries onto one writer. A nil logger
+// discards everything.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(e accessEntry) {
+	if l == nil {
+		return
+	}
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	l.w.Write(data)
+	l.mu.Unlock()
+}

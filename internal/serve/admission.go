@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// errQueueFull is admit's rejection: the caller should answer 429 with
+// the accompanying Retry-After hint.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the server's bounded work queue in front of a
+// par-style worker pool: at most workers requests execute at once, at
+// most maxQueue more wait for a slot, and everything beyond that is
+// rejected immediately with a Retry-After estimate — the server sheds
+// load instead of accumulating unbounded goroutines. A waiter whose
+// context dies leaves the queue without executing.
+type admission struct {
+	slots    chan struct{} // buffered; holding a token = holding a worker
+	workers  int
+	maxQueue int
+
+	mu        sync.Mutex
+	queued    int // waiting for a slot
+	busy      int // holding a slot
+	admitted  int64
+	rejected  int64
+	completed int64
+	// ewmaMS is an exponentially weighted moving average of service
+	// time, feeding the Retry-After estimate.
+	ewmaMS float64
+}
+
+func newAdmission(workers, maxQueue int) *admission {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		workers:  workers,
+		maxQueue: maxQueue,
+	}
+}
+
+// admit blocks until a worker slot is free or ctx dies. When the wait
+// queue is already full it returns errQueueFull at once, with a
+// Retry-After hint in seconds. On success the returned release func
+// must be called exactly once when the work is done (extra calls are
+// no-ops).
+func (a *admission) admit(ctx context.Context) (release func(), retryAfter int, err error) {
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.rejected++
+		ra := a.retryAfterLocked()
+		a.mu.Unlock()
+		return nil, ra, errQueueFull
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		start := time.Now()
+		a.mu.Lock()
+		a.queued--
+		a.busy++
+		a.admitted++
+		a.mu.Unlock()
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-a.slots
+				ms := float64(time.Since(start)) / float64(time.Millisecond)
+				a.mu.Lock()
+				a.busy--
+				a.completed++
+				if a.ewmaMS == 0 {
+					a.ewmaMS = ms
+				} else {
+					a.ewmaMS = 0.8*a.ewmaMS + 0.2*ms
+				}
+				a.mu.Unlock()
+			})
+		}, 0, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// retryAfterLocked estimates how long until a queue slot frees up:
+// the backlog ahead of a new arrival divided across the pool, scaled
+// by the average service time. Clamped to [1, 60] seconds.
+func (a *admission) retryAfterLocked() int {
+	ms := a.ewmaMS
+	if ms == 0 {
+		ms = 1000 // no history yet: assume a second
+	}
+	backlog := float64(a.queued + a.busy + 1)
+	sec := int((ms*backlog/float64(a.workers) + 999) / 1000)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// QueueState is the /queue endpoint's snapshot of admission control.
+type QueueState struct {
+	Workers        int     `json:"workers"`
+	Busy           int     `json:"busy"`
+	QueueDepth     int     `json:"queue_depth"`
+	Queued         int     `json:"queued"`
+	AdmittedTotal  int64   `json:"admitted_total"`
+	RejectedTotal  int64   `json:"rejected_total"`
+	CompletedTotal int64   `json:"completed_total"`
+	AvgServiceMS   float64 `json:"avg_service_ms"`
+	RetryAfterS    int     `json:"retry_after_hint_s"`
+}
+
+func (a *admission) state() QueueState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return QueueState{
+		Workers:        a.workers,
+		Busy:           a.busy,
+		QueueDepth:     a.maxQueue,
+		Queued:         a.queued,
+		AdmittedTotal:  a.admitted,
+		RejectedTotal:  a.rejected,
+		CompletedTotal: a.completed,
+		AvgServiceMS:   a.ewmaMS,
+		RetryAfterS:    a.retryAfterLocked(),
+	}
+}

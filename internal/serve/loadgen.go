@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/specsuite"
+)
+
+// LoadConfig configures a load-generation run against a live hlod.
+type LoadConfig struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent requesters (default 4).
+	Clients int
+	// Duration is how long to keep sending (default 10s).
+	Duration time.Duration
+	// Endpoint is "compile" or "run" (default "compile").
+	Endpoint string
+	// Benchmarks names the specsuite programs to cycle through; empty
+	// means a small fast trio.
+	Benchmarks []string
+	// Budgets are HLO budgets cycled across requests so consecutive
+	// requests differ (exercising the cache rather than single-flight);
+	// empty means {50, 100, 150, 200}.
+	Budgets []int
+	// Profile turns on PBO (training runs) for every request.
+	Profile bool
+	// CrossModule compiles at link-time scope (default matches the
+	// paper's "c"/"cp" rows; base scope if false).
+	CrossModule bool
+	// ClientTimeout caps each HTTP request (default 2m).
+	ClientTimeout time.Duration
+}
+
+// LoadReport summarizes a load run. BadResponses counts everything
+// that is neither 2xx nor 429 — under admission control those are the
+// only healthy answers, so any other status (or transport error) marks
+// the run unhealthy.
+type LoadReport struct {
+	Requests        int            `json:"requests"`
+	TransportErrors int            `json:"transport_errors"`
+	Rejected        int            `json:"rejected_429"`
+	BadResponses    int            `json:"bad_responses"`
+	ByStatus        map[string]int `json:"by_status"`
+	WallS           float64        `json:"wall_s"`
+	Throughput      float64        `json:"throughput_rps"` // 2xx completions per second
+	P50MS           float64        `json:"p50_ms"`
+	P90MS           float64        `json:"p90_ms"`
+	P99MS           float64        `json:"p99_ms"`
+	MaxMS           float64        `json:"max_ms"`
+}
+
+// Healthy reports whether the run saw only 2xx/429 responses and no
+// transport errors.
+func (r *LoadReport) Healthy() bool {
+	return r.TransportErrors == 0 && r.BadResponses == 0
+}
+
+// RunLoad drives Clients concurrent requesters over the benchmark ×
+// budget matrix for Duration and aggregates throughput and latency
+// percentiles (measured over successful 2xx requests).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Endpoint == "" {
+		cfg.Endpoint = "compile"
+	}
+	if cfg.Endpoint != "compile" && cfg.Endpoint != "run" {
+		return nil, fmt.Errorf("loadgen: unknown endpoint %q", cfg.Endpoint)
+	}
+	if len(cfg.Benchmarks) == 0 {
+		cfg.Benchmarks = []string{"022.li", "026.compress", "008.espresso"}
+	}
+	if len(cfg.Budgets) == 0 {
+		cfg.Budgets = []int{50, 100, 150, 200}
+	}
+	if cfg.ClientTimeout <= 0 {
+		cfg.ClientTimeout = 2 * time.Minute
+	}
+
+	bodies, err := loadBodies(cfg)
+	if err != nil {
+		return nil, err
+	}
+	url := cfg.BaseURL + "/" + cfg.Endpoint
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	client := &http.Client{Timeout: cfg.ClientTimeout}
+
+	type clientStats struct {
+		latenciesMS []float64
+		byStatus    map[int]int
+		transport   int
+	}
+	stats := make([]clientStats, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.byStatus = make(map[int]int)
+			for i := c; ctx.Err() == nil; i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					st.transport++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // run over; an aborted in-flight request is not an error
+					}
+					st.transport++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.byStatus[resp.StatusCode]++
+				if resp.StatusCode/100 == 2 {
+					st.latenciesMS = append(st.latenciesMS, float64(time.Since(t0))/float64(time.Millisecond))
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Honor backpressure minimally: yield before retrying.
+					select {
+					case <-time.After(50 * time.Millisecond):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{ByStatus: make(map[string]int), WallS: wall.Seconds()}
+	var lat []float64
+	for i := range stats {
+		st := &stats[i]
+		rep.TransportErrors += st.transport
+		for code, n := range st.byStatus {
+			rep.Requests += n
+			rep.ByStatus[fmt.Sprintf("%d", code)] += n
+			switch {
+			case code/100 == 2:
+			case code == http.StatusTooManyRequests:
+				rep.Rejected += n
+			default:
+				rep.BadResponses += n
+			}
+		}
+		lat = append(lat, st.latenciesMS...)
+	}
+	rep.Requests += rep.TransportErrors
+	sort.Float64s(lat)
+	if n := len(lat); n > 0 {
+		rep.Throughput = float64(n) / wall.Seconds()
+		rep.P50MS = lat[n*50/100]
+		rep.P90MS = lat[n*90/100]
+		rep.P99MS = lat[n*99/100]
+		rep.MaxMS = lat[n-1]
+	}
+	return rep, nil
+}
+
+// loadBodies pre-renders the request matrix: every benchmark under
+// every budget, so consecutive requests from one client differ and the
+// server's caches (not just single-flight) carry the load.
+func loadBodies(cfg LoadConfig) ([][]byte, error) {
+	var bodies [][]byte
+	for _, name := range cfg.Benchmarks {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, budget := range cfg.Budgets {
+			budget := budget
+			creq := CompileRequest{
+				Sources: b.Sources,
+				Options: OptionsJSON{
+					CrossModule: cfg.CrossModule,
+					Profile:     cfg.Profile,
+					TrainInputs: b.Train,
+					Budget:      &budget,
+				},
+			}
+			var body []byte
+			if cfg.Endpoint == "run" {
+				body = marshalResponse(RunRequest{CompileRequest: creq, Inputs: b.Train})
+			} else {
+				body = marshalResponse(creq)
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies, nil
+}

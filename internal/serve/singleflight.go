@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightResult is the fully rendered outcome of one executed request:
+// exactly the bytes and headers a follower can replay. canceled marks
+// an execution that died of its own client's disconnect — such a
+// result is private to the leader and never shared.
+type flightResult struct {
+	status      int
+	contentType string
+	retryAfter  int // seconds; nonzero only on 429
+	body        []byte
+	canceled    bool
+}
+
+// flightGroup coalesces concurrent identical requests ("single
+// flight"): the first caller with a key executes; callers arriving
+// while that execution is in flight wait for it and share the
+// byte-identical response, consuming no queue slot. Flights exist only
+// while a request is in the air — completed results are not cached
+// here (cross-request memoization lives in driver.Cache, which the
+// executed compile hits anyway).
+//
+// A leader whose own client disconnects does not doom its followers:
+// the canceled result is dropped and one waiting follower retries as
+// the new leader under its own context.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	hits    int64 // followers served from a shared result
+}
+
+type flight struct {
+	done chan struct{}
+	res  *flightResult
+}
+
+// do returns fn's result for key, sharing one execution among
+// concurrent identical requests. shared reports whether the result
+// came from another caller's flight. A ctx error is returned only for
+// this caller's own context.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *flightResult) (res *flightResult, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.flights == nil {
+			g.flights = make(map[string]*flight)
+		}
+		f, ok := g.flights[key]
+		if !ok {
+			f = &flight{done: make(chan struct{})}
+			g.flights[key] = f
+			g.mu.Unlock()
+			f.res = fn()
+			g.mu.Lock()
+			delete(g.flights, key)
+			g.mu.Unlock()
+			close(f.done)
+			return f.res, false, nil
+		}
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.res.canceled {
+				continue // the leader's client vanished; take over
+			}
+			g.mu.Lock()
+			g.hits++
+			g.mu.Unlock()
+			return f.res, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// dedupHits reports how many requests were served from a shared flight.
+func (g *flightGroup) dedupHits() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits
+}
