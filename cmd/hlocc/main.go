@@ -29,6 +29,10 @@
 //	-remarks-json F write the remark stream as JSONL to file F
 //	-trace          print the pipeline phase trace and counters to stderr
 //	-timeout D      abort compilation/training/simulation after duration D
+//	-fail-policy P  pass-firewall policy when a transformation panics or
+//	                fails verification: abort (default; fail the compile),
+//	                rollback (restore the function snapshots and continue),
+//	                skip-func (rollback, then quarantine the function)
 package main
 
 import (
@@ -46,6 +50,7 @@ import (
 	"repro/internal/isom"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -67,6 +72,7 @@ func main() {
 	remarksJSON := flag.String("remarks-json", "", "write the optimization remark stream as JSONL to this file")
 	trace := flag.Bool("trace", false, "print the pipeline phase trace and counters to stderr")
 	timeout := flag.Duration("timeout", 0, "abort compilation/training/simulation after this duration (0 = no limit)")
+	failPolicy := flag.String("fail-policy", "abort", "pass-firewall policy when a transformation panics or fails verification: abort | rollback | skip-func")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -110,6 +116,11 @@ func main() {
 	opts.HLO.Inline = !*noinline
 	opts.HLO.Clone = !*noclone
 	opts.HLO.Outline = *outline
+	fp, err := resilience.ParseFailPolicy(*failPolicy)
+	if err != nil {
+		fatal(err)
+	}
+	opts.HLO.FailPolicy = fp
 	if *affinity {
 		opts.Layout = backend.LayoutCallAffinity
 	}

@@ -18,6 +18,15 @@
 //	-cross         cross-module scope
 //	-json FILE     merge the report into FILE (default BENCH_serve.json,
 //	               empty disables)
+//	-retries N     per-request retry budget for 429/transport failures
+//	               (default 0 = unlimited)
+//	-backoff D     first backoff delay; grows exponentially with jitter,
+//	               always honoring the server's Retry-After (default 50ms)
+//	-backoff-cap D ceiling on the exponential backoff (default 2s)
+//	-breaker N     open a shared circuit breaker after N consecutive
+//	               failures (default 0 = disabled)
+//	-breaker-cooldown D  how long the circuit stays open (default 1s)
+//	-seed N        jitter seed, for reproducible retry schedules
 //
 // Exit status is non-zero if the run saw any transport error or any
 // response that was neither 2xx nor 429 — under admission control
@@ -48,6 +57,12 @@ func main() {
 	profileFlag := flag.Bool("profile", false, "enable PBO training on every request")
 	cross := flag.Bool("cross", false, "cross-module scope")
 	jsonOut := flag.String("json", "BENCH_serve.json", "merge the report into this file (empty disables)")
+	retries := flag.Int("retries", 0, "per-request retry budget (0 = unlimited)")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "first backoff delay")
+	backoffCap := flag.Duration("backoff-cap", 2*time.Second, "exponential backoff ceiling")
+	breaker := flag.Int("breaker", 0, "consecutive failures that open the circuit breaker (0 = disabled)")
+	cooldown := flag.Duration("breaker-cooldown", time.Second, "how long the circuit stays open")
+	seed := flag.Int64("seed", 0, "jitter seed for reproducible retry schedules")
 	flag.Parse()
 
 	cfg := serve.LoadConfig{
@@ -57,6 +72,14 @@ func main() {
 		Endpoint:    *endpoint,
 		Profile:     *profileFlag,
 		CrossModule: *cross,
+		Retry: serve.RetryConfig{
+			Retries:          *retries,
+			Base:             *backoff,
+			Cap:              *backoffCap,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *cooldown,
+			Seed:             *seed,
+		},
 	}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
@@ -79,6 +102,7 @@ func main() {
 	fmt.Printf("endpoint=%s clients=%d duration=%.1fs\n", cfg.Endpoint, cfg.Clients, rep.WallS)
 	fmt.Printf("requests=%d throughput=%.1f req/s rejected-429=%d transport-errors=%d bad-responses=%d\n",
 		rep.Requests, rep.Throughput, rep.Rejected, rep.TransportErrors, rep.BadResponses)
+	fmt.Printf("retries=%d dropped=%d breaker-opens=%d\n", rep.Retries, rep.Dropped, rep.BreakerOpens)
 	fmt.Printf("latency p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
 		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
 	for code, n := range rep.ByStatus {

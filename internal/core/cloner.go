@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ipa"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // cloneSpec describes a specialization: for each formal parameter of the
@@ -83,6 +84,10 @@ func (h *hlo) clonePass(stageBudget int64) {
 			h.remarkEdge(RemarkClone, e, r)
 			continue
 		}
+		if h.skippedFunc(e.Caller) || h.skippedFunc(e.Callee) {
+			h.remarkEdge(RemarkClone, e, SkippedFunc)
+			continue
+		}
 		site := e.Instr().Site
 		if claimed[site] {
 			continue
@@ -106,6 +111,9 @@ func (h *hlo) clonePass(stageBudget int64) {
 		total := len(g.CallersOf[callee])
 		for _, e2 := range g.CallersOf[callee] {
 			if cloneLegal(e2, h.scope) != OK {
+				continue
+			}
+			if h.skippedFunc(e2.Caller) {
 				continue
 			}
 			s2 := e2.Instr().Site
@@ -218,11 +226,24 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		cloneName, reused = h.cloneDB[key]
 	}
 	if !reused {
-		clone := h.makeClone(grp.spec)
+		var clone *ir.Func
+		outcome := h.guardMutation(
+			obs.Remark{Kind: RemarkClone, Caller: grp.callers[0].QName, Callee: clonee.QName,
+				Site: grp.sites[0], Benefit: grp.benefit},
+			nil,
+			func() ([]*ir.Func, string, error) {
+				ptClone.Inject()
+				clone = h.makeClone(grp.spec)
+				return []*ir.Func{clone}, "clone " + clone.QName, nil
+			})
+		if outcome != fwOK {
+			// Clone creation rolled back: the group's sites keep calling
+			// the clonee, which is still intact.
+			return
+		}
 		cloneName = clone.QName
 		h.cloneDB[key] = cloneName
 		h.stats.Clones++
-		h.checkMutation("clone "+cloneName, clone)
 	}
 	for i, site := range grp.sites {
 		if h.stopped() {
@@ -230,6 +251,10 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 			return
 		}
 		caller := grp.callers[i]
+		if h.skippedFunc(caller) {
+			h.remarkCloneSite(grp, i, false, SkippedFunc, grp.cost, grp.headroom, cloneName)
+			continue
+		}
 		blk, idx, ok := ir.FindSite(caller, site)
 		if !ok {
 			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.cost, grp.headroom, cloneName)
@@ -249,12 +274,21 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 				args = append(args, a)
 			}
 		}
-		in.Callee = cloneName
-		in.Args = args
+		outcome := h.guardMutation(
+			obs.Remark{Kind: RemarkClone, Caller: caller.QName, Callee: clonee.QName,
+				Site: site, Benefit: grp.benefits[i]},
+			[]*ir.Func{caller},
+			func() ([]*ir.Func, string, error) {
+				in.Callee = cloneName
+				in.Args = args
+				return nil, "retarget site in " + caller.QName + " to " + cloneName, nil
+			})
+		if outcome != fwOK {
+			continue // rolled back: the site still calls the clonee
+		}
 		h.stats.CloneRepls++
 		h.countOp()
 		h.remarkCloneSite(grp, i, true, OK, grp.cost, grp.headroom, cloneName)
-		h.checkMutation("retarget site in "+caller.QName+" to "+cloneName, caller)
 	}
 	if clonee.Module != h.prog.Func(cloneName).Module {
 		// Cannot happen (clones live in the clonee's module), but keep

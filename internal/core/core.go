@@ -30,6 +30,7 @@ package core
 import (
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Scope describes which functions HLO may transform and how far it may
@@ -115,12 +116,32 @@ type Options struct {
 	// mutation-tested against a known-bad compiler. Empty means off.
 	// Never set outside tests.
 	InjectBug string
+	// FailPolicy selects the pass firewall's behaviour when a mutation
+	// panics or (under VerifyEach) fails per-mutation verification. The
+	// default, resilience.FailAbort, takes no snapshots and keeps
+	// decisions bit-identical to builds without the firewall: a panic
+	// propagates and a verification failure latches and stops the run.
+	// FailRollback restores the touched functions and keeps compiling;
+	// FailSkipFunc additionally quarantines them from further
+	// transformation.
+	FailPolicy resilience.FailPolicy
+	// DebugPanicOnVerify restores Run's historical panic on a VerifyEach
+	// failure, for debugger-friendly stack traces at the broken
+	// mutation. Library callers should use RunChecked instead; without
+	// this flag Run latches the error into Stats.VerifyErr.
+	DebugPanicOnVerify bool
 }
 
 // BugInlineSwapArgs is an InjectBug value: performInline binds the first
 // two actuals to the wrong formals (a structurally valid miscompile that
 // only a behavioural oracle can see).
 const BugInlineSwapArgs = "inline-swap-args"
+
+// BugInlineBadReg is an InjectBug value: performInline leaves a write to
+// an out-of-range register in the continuation block (a structural
+// miscompile that VerifyEach catches immediately; exercises the
+// verify-rollback path of the pass firewall).
+const BugInlineBadReg = "inline-bad-reg"
 
 // DefaultOptions mirrors the paper's defaults: budget 100, four passes,
 // both transformations on, profile-style heuristics on.
@@ -159,6 +180,13 @@ type Stats struct {
 
 	// Ops records the order of operations for Figure 8 replays.
 	Ops int
+
+	// VerifyErr records the first per-mutation verification failure for
+	// callers of Run, which cannot return an error (RunChecked callers
+	// get it directly and leave this nil). Excluded from JSON so service
+	// responses and Table 1 artifacts are byte-identical with or without
+	// the field.
+	VerifyErr error `json:"-"`
 }
 
 // Add accumulates o into s: the per-module aggregation of the
@@ -178,4 +206,7 @@ func (s *Stats) Add(o *Stats) {
 	s.SizeBefore += o.SizeBefore
 	s.SizeAfter += o.SizeAfter
 	s.Ops += o.Ops
+	if s.VerifyErr == nil {
+		s.VerifyErr = o.VerifyErr
+	}
 }

@@ -40,17 +40,28 @@ type hlo struct {
 	// reports true so no further transformation runs on the broken IR and
 	// the offending mutation stays the last one performed.
 	verifyErr error
+	// skip quarantines functions involved in a rolled-back mutation under
+	// resilience.FailSkipFunc (nil under every other policy). Restores
+	// happen in place, so pointer identity survives a rollback.
+	skip map[*ir.Func]bool
 }
 
 // Run applies HLO to the program under the given scope and options and
 // returns the transformation statistics. The program must be resolved;
 // it is verified on completion in debug builds via ir.Program.Verify by
-// callers that care. Run panics if Options.VerifyEach detects a broken
-// transformation — callers that want the error use RunChecked.
+// callers that care. If Options.VerifyEach detects a broken
+// transformation the error is latched into the returned Stats.VerifyErr
+// (the run stops at the offending mutation, so the IR reflects it) —
+// library callers that want the error directly use RunChecked. Setting
+// Options.DebugPanicOnVerify restores the historical panic for
+// debugger-friendly stack traces.
 func Run(p *ir.Program, scope Scope, opts Options) *Stats {
 	st, err := RunChecked(p, scope, opts)
 	if err != nil {
-		panic(err)
+		if opts.DebugPanicOnVerify {
+			panic(err)
+		}
+		st.VerifyErr = err
 	}
 	return st
 }
@@ -100,7 +111,7 @@ func RunCheckedCtx(ctx context.Context, p *ir.Program, scope Scope, opts Options
 	// interprocedural analysis determines that they have no side
 	// effect").
 	sp := h.beginPhase("input-opt")
-	h.forScope(func(f *ir.Func) { opt.Optimize(f, nil) })
+	h.forScope(func(f *ir.Func) { h.optimizeGuarded(f, nil) })
 	h.endPhase(sp)
 	if opts.DeadCallElim {
 		sp := h.beginPhase("dead-calls")
@@ -111,7 +122,7 @@ func RunCheckedCtx(ctx context.Context, p *ir.Program, scope Scope, opts Options
 			h.siteSeq = p.AssignSites(h.siteSeq)
 			deadCands = h.pureCallSites()
 		}
-		h.forScope(func(f *ir.Func) { opt.Optimize(f, h.purity) })
+		h.forScope(func(f *ir.Func) { h.optimizeGuarded(f, h.purity) })
 		h.stats.DeadCalls = before - h.countCalls()
 		if h.rec != nil {
 			h.emitDeadCallRemarks(deadCands)
@@ -292,9 +303,10 @@ func (h *hlo) forScope(fn func(*ir.Func)) {
 	})
 }
 
-// optimizeFunc runs the scalar pipeline with the current purity facts.
+// optimizeFunc runs the scalar pipeline with the current purity facts,
+// under the pass firewall when a non-abort FailPolicy is set.
 func (h *hlo) optimizeFunc(f *ir.Func) {
-	opt.Optimize(f, h.purityOrNil())
+	h.optimizeGuarded(f, h.purityOrNil())
 }
 
 func (h *hlo) purityOrNil() opt.Purity {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ipa"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // inlineCand is one viable inline site with its figure of merit.
@@ -29,6 +30,10 @@ func (h *hlo) inlinePass(stageBudget int64) {
 	for _, e := range g.Edges {
 		if r := inlineLegal(e, h.scope); r != OK {
 			h.remarkEdge(RemarkInline, e, r)
+			continue
+		}
+		if h.skippedFunc(e.Caller) || h.skippedFunc(e.Callee) {
+			h.remarkEdge(RemarkInline, e, SkippedFunc)
 			continue
 		}
 		cands = append(cands, &inlineCand{
@@ -97,16 +102,30 @@ func (h *hlo) inlinePass(stageBudget int64) {
 			}
 			return
 		}
+		cand := cand
 		old := int64(cand.caller.Size())
-		if err := h.performInline(cand); err == nil {
+		outcome := h.guardMutation(
+			obs.Remark{Kind: RemarkInline, Caller: cand.caller.QName, Callee: cand.callee.QName,
+				Site: cand.site, Benefit: cand.benefit},
+			[]*ir.Func{cand.caller, cand.callee},
+			func() ([]*ir.Func, string, error) {
+				ptInline.Inject()
+				if err := h.performInline(cand); err != nil {
+					return nil, "", err
+				}
+				return nil, fmt.Sprintf("inline %s into %s", cand.callee.QName, cand.caller.QName), nil
+			})
+		switch outcome {
+		case fwOK:
 			h.recost(cand.caller, old)
 			h.stats.Inlines++
 			h.countOp()
 			h.remarkInline(cand, true, OK)
-			h.checkMutation(fmt.Sprintf("inline %s into %s", cand.callee.QName, cand.caller.QName),
-				cand.caller, cand.callee)
-		} else {
+		case fwDeclined:
 			h.remarkInline(cand, false, RejRetargeted)
+		case fwRolledBack:
+			// guardMutation restored the snapshots and emitted the
+			// rollback remark; move on to the next candidate.
 		}
 	}
 }
@@ -267,6 +286,11 @@ func (h *hlo) performInline(cand *inlineCand) error {
 	head = append(head, ir.Instr{Op: ir.Jmp, Then: blockBase, Pos: call.Pos})
 	blk.Instrs = head
 
+	if h.opts.InjectBug == BugInlineBadReg {
+		cont.Instrs = append([]ir.Instr{
+			{Op: ir.Mov, Dst: ir.Reg(caller.NumRegs) + 1, A: ir.ConstOp(0), Pos: call.Pos},
+		}, cont.Instrs...)
+	}
 	caller.Blocks = append(caller.Blocks, copies...)
 	caller.Blocks = append(caller.Blocks, cont)
 	caller.InvalidateSize()

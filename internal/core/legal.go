@@ -43,6 +43,11 @@ const (
 
 	// Dead-call analysis outcomes.
 	LiveResult // pure call survives: its result is still used
+
+	// Pass-firewall outcomes (Options.FailPolicy rollback/skip-func).
+	RolledBackPanic  // mutation panicked; snapshots restored
+	RolledBackVerify // per-mutation verification failed; snapshots restored
+	SkippedFunc      // function quarantined by an earlier rollback (skip-func)
 )
 
 var reasonNames = [...]string{
@@ -67,6 +72,9 @@ var reasonNames = [...]string{
 	UsesFrame:        "uses-frame",
 	TooManyFlows:     "too-many-flows",
 	LiveResult:       "live-result",
+	RolledBackPanic:  "rolled-back-panic",
+	RolledBackVerify: "rolled-back-verify",
+	SkippedFunc:      "skipped-func",
 }
 
 func (r Reason) String() string {

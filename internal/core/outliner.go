@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // The outliner implements the paper's future-work proposal: "using
@@ -40,7 +41,7 @@ func (h *hlo) outlinePass() int {
 	}
 	created := 0
 	h.forScope(func(f *ir.Func) {
-		if f.EntryCount == 0 {
+		if f.EntryCount == 0 || h.skippedFunc(f) {
 			return
 		}
 		created += h.outlineFunc(f)
@@ -85,13 +86,28 @@ func (h *hlo) outlineFunc(f *ir.Func) int {
 			}
 			saved := len(b.Instrs) - 1
 			old := int64(f.Size())
-			h.extract(f, b, ins, outs)
+			var name string
+			outcome := h.guardMutation(
+				obs.Remark{Kind: RemarkOutline, Caller: f.QName, Site: int32(b.Index),
+					Benefit: int64(saved)},
+				[]*ir.Func{f},
+				func() ([]*ir.Func, string, error) {
+					ptOutline.Inject()
+					h.extract(f, b, ins, outs)
+					name = fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq)
+					return []*ir.Func{h.prog.Func(name)}, "outline " + name, nil
+				})
+			if outcome != fwOK {
+				// Rolled back: f was restored from its snapshot, so the
+				// block objects this scan iterates over are stale. Stop
+				// outlining this routine rather than retrying into the
+				// same failure.
+				return created
+			}
 			h.recost(f, old)
-			name := fmt.Sprintf("%s$out%d", f.QName, h.outlineSeq)
 			remarkOnce(b, true, OK, name, saved)
 			h.stats.Outlines++
 			created++
-			h.checkMutation("outline "+name, f, h.prog.Func(name))
 			if h.stopped() {
 				return created
 			}

@@ -14,6 +14,9 @@ const (
 	RemarkClone    = "clone"
 	RemarkOutline  = "outline"
 	RemarkDeadCall = "dead-call"
+	// RemarkOpt is emitted only by the pass firewall: a scalar-opt
+	// boundary rolled back under a non-abort FailPolicy.
+	RemarkOpt = "opt"
 )
 
 // remarkEdge records one decision about a raw call-graph edge (used by

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pa8000"
 	"repro/internal/profile"
+	"repro/internal/resilience"
 )
 
 // Options selects a compilation configuration.
@@ -81,9 +82,24 @@ type Compilation struct {
 	CodeSize    int
 }
 
+// ptFrontend is the fault-injection point of the front end (armed only
+// by fault campaigns; see internal/resilience).
+var ptFrontend = resilience.Register("driver/frontend", resilience.KindDegrade)
+
 // Frontend parses, checks and lowers MiniC sources into a resolved
-// program.
-func Frontend(sources []string) (*ir.Program, error) {
+// program. A front-end panic — a parser bug on a pathological input, or
+// an injected fault at driver/frontend — is contained and reported as
+// an error. Containing it here (rather than in callers) also keeps the
+// Cache sound: its per-source sync.Once would otherwise be poisoned by
+// an escaping panic and hand every later hit a nil program with a nil
+// error.
+func Frontend(sources []string) (p *ir.Program, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, fmt.Errorf("driver: frontend panicked: %v", rec)
+		}
+	}()
+	ptFrontend.Inject()
 	files := make([]*minic.File, 0, len(sources))
 	for i, src := range sources {
 		f, err := minic.Parse(fmt.Sprintf("module%d.mc", i), src)
@@ -96,6 +112,26 @@ func Frontend(sources []string) (*ir.Program, error) {
 		files = append(files, f)
 	}
 	return lower.Program(files)
+}
+
+// publishAttachReport mirrors a dirty profile attachment into the
+// observability stream: one remark per degraded function (kind
+// "profile", reason "stale-profile") plus counters, so a stale database
+// is visible in -remarks output instead of silently mis-steering HLO.
+func publishAttachReport(rec *obs.Recorder, rep *profile.AttachReport) {
+	if rec == nil || rep.Clean() {
+		return
+	}
+	for _, m := range rep.Degraded {
+		rec.Remark(obs.Remark{
+			Kind:   "profile",
+			Caller: m.Func,
+			Reason: "stale-profile",
+			Detail: m.Reason,
+		})
+	}
+	rec.Count("profile.attach.degraded", int64(len(rep.Degraded)))
+	rec.Count("profile.attach.unknown", int64(len(rep.Unknown)))
 }
 
 // Compile builds the sources under the given configuration.
@@ -125,7 +161,7 @@ func CompileCtx(ctx context.Context, sources []string, opts Options) (*Compilati
 	c := &Compilation{IR: p}
 
 	if opts.ProfileData != nil {
-		opts.ProfileData.Attach(p)
+		publishAttachReport(rec, opts.ProfileData.Attach(p))
 	} else if opts.Profile {
 		// Instrumented build + training run. The instrumented build is a
 		// plain front-end build (block counting needs unoptimized block
@@ -138,7 +174,7 @@ func CompileCtx(ctx context.Context, sources []string, opts Options) (*Compilati
 		}
 		c.CompileCost += e.cost(opts.HLO.LinearCost)
 		c.TrainResult = e.res
-		e.data.Attach(p)
+		publishAttachReport(rec, e.data.Attach(p))
 		sp.End()
 	}
 

@@ -1,0 +1,317 @@
+// Fault-injection campaign mode (hlofuzz -faults): the resilience
+// layer's acceptance test. For every registered fault point, one at a
+// time, a panic is injected at a seed-derived hit (resilience.SkipFor)
+// while compiling each specsuite benchmark under -fail-policy=rollback,
+// and the campaign asserts the documented recovery happened:
+//
+//   - rollback-kind points (core/inline, core/clone, core/outline,
+//     core/opt): the compile still succeeds, exactly one rolled-back
+//     remark names the injected fault, and the built program's
+//     interpreter output is byte-identical to the un-faulted baseline;
+//   - degrade-kind pipeline points (driver/frontend, lower/module): the
+//     compile returns a structured error naming the injected fault —
+//     the process never dies;
+//   - boundary points not on the compile pipeline (isom/decode,
+//     profile/read, serve/dispatch) get targeted probes: decode and
+//     profile read must come back as errors, the daemon must answer 500
+//     and keep serving.
+//
+// Because fault points are process-global, a campaign is strictly
+// sequential — never run two concurrently.
+package fuzz
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/isom"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/specsuite"
+)
+
+// FaultConfig tunes one injection campaign.
+type FaultConfig struct {
+	// Seed drives the per-(point, benchmark) skip counts; the same seed
+	// replays the same firing sites.
+	Seed int64
+	// Benchmarks names the specsuite programs to compile (empty = all).
+	Benchmarks []string
+}
+
+// FaultFailure is one campaign violation.
+type FaultFailure struct {
+	Point  string
+	Bench  string // empty for targeted probes
+	Detail string
+}
+
+func (f *FaultFailure) Error() string {
+	where := f.Point
+	if f.Bench != "" {
+		where += "/" + f.Bench
+	}
+	return fmt.Sprintf("faults: %s: %s", where, f.Detail)
+}
+
+// FaultReport summarizes a campaign.
+type FaultReport struct {
+	Benches  int
+	Trials   int            // faulted compiles + targeted probes
+	Fired    map[string]int // point name → injections that actually fired
+	Failures []*FaultFailure
+}
+
+// Ok reports whether every injection recovered as documented and every
+// registered point fired at least once.
+func (r *FaultReport) Ok() bool { return len(r.Failures) == 0 }
+
+// faultOptions is the campaign's compile configuration: the paper's
+// peak scope plus outlining (so core/outline is reachable) under the
+// rollback policy the campaign is about.
+func faultOptions(b *specsuite.Benchmark) driver.Options {
+	o := driver.DefaultOptions(b.Train)
+	o.HLO.Outline = true
+	o.HLO.FailPolicy = resilience.FailRollback
+	return o
+}
+
+// RunFaults runs the campaign and returns its report. It must not run
+// concurrently with anything else that arms fault points.
+func RunFaults(cfg FaultConfig) (*FaultReport, error) {
+	benches := specsuite.All()
+	if len(cfg.Benchmarks) > 0 {
+		benches = benches[:0]
+		for _, name := range cfg.Benchmarks {
+			b, err := specsuite.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	rep := &FaultReport{Benches: len(benches), Fired: make(map[string]int)}
+	fail := func(point, bench, format string, args ...any) {
+		rep.Failures = append(rep.Failures, &FaultFailure{
+			Point: point, Bench: bench, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	resilience.DisarmAll()
+	defer resilience.DisarmAll()
+
+	probes := map[string]func(*FaultReport, func(string, string, string, ...any)){
+		"isom/decode":    probeIsomDecode,
+		"profile/read":   probeProfileRead,
+		"serve/dispatch": probeServeDispatch,
+	}
+
+	for _, b := range benches {
+		baseOut, err := faultBaseline(b)
+		if err != nil {
+			fail("", b.Name, "un-faulted baseline: %v", err)
+			continue
+		}
+		for _, pt := range resilience.Points() {
+			if probes[pt.Name()] != nil {
+				continue // off the compile pipeline; probed below
+			}
+			rep.Trials++
+			checkFaultedCompile(rep, fail, pt, b, baseOut, cfg.Seed)
+		}
+	}
+
+	for name, probe := range probes {
+		if resilience.Lookup(name) == nil {
+			continue // registering package not linked in
+		}
+		rep.Trials++
+		probe(rep, fail)
+	}
+
+	// Every registered point must have fired somewhere, or the campaign
+	// proved nothing about its guard.
+	for _, pt := range resilience.Points() {
+		if rep.Fired[pt.Name()] == 0 {
+			fail(pt.Name(), "", "point never fired during the campaign")
+		}
+	}
+	return rep, nil
+}
+
+// faultBaseline compiles the benchmark un-faulted under the campaign
+// options and returns its interpreter output rendered as a string.
+func faultBaseline(b *specsuite.Benchmark) (string, error) {
+	comp, err := driver.Compile(b.Sources, faultOptions(b))
+	if err != nil {
+		return "", err
+	}
+	return runInterp(comp, b)
+}
+
+func runInterp(comp *driver.Compilation, b *specsuite.Benchmark) (string, error) {
+	res, err := interp.Run(comp.IR, interp.Options{Inputs: b.Train})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%v/%d", res.Output, res.ExitCode), nil
+}
+
+// checkFaultedCompile arms one pipeline point for one benchmark and
+// asserts the recovery contract. If the seed-derived skip overshoots
+// the site's hit count (the fault never fires), it retries once with
+// skip 0 so rarely-hit sites are still exercised.
+func checkFaultedCompile(rep *FaultReport, fail func(string, string, string, ...any),
+	pt *resilience.Point, b *specsuite.Benchmark, baseOut string, seed int64) {
+	name := pt.Name()
+	for _, skip := range []int64{resilience.SkipFor(seed, name+"|"+b.Name), 0} {
+		resilience.DisarmAll()
+		resilience.ResetStats()
+		if _, err := resilience.Arm(name, skip); err != nil {
+			fail(name, b.Name, "arm: %v", err)
+			return
+		}
+		rec := obs.New()
+		opts := faultOptions(b)
+		opts.Obs = rec
+		comp, err := func() (comp *driver.Compilation, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("PANIC ESCAPED: %v", r)
+				}
+			}()
+			return driver.Compile(b.Sources, opts)
+		}()
+		resilience.DisarmAll()
+		if pt.Fired() == 0 {
+			if skip == 0 {
+				return // site not reachable for this benchmark; fine
+			}
+			continue // skip overshot; retry firing on the first hit
+		}
+		rep.Fired[name]++
+
+		if strings.HasPrefix(fmt.Sprint(err), "PANIC ESCAPED") {
+			fail(name, b.Name, "injected fault escaped containment: %v", err)
+			return
+		}
+		if pt.Kind() == resilience.KindDegrade {
+			// Degrade-kind pipeline points must surface a structured error.
+			if err == nil {
+				fail(name, b.Name, "compile succeeded through an un-recovered degrade fault")
+			} else if !strings.Contains(err.Error(), "injected fault at "+name) {
+				fail(name, b.Name, "error does not name the fault: %v", err)
+			}
+			return
+		}
+		// Rollback-kind: compilation continues, one rollback remark names
+		// the fault, and the output is byte-identical to the baseline.
+		if err != nil {
+			fail(name, b.Name, "compile failed instead of rolling back: %v", err)
+			return
+		}
+		remarks := 0
+		for _, r := range rec.Remarks() {
+			if r.Reason == core.RolledBackPanic.String() && strings.Contains(r.Detail, name) {
+				remarks++
+			}
+		}
+		if remarks != 1 {
+			fail(name, b.Name, "%d rolled-back-panic remarks naming %s, want 1", remarks, name)
+		}
+		out, rerr := runInterp(comp, b)
+		if rerr != nil {
+			fail(name, b.Name, "faulted build does not run: %v", rerr)
+		} else if out != baseOut {
+			fail(name, b.Name, "output diverged: faulted %s, baseline %s", out, baseOut)
+		}
+		return
+	}
+}
+
+// probeIsomDecode asserts that a panic inside the isom reader comes
+// back as a *ParseError, not a crash.
+func probeIsomDecode(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "isom/decode"
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	_, err := isom.Read(strings.NewReader("module m\n"))
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	var pe *isom.ParseError
+	if err == nil {
+		fail(name, "", "decode succeeded through an injected panic")
+	} else if !errors.As(err, &pe) || !strings.Contains(pe.Msg, "injected fault at "+name) {
+		fail(name, "", "decode error is not a structured ParseError naming the fault: %v", err)
+	}
+}
+
+// probeProfileRead asserts that a panic inside the profile reader comes
+// back as an error, not a crash.
+func probeProfileRead(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "profile/read"
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	_, err := profile.Read(strings.NewReader(""))
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if err == nil || !strings.Contains(err.Error(), "injected fault at "+name) {
+		fail(name, "", "profile read did not degrade to an error naming the fault: %v", err)
+	}
+}
+
+// probeServeDispatch asserts the daemon's recover boundary: an injected
+// worker panic answers 500 and the very next request on the same (sole)
+// worker succeeds.
+func probeServeDispatch(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "serve/dispatch"
+	s := serve.New(serve.Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := []byte(`{"sources":["module m;\nfunc main() int { return 42; }"]}`)
+	post := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	code, rbody := post()
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if code != http.StatusInternalServerError || !strings.Contains(rbody, name) {
+		fail(name, "", "faulted request: status %d body %q, want a 500 naming the fault", code, rbody)
+	}
+	if code, rbody = post(); code != http.StatusOK {
+		fail(name, "", "request after contained panic: status %d body %q, want 200", code, rbody)
+	}
+}

@@ -1,0 +1,50 @@
+package fuzz
+
+import "testing"
+
+// TestFaultCampaignSmall runs the injection campaign over two small
+// benchmarks — enough to hit every pipeline point plus the three
+// targeted probes — and requires a clean report: every registered
+// point fired, every injection recovered, no output divergence.
+func TestFaultCampaignSmall(t *testing.T) {
+	rep, err := RunFaults(FaultConfig{
+		Seed:       1,
+		Benchmarks: []string{"022.li", "026.compress"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if len(rep.Fired) == 0 {
+		t.Fatal("campaign fired nothing")
+	}
+	t.Logf("benches=%d trials=%d fired=%v", rep.Benches, rep.Trials, rep.Fired)
+}
+
+// TestFaultCampaignDeterministic pins that a fixed seed replays the
+// same firing sites (the Fired counts are a function of the seed).
+func TestFaultCampaignDeterministic(t *testing.T) {
+	run := func() map[string]int {
+		rep, err := RunFaults(FaultConfig{Seed: 7, Benchmarks: []string{"022.li"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			for _, f := range rep.Failures {
+				t.Error(f)
+			}
+		}
+		return rep.Fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fired sets differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("point %s fired %d then %d with the same seed", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package isom_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isom"
+)
+
+func openCorpus(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "isom-corrupt", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestCorruptCorpus feeds each corrupt object file to the single-module
+// reader and checks the failure is a structured *ParseError carrying a
+// plausible position and message — never a panic, never an opaque
+// string.
+func TestCorruptCorpus(t *testing.T) {
+	cases := []struct {
+		file    string
+		wantMsg string // substring of ParseError.Msg
+	}{
+		{"truncated.isom", "unterminated function"},
+		{"bad-opcode.isom", "unknown mnemonic"},
+		{"bad-flag.isom", "unknown flag"},
+		{"bad-block.isom", "bad block header"},
+		{"instr-before-block.isom", "instruction before first block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			_, err := isom.Read(openCorpus(t, tc.file))
+			if err == nil {
+				t.Fatalf("corrupt input accepted")
+			}
+			var pe *isom.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T (%v), want *isom.ParseError", err, err)
+			}
+			if pe.Line <= 0 {
+				t.Errorf("ParseError.Line = %d, want a positive line number", pe.Line)
+			}
+			if !strings.Contains(pe.Msg, tc.wantMsg) {
+				t.Errorf("ParseError.Msg = %q, want substring %q", pe.Msg, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestReadAllQuarantine checks link-mode degradation: with quarantine
+// on, corrupt and duplicate object files are dropped (and reported with
+// their source names) while the healthy modules link; with quarantine
+// off, the first bad input aborts the link.
+func TestReadAllQuarantine(t *testing.T) {
+	srcs := func() []isom.Source {
+		return []isom.Source{
+			{Name: "good.isom", R: openCorpus(t, "good.isom")},
+			{Name: "bad-opcode.isom", R: openCorpus(t, "bad-opcode.isom")},
+			{Name: "dup-a.isom", R: openCorpus(t, "dup-a.isom")},
+			{Name: "dup-b.isom", R: openCorpus(t, "dup-b.isom")},
+		}
+	}
+
+	p, quar, err := isom.ReadAll(srcs(), true)
+	if err != nil {
+		t.Fatalf("quarantine link failed: %v", err)
+	}
+	if len(quar) != 2 {
+		t.Fatalf("quarantined %d inputs, want 2 (bad-opcode, dup-b): %v", len(quar), quar)
+	}
+	if quar[0].Source != "bad-opcode.isom" || quar[1].Source != "dup-b.isom" {
+		t.Errorf("quarantined sources = %s, %s; want bad-opcode.isom, dup-b.isom",
+			quar[0].Source, quar[1].Source)
+	}
+	if !strings.Contains(quar[1].Msg, "duplicate module") {
+		t.Errorf("duplicate not diagnosed as such: %v", quar[1])
+	}
+	if p.Func("main:add") == nil || p.Func("dup:f") == nil {
+		t.Errorf("surviving modules incomplete after quarantine")
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("quarantine produced an unverifiable program: %v", err)
+	}
+
+	if _, _, err := isom.ReadAll(srcs(), false); err == nil {
+		t.Fatalf("strict link accepted a corrupt input")
+	} else {
+		var pe *isom.ParseError
+		if !errors.As(err, &pe) || pe.Source != "bad-opcode.isom" {
+			t.Errorf("strict link error = %v, want *ParseError naming bad-opcode.isom", err)
+		}
+	}
+}

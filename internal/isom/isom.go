@@ -14,7 +14,29 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/resilience"
 )
+
+// ptDecode is the fault-injection point of the isom decoder (armed only
+// by fault campaigns; see internal/resilience).
+var ptDecode = resilience.Register("isom/decode", resilience.KindDegrade)
+
+// ParseError is a structured, positional isom parse failure: which
+// input, which line, what was wrong. Read and ReadAll return errors of
+// this type so link-mode callers can report — or quarantine — the one
+// bad object file instead of dying on an opaque string.
+type ParseError struct {
+	Source string // input name (file path); empty for single-reader Read
+	Line   int    // 1-based line of the offending text; 0 if unknown
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	if e.Source != "" {
+		return fmt.Sprintf("isom: %s: line %d: %s", e.Source, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("isom: line %d: %s", e.Line, e.Msg)
+}
 
 // Write serializes one module.
 func Write(w io.Writer, m *ir.Module) error {
@@ -25,15 +47,84 @@ func Write(w io.Writer, m *ir.Module) error {
 	return bw.Flush()
 }
 
-// Read parses one module written by Write.
-func Read(r io.Reader) (*ir.Module, error) {
+// Read parses one module written by Write. Errors are *ParseError. A
+// decoder panic — a corrupt input tripping an unguarded path, or an
+// injected fault at isom/decode — is contained and reported as a parse
+// error at the line being decoded, never propagated to the caller.
+func Read(r io.Reader) (m *ir.Module, err error) {
 	p := &parser{sc: bufio.NewScanner(r)}
 	p.sc.Buffer(make([]byte, 1<<20), 1<<26)
-	m, err := p.module()
-	if err != nil {
-		return nil, fmt.Errorf("isom: line %d: %w", p.line, err)
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, &ParseError{Line: p.line, Msg: fmt.Sprintf("decoder panicked: %v", rec)}
+		}
+	}()
+	ptDecode.Inject()
+	m, perr := p.module()
+	if perr != nil {
+		return nil, &ParseError{Line: p.line, Msg: perr.Error()}
 	}
 	return m, nil
+}
+
+// Source is one named isom input: the linker's view of an object file.
+type Source struct {
+	Name string // for error messages
+	R    io.Reader
+}
+
+// ReadAll parses every source and links the modules into one resolved
+// program — the collection step of the paper's link-time path. Without
+// quarantine the first corrupt input aborts the link. With quarantine,
+// a corrupt input (parse failure or duplicate module definition) is
+// dropped from the link and recorded in the returned slice, and the
+// surviving modules are linked — the degraded-but-useful behaviour of
+// a linker skipping one bad object file. Either way the linked program
+// is resolved before being returned; a resolution failure (a surviving
+// module referencing a quarantined one) aborts, since no correct
+// program can be formed.
+func ReadAll(srcs []Source, quarantine bool) (*ir.Program, []*ParseError, error) {
+	var mods []*ir.Module
+	var quarantined []*ParseError
+	byName := make(map[string]string) // module name -> source name
+	reject := func(src string, err error) error {
+		pe, ok := err.(*ParseError)
+		if !ok {
+			pe = &ParseError{Msg: err.Error()}
+		}
+		pe.Source = src
+		if quarantine {
+			quarantined = append(quarantined, pe)
+			return nil
+		}
+		return pe
+	}
+	for _, s := range srcs {
+		m, err := Read(s.R)
+		if err != nil {
+			if err := reject(s.Name, err); err != nil {
+				return nil, quarantined, err
+			}
+			continue
+		}
+		if prev, dup := byName[m.Name]; dup {
+			err := &ParseError{Msg: fmt.Sprintf("duplicate module %s (already defined by %s)", m.Name, prev)}
+			if err := reject(s.Name, err); err != nil {
+				return nil, quarantined, err
+			}
+			continue
+		}
+		byName[m.Name] = s.Name
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, quarantined, fmt.Errorf("isom: no usable modules among %d inputs", len(srcs))
+	}
+	p := ir.NewProgram(mods...)
+	if err := p.Resolve(); err != nil {
+		return nil, quarantined, fmt.Errorf("isom: link failed: %w", err)
+	}
+	return p, quarantined, nil
 }
 
 type parser struct {
@@ -226,6 +317,9 @@ func (p *parser) parseFunc(fields []string, module string) (*ir.Func, error) {
 		}
 		fields := strings.Fields(trimmed)
 		if fields[0] == "block" {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("bad block header %q", line)
+			}
 			b := &ir.Block{Index: len(f.Blocks)}
 			idx, err := strconv.Atoi(fields[1])
 			if err != nil || idx != b.Index {

@@ -8,15 +8,23 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/resilience"
 	"repro/internal/source"
 )
 
+// ptModule is the fault-injection point of the lowering stage (armed
+// only by fault campaigns; see internal/resilience).
+var ptModule = resilience.Register("lower/module", resilience.KindDegrade)
+
 // Program lowers a set of parsed files and links them into a resolved
-// program. Each file must already have passed minic.Check.
+// program. Each file must already have passed minic.Check. A lowering
+// panic — a gap in Check's guarantees on a pathological file, or an
+// injected fault at lower/module — is contained and reported as an
+// error naming the module being lowered.
 func Program(files []*minic.File) (*ir.Program, error) {
 	mods := make([]*ir.Module, 0, len(files))
 	for _, f := range files {
-		m, err := Module(f)
+		m, err := lowerModuleSafe(f)
 		if err != nil {
 			return nil, err
 		}
@@ -30,6 +38,17 @@ func Program(files []*minic.File) (*ir.Program, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// lowerModuleSafe runs Module under a recover boundary.
+func lowerModuleSafe(f *minic.File) (m *ir.Module, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, fmt.Errorf("lower: module %s: lowering panicked: %v", f.Module, rec)
+		}
+	}()
+	ptModule.Inject()
+	return Module(f)
 }
 
 // Module lowers one file to an ir.Module (references left source-level;

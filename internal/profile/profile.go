@@ -16,7 +16,12 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/resilience"
 )
+
+// ptRead is the fault-injection point of the profile reader (armed only
+// by fault campaigns; see internal/resilience).
+var ptRead = resilience.Register("profile/read", resilience.KindDegrade)
 
 // Data is a profile database.
 type Data struct {
@@ -30,18 +35,61 @@ func New() *Data {
 	return &Data{Blocks: make(map[string][]int64)}
 }
 
+// Mismatch describes one function whose recorded counts do not fit the
+// program being decorated: the profile was trained on a different shape
+// of the function (a stale profile after a source edit) or is corrupt.
+type Mismatch struct {
+	Func   string // canonical function name
+	Reason string // human-readable shape violation
+}
+
+// AttachReport summarizes one Attach call. Degraded lists, sorted by
+// name, the functions whose counts failed shape validation and fell
+// back to static (zero-count) estimates; Unknown lists database entries
+// naming no function in the program. A report with neither is Clean.
+type AttachReport struct {
+	Attached int        // functions decorated with matching counts
+	Degraded []Mismatch // per-function fallbacks to static estimates
+	Unknown  []string   // database entries absent from the program
+}
+
+// Clean reports whether every database entry matched the program.
+func (r *AttachReport) Clean() bool {
+	return len(r.Degraded) == 0 && len(r.Unknown) == 0
+}
+
 // Attach decorates the program with the database's counts: every block's
 // Count and every function's EntryCount. Functions absent from the
 // database (never executed in training) get zero counts, and a function
 // with no blocks at all (an extern stub or a declaration-only routine)
 // is skipped rather than dereferenced.
-func (d *Data) Attach(p *ir.Program) {
+//
+// Counts are shape-validated before use: an entry whose count vector
+// does not have exactly one count per block, or that carries a negative
+// count, belongs to a different version of the function (instrumented
+// builds record every block, so a legitimate profile always fits). Such
+// a function degrades to static estimates — all counts zero, as if it
+// had never run in training — instead of decorating the wrong blocks,
+// and the returned report names it. Callers that do not care remain
+// source-compatible by ignoring the result.
+func (d *Data) Attach(p *ir.Program) *AttachReport {
+	rep := &AttachReport{}
+	seen := make(map[string]bool, len(d.Blocks))
 	p.Funcs(func(f *ir.Func) bool {
 		if len(f.Blocks) == 0 {
 			f.EntryCount = 0
 			return true
 		}
-		counts := d.Blocks[f.QName]
+		counts, ok := d.Blocks[f.QName]
+		seen[f.QName] = true
+		if ok {
+			if reason := shapeError(f, counts); reason != "" {
+				rep.Degraded = append(rep.Degraded, Mismatch{Func: f.QName, Reason: reason})
+				counts = nil // static fallback below
+			} else {
+				rep.Attached++
+			}
+		}
 		for _, b := range f.Blocks {
 			if b.Index < len(counts) {
 				b.Count = counts[b.Index]
@@ -52,6 +100,28 @@ func (d *Data) Attach(p *ir.Program) {
 		f.EntryCount = f.Blocks[0].Count
 		return true
 	})
+	for name := range d.Blocks {
+		if !seen[name] {
+			rep.Unknown = append(rep.Unknown, name)
+		}
+	}
+	sort.Slice(rep.Degraded, func(i, j int) bool { return rep.Degraded[i].Func < rep.Degraded[j].Func })
+	sort.Strings(rep.Unknown)
+	return rep
+}
+
+// shapeError validates one count vector against the function it is
+// about to decorate; "" means it fits.
+func shapeError(f *ir.Func, counts []int64) string {
+	if len(counts) != len(f.Blocks) {
+		return fmt.Sprintf("profile has %d counts, function has %d blocks", len(counts), len(f.Blocks))
+	}
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Sprintf("negative count %d for block %d", c, i)
+		}
+	}
+	return ""
 }
 
 // Merge folds another database into d, scaling the other's counts by
@@ -116,8 +186,17 @@ func (d *Data) Write(w io.Writer) error {
 // duplicate "func" line for the same function replaces the earlier one
 // (last entry wins), which lets concatenated databases act as simple
 // overlays.
-func Read(r io.Reader) (*Data, error) {
-	d := New()
+func Read(r io.Reader) (d *Data, err error) {
+	// A reader panic (including an injected fault at profile/read) must
+	// not take the compile down: profile data is advisory, and every
+	// caller can degrade to a static-estimate build on error.
+	defer func() {
+		if rec := recover(); rec != nil {
+			d, err = nil, fmt.Errorf("profile: read panicked: %v", rec)
+		}
+	}()
+	ptRead.Inject()
+	d = New()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	line := 0

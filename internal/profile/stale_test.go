@@ -1,0 +1,140 @@
+package profile_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/randprog"
+	"repro/internal/testutil"
+)
+
+// TestStaleProfileNeverPanics is the stale-profile property test: a
+// profile trained on program P, attached to a mutated P′ (here: the
+// same sources after HLO rewrote them — inlining and cloning change
+// block structure wholesale), must never panic. Every function either
+// receives shape-matching counts or degrades to static estimates with
+// an entry in the attach report, and the decorated program still
+// satisfies the profile-flow invariants the strict verifier checks.
+func TestStaleProfileNeverPanics(t *testing.T) {
+	cfg := randprog.DefaultConfig()
+	for seed := int64(0); seed < 8; seed++ {
+		srcs := randprog.Generate(seed, cfg)
+
+		trainP := testutil.MustBuild(t, srcs...)
+		res, err := interp.Run(trainP, interp.Options{
+			Inputs: []int64{seed & 7, 3, 11}, Profile: true,
+		})
+		if err != nil {
+			continue // seed generated a halting program; the property is about Attach
+		}
+
+		// P′: same sources, then mutated by HLO (no profile attached, so
+		// the transform decisions are static ones).
+		mutated := testutil.MustBuild(t, srcs...)
+		core.Run(mutated, core.WholeProgram(), core.DefaultOptions())
+
+		rep := res.Profile.Attach(mutated) // must not panic
+		degraded := make(map[string]bool, len(rep.Degraded))
+		for _, m := range rep.Degraded {
+			if m.Reason == "" {
+				t.Errorf("seed %d: degraded %s with empty reason", seed, m.Func)
+			}
+			degraded[m.Func] = true
+		}
+
+		mutated.Funcs(func(f *ir.Func) bool {
+			if len(f.Blocks) == 0 {
+				return true
+			}
+			if degraded[f.QName] {
+				if f.EntryCount != 0 {
+					t.Errorf("seed %d: degraded %s kept entry count %d, want 0 (static fallback)",
+						seed, f.QName, f.EntryCount)
+				}
+				for _, b := range f.Blocks {
+					if b.Count != 0 {
+						t.Errorf("seed %d: degraded %s block %d kept count %d",
+							seed, f.QName, b.Index, b.Count)
+					}
+				}
+			}
+			// The strict-verifier profile invariants hold either way.
+			for _, b := range f.Blocks {
+				if b.Count < 0 {
+					t.Errorf("seed %d: %s block %d has negative count %d", seed, f.QName, b.Index, b.Count)
+				}
+			}
+			if f.EntryCount < 0 {
+				t.Errorf("seed %d: %s has negative entry count %d", seed, f.QName, f.EntryCount)
+			}
+			if f.EntryCount > 0 && f.Blocks[0].Count != f.EntryCount {
+				t.Errorf("seed %d: %s profile flow broken: entry block %d != entry count %d",
+					seed, f.QName, f.Blocks[0].Count, f.EntryCount)
+			}
+			return true
+		})
+	}
+}
+
+// TestAttachDegradesOnShapeMismatch pins the three mismatch classes the
+// fingerprint catches: too few counts, too many counts, and negative
+// counts, plus the unknown-function report.
+func TestAttachDegradesOnShapeMismatch(t *testing.T) {
+	mk := func() (*ir.Program, *ir.Func) {
+		f := &ir.Func{
+			Name: "f", Module: "m", QName: "m:f",
+			Blocks: []*ir.Block{{Index: 0}, {Index: 1}},
+		}
+		return ir.NewProgram(&ir.Module{Name: "m", Funcs: []*ir.Func{f}}), f
+	}
+
+	cases := []struct {
+		name   string
+		counts []int64
+		reason string
+	}{
+		{"short", []int64{5}, "profile has 1 counts, function has 2 blocks"},
+		{"long", []int64{5, 6, 7}, "profile has 3 counts, function has 2 blocks"},
+		{"negative", []int64{5, -1}, "negative count -1 for block 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, f := mk()
+			d := profile.New()
+			d.Blocks["m:f"] = tc.counts
+			d.Blocks["m:ghost"] = []int64{1}
+			rep := d.Attach(p)
+			if len(rep.Degraded) != 1 || rep.Degraded[0].Func != "m:f" {
+				t.Fatalf("Degraded = %+v, want exactly m:f", rep.Degraded)
+			}
+			if rep.Degraded[0].Reason != tc.reason {
+				t.Errorf("reason = %q, want %q", rep.Degraded[0].Reason, tc.reason)
+			}
+			if len(rep.Unknown) != 1 || rep.Unknown[0] != "m:ghost" {
+				t.Errorf("Unknown = %v, want [m:ghost]", rep.Unknown)
+			}
+			if rep.Attached != 0 || rep.Clean() {
+				t.Errorf("report = %+v, want dirty with 0 attached", rep)
+			}
+			if f.EntryCount != 0 || f.Blocks[0].Count != 0 || f.Blocks[1].Count != 0 {
+				t.Errorf("degraded func kept counts: entry=%d blocks=%d,%d",
+					f.EntryCount, f.Blocks[0].Count, f.Blocks[1].Count)
+			}
+		})
+	}
+
+	// And the happy path stays the happy path.
+	p, f := mk()
+	d := profile.New()
+	d.Blocks["m:f"] = []int64{9, 4}
+	rep := d.Attach(p)
+	if !rep.Clean() || rep.Attached != 1 {
+		t.Errorf("matching attach reported %+v, want clean with 1 attached", rep)
+	}
+	if f.EntryCount != 9 || f.Blocks[1].Count != 4 {
+		t.Errorf("matching attach did not decorate: entry=%d block1=%d", f.EntryCount, f.Blocks[1].Count)
+	}
+}

@@ -1,0 +1,47 @@
+package resilience
+
+import "fmt"
+
+// FailPolicy decides what a guarded pass does when a mutation panics or
+// fails per-mutation verification.
+type FailPolicy uint8
+
+const (
+	// FailAbort is the historical behaviour and the default: no
+	// snapshots are taken, a panic propagates, and a verification
+	// failure latches and stops the run. Decisions stay bit-identical
+	// to a build without the firewall.
+	FailAbort FailPolicy = iota
+	// FailRollback snapshots the functions a mutation touches, recovers
+	// a panic (or catches a verification failure), restores the
+	// snapshots, emits a rollback remark, and keeps compiling.
+	FailRollback
+	// FailSkipFunc is FailRollback plus quarantine: functions involved
+	// in a rolled-back mutation are excluded from further
+	// transformation for the rest of the run.
+	FailSkipFunc
+)
+
+// ParseFailPolicy parses the -fail-policy flag values. The empty string
+// means the default (abort).
+func ParseFailPolicy(s string) (FailPolicy, error) {
+	switch s {
+	case "", "abort":
+		return FailAbort, nil
+	case "rollback":
+		return FailRollback, nil
+	case "skip-func":
+		return FailSkipFunc, nil
+	}
+	return FailAbort, fmt.Errorf("resilience: unknown fail policy %q (want abort, rollback or skip-func)", s)
+}
+
+func (p FailPolicy) String() string {
+	switch p {
+	case FailRollback:
+		return "rollback"
+	case FailSkipFunc:
+		return "skip-func"
+	}
+	return "abort"
+}

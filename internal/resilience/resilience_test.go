@@ -1,0 +1,174 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := Register("test/idem", KindRollback)
+	b := Register("test/idem", KindRollback)
+	if a != b {
+		t.Fatalf("Register returned distinct points for the same name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering with a different kind did not panic")
+		}
+	}()
+	Register("test/idem", KindDegrade)
+}
+
+func TestInjectOneShotWithSkip(t *testing.T) {
+	p := Register("test/oneshot", KindRollback)
+	if _, err := Arm("test/oneshot", 2); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	hit := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if pt, ok := IsInjected(r); !ok || pt != "test/oneshot" {
+					t.Fatalf("unexpected panic value %v", r)
+				}
+				fired++
+			}
+		}()
+		p.Inject()
+	}
+	for i := 0; i < 10; i++ {
+		hit()
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (one-shot)", fired)
+	}
+	if p.Fired() < 1 {
+		t.Fatalf("Fired() = %d, want >= 1", p.Fired())
+	}
+	// The skip count means hits 1 and 2 pass, hit 3 fires.
+	p2 := Register("test/oneshot2", KindRollback)
+	if _, err := Arm("test/oneshot2", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		p2.Inject() // must not panic
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("third hit did not fire with skip=2")
+			}
+		}()
+		p2.Inject()
+	}()
+}
+
+func TestArmUnknown(t *testing.T) {
+	if _, err := Arm("test/never-registered", 0); err == nil {
+		t.Fatalf("arming an unknown point did not error")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	p := Register("test/disarm", KindDegrade)
+	if _, err := Arm("test/disarm", 0); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("test/disarm")
+	p.Inject() // must not panic
+	if _, err := Arm("test/disarm", 0); err != nil {
+		t.Fatal(err)
+	}
+	DisarmAll()
+	p.Inject() // must not panic
+}
+
+func TestConcurrentInjectFiresOnce(t *testing.T) {
+	p := Register("test/race", KindRollback)
+	if _, err := Arm("test/race", 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}()
+			for j := 0; j < 100; j++ {
+				p.Inject()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("concurrent arming fired %d times, want exactly 1", fired)
+	}
+}
+
+func TestSkipForDeterministic(t *testing.T) {
+	a := SkipFor(42, "core/inline")
+	b := SkipFor(42, "core/inline")
+	if a != b {
+		t.Fatalf("SkipFor not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 || a > 2 {
+		t.Fatalf("SkipFor out of range: %d", a)
+	}
+	// Different salts should be able to produce different skips (not a
+	// hard guarantee per pair, but across a set it must not be constant).
+	seen := map[int64]bool{}
+	for _, salt := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[SkipFor(7, salt)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("SkipFor constant across salts")
+	}
+}
+
+func TestParseFailPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FailPolicy
+		ok   bool
+	}{
+		{"", FailAbort, true},
+		{"abort", FailAbort, true},
+		{"rollback", FailRollback, true},
+		{"skip-func", FailSkipFunc, true},
+		{"bogus", FailAbort, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFailPolicy(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseFailPolicy(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, p := range []FailPolicy{FailAbort, FailRollback, FailSkipFunc} {
+		rt, err := ParseFailPolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round-trip %v failed: %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	Register("test/zz", KindRollback)
+	Register("test/aa", KindRollback)
+	names := PointNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("PointNames not sorted: %v", names)
+		}
+	}
+	if Lookup("test/aa") == nil {
+		t.Fatalf("Lookup failed for registered point")
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"strings"
 
 	"repro/internal/backend"
@@ -177,13 +178,32 @@ func buildCompileResponse(c *driver.Compilation, rec *obs.Recorder, wantRemarks 
 	return resp
 }
 
-// marshalResponse is the single JSON encoder for response bodies:
-// compact encoding plus a trailing newline.
-func marshalResponse(v any) []byte {
+// mustMarshal encodes a locally constructed value — request bodies in
+// the load generator and tests, which marshal by construction (plain
+// structs of strings and integers). Never used for response bodies;
+// those go through jsonResult so an encoding bug degrades to a 500.
+func mustMarshal(v any) []byte {
 	data, err := json.Marshal(v)
 	if err != nil {
-		// Response types marshal by construction; failing here is a bug.
-		panic(fmt.Sprintf("serve: marshal response: %v", err))
+		panic(fmt.Sprintf("serve: marshal: %v", err))
 	}
 	return append(data, '\n')
+}
+
+// jsonResult is the single JSON encoder for 200 response bodies:
+// compact encoding plus a trailing newline. Response types marshal by
+// construction, but a shape bug must degrade to a diagnosable 500 with
+// an error body — not a panic that kills the worker — so the failure is
+// rendered and counted (serve.marshal-errors) instead.
+func (s *Server) jsonResult(v any) *flightResult {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.reg.Count("serve.marshal-errors", 1)
+		return jsonError(http.StatusInternalServerError, "marshal response: "+err.Error())
+	}
+	return &flightResult{
+		status:      http.StatusOK,
+		contentType: "application/json",
+		body:        append(data, '\n'),
+	}
 }

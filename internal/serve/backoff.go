@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryConfig tunes how load-generator clients react to backpressure
+// (429) and server failures (5xx / transport errors). The zero value
+// means the historical behavior: retry forever with a flat 50ms pause
+// and no circuit breaker.
+type RetryConfig struct {
+	// Retries is the per-request retry budget: how many consecutive
+	// retryable failures a client absorbs for one body before dropping
+	// it and moving on. 0 means unlimited.
+	Retries int
+	// Base is the first backoff delay (default 50ms when Cap is set).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 2s when Base is set).
+	// Base == Cap == 0 disables exponential backoff (flat 50ms).
+	Cap time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// failures across all clients; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before a
+	// half-open probe is allowed (default 1s).
+	BreakerCooldown time.Duration
+	// Seed makes the jitter deterministic; each client derives its own
+	// stream from Seed and its index.
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Base <= 0 && c.Cap > 0 {
+		c.Base = 50 * time.Millisecond
+	}
+	if c.Cap <= 0 && c.Base > 0 {
+		c.Cap = 2 * time.Second
+	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	return c
+}
+
+// backoff computes jittered exponential retry delays for one client.
+// The jitter stream is a seeded splitmix64, so a load run with a fixed
+// RetryConfig.Seed replays the same delay schedule.
+type backoff struct {
+	cfg RetryConfig
+	rng uint64
+}
+
+func newBackoff(cfg RetryConfig, client int) *backoff {
+	return &backoff{cfg: cfg, rng: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(client) + 1}
+}
+
+func (b *backoff) next() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// delay returns the wait before retry number attempt (0-based),
+// honoring a server-provided Retry-After floor: the exponential term is
+// base·2^attempt capped at Cap, then "equal jitter" keeps at least half
+// of it while desynchronizing clients, and the result is never below
+// what the server asked for.
+func (b *backoff) delay(attempt int, retryAfter time.Duration) time.Duration {
+	if b.cfg.Base <= 0 {
+		// Historical flat pause, still floored by Retry-After.
+		return max(50*time.Millisecond, retryAfter)
+	}
+	d := b.cfg.Base << min(attempt, 20)
+	if d <= 0 || d > b.cfg.Cap {
+		d = b.cfg.Cap
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(b.next()%uint64(half))
+	}
+	return max(d, retryAfter)
+}
+
+// parseRetryAfter reads a response's Retry-After header (delta-seconds
+// form only, which is what hlod sends); 0 when absent or malformed.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// breaker is a minimal shared circuit breaker: closed while the server
+// answers, open for a cooldown after BreakerThreshold consecutive
+// failures, then half-open — one probe request is let through and its
+// outcome decides between closing and re-opening. It keeps a pounding
+// load generator from burying a daemon that is already refusing work.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	openUntil time.Time
+	probing   bool
+	opens     int64 // times the circuit opened (reported)
+}
+
+func newBreaker(cfg RetryConfig) *breaker {
+	return &breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
+}
+
+// allow reports whether a request may be sent now; when the circuit is
+// open it returns the remaining cooldown to wait instead. In half-open
+// state exactly one caller wins the probe slot.
+func (b *breaker) allow(now time.Time) (ok bool, wait time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	if b.probing {
+		return false, b.cooldown / 4 // probe in flight; check back shortly
+	}
+	b.probing = true
+	return true, 0
+}
+
+// report records a request outcome. Success closes the circuit;
+// failure counts toward the threshold and (re)opens it once reached.
+func (b *breaker) report(now time.Time, success bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if success {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails == b.threshold {
+		b.opens++
+	}
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}

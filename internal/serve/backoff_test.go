@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	cfg := RetryConfig{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: 42}.withDefaults()
+	a := newBackoff(cfg, 0)
+	b := newBackoff(cfg, 0)
+	for attempt := 0; attempt < 12; attempt++ {
+		da := a.delay(attempt, 0)
+		db := b.delay(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		// Equal jitter: at least half the exponential term, never above
+		// the cap.
+		exp := cfg.Base << min(attempt, 20)
+		if exp <= 0 || exp > cfg.Cap {
+			exp = cfg.Cap
+		}
+		if da < exp/2 || da > exp {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, da, exp/2, exp)
+		}
+	}
+
+	// Different clients (or seeds) get different jitter streams.
+	c := newBackoff(cfg, 1)
+	same := 0
+	for attempt := 4; attempt < 12; attempt++ {
+		if a2 := newBackoff(cfg, 0); a2.delay(attempt, 0) == c.delay(attempt, 0) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("client 0 and client 1 produced identical jitter streams")
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	cfg := RetryConfig{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond}.withDefaults()
+	bo := newBackoff(cfg, 0)
+	if d := bo.delay(0, 3*time.Second); d < 3*time.Second {
+		t.Errorf("delay %v below the server's Retry-After floor of 3s", d)
+	}
+	// Flat mode (no exponential config) also honors the floor.
+	flat := newBackoff(RetryConfig{}, 0)
+	if d := flat.delay(0, time.Second); d != time.Second {
+		t.Errorf("flat delay = %v, want the 1s Retry-After floor", d)
+	}
+	if d := flat.delay(0, 0); d != 50*time.Millisecond {
+		t.Errorf("flat delay = %v, want the historical 50ms", d)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if d := parseRetryAfter(mk("2")); d != 2*time.Second {
+		t.Errorf("Retry-After 2 = %v", d)
+	}
+	for _, v := range []string{"", "soon", "-1"} {
+		if d := parseRetryAfter(mk(v)); d != 0 {
+			t.Errorf("Retry-After %q = %v, want 0", v, d)
+		}
+	}
+	if d := parseRetryAfter(nil); d != 0 {
+		t.Errorf("nil response = %v, want 0", d)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	cfg := RetryConfig{BreakerThreshold: 3, BreakerCooldown: time.Second}.withDefaults()
+	brk := newBreaker(cfg)
+	now := time.Unix(1000, 0)
+
+	// Below threshold: closed.
+	for i := 0; i < 2; i++ {
+		brk.report(now, false)
+		if ok, _ := brk.allow(now); !ok {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	// Third failure opens it for the cooldown.
+	brk.report(now, false)
+	if ok, wait := brk.allow(now); ok || wait != time.Second {
+		t.Fatalf("after threshold: allow = %v wait = %v, want open for 1s", ok, wait)
+	}
+	if brk.opens != 1 {
+		t.Errorf("opens = %d, want 1", brk.opens)
+	}
+
+	// Cooldown over: exactly one half-open probe goes through.
+	later := now.Add(2 * time.Second)
+	if ok, _ := brk.allow(later); !ok {
+		t.Fatal("half-open probe was not allowed after cooldown")
+	}
+	if ok, _ := brk.allow(later); ok {
+		t.Fatal("second concurrent probe allowed in half-open state")
+	}
+
+	// A failed probe re-opens without re-counting an open ...
+	brk.report(later, false)
+	if ok, _ := brk.allow(later); ok {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	// ... and a successful probe closes the circuit.
+	later2 := later.Add(2 * time.Second)
+	if ok, _ := brk.allow(later2); !ok {
+		t.Fatal("probe not allowed after second cooldown")
+	}
+	brk.report(later2, true)
+	if ok, _ := brk.allow(later2); !ok {
+		t.Fatal("breaker still open after a successful probe")
+	}
+
+	// Disabled breaker never blocks.
+	var off *breaker
+	if ok, _ := off.allow(now); !ok {
+		t.Error("nil breaker blocked a request")
+	}
+}

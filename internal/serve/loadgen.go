@@ -37,6 +37,11 @@ type LoadConfig struct {
 	CrossModule bool
 	// ClientTimeout caps each HTTP request (default 2m).
 	ClientTimeout time.Duration
+	// Retry tunes 429/transport-failure handling: jittered exponential
+	// backoff honoring Retry-After, a per-request retry budget, and a
+	// shared circuit breaker. The zero value keeps the historical flat
+	// 50ms pause.
+	Retry RetryConfig
 }
 
 // LoadReport summarizes a load run. BadResponses counts everything
@@ -48,6 +53,9 @@ type LoadReport struct {
 	TransportErrors int            `json:"transport_errors"`
 	Rejected        int            `json:"rejected_429"`
 	BadResponses    int            `json:"bad_responses"`
+	Retries         int            `json:"retries"`
+	Dropped         int            `json:"dropped"` // bodies abandoned after the retry budget
+	BreakerOpens    int64          `json:"breaker_opens"`
 	ByStatus        map[string]int `json:"by_status"`
 	WallS           float64        `json:"wall_s"`
 	Throughput      float64        `json:"throughput_rps"` // 2xx completions per second
@@ -103,7 +111,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		latenciesMS []float64
 		byStatus    map[int]int
 		transport   int
+		retries     int
+		dropped     int
 	}
+	retry := cfg.Retry.withDefaults()
+	brk := newBreaker(retry)
 	stats := make([]clientStats, cfg.Clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -113,36 +125,66 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			defer wg.Done()
 			st := &stats[c]
 			st.byStatus = make(map[int]int)
+			bo := newBackoff(retry, c)
+			pause := func(d time.Duration) bool {
+				select {
+				case <-time.After(d):
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
 			for i := c; ctx.Err() == nil; i++ {
 				body := bodies[i%len(bodies)]
-				t0 := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-				if err != nil {
-					st.transport++
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					if ctx.Err() != nil {
-						return // run over; an aborted in-flight request is not an error
+				// Retry loop for this body: 429s and transport errors back
+				// off and resend; anything else moves to the next body.
+				for attempt := 0; ctx.Err() == nil; {
+					if ok, wait := brk.allow(time.Now()); !ok {
+						if !pause(wait) {
+							return
+						}
+						continue
 					}
-					st.transport++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				st.byStatus[resp.StatusCode]++
-				if resp.StatusCode/100 == 2 {
-					st.latenciesMS = append(st.latenciesMS, float64(time.Since(t0))/float64(time.Millisecond))
-				}
-				if resp.StatusCode == http.StatusTooManyRequests {
-					// Honor backpressure minimally: yield before retrying.
-					select {
-					case <-time.After(50 * time.Millisecond):
-					case <-ctx.Done():
+					t0 := time.Now()
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+					if err != nil {
+						st.transport++
+						brk.report(time.Now(), false)
+						break
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := client.Do(req)
+					retryAfter := time.Duration(0)
+					retryable := false
+					if err != nil {
+						if ctx.Err() != nil {
+							return // run over; an aborted in-flight request is not an error
+						}
+						st.transport++
+						retryable = true
+					} else {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						st.byStatus[resp.StatusCode]++
+						if resp.StatusCode/100 == 2 {
+							st.latenciesMS = append(st.latenciesMS, float64(time.Since(t0))/float64(time.Millisecond))
+						}
+						retryable = resp.StatusCode == http.StatusTooManyRequests
+						retryAfter = parseRetryAfter(resp)
+					}
+					brk.report(time.Now(), !retryable)
+					if !retryable {
+						break
+					}
+					if retry.Retries > 0 && attempt+1 >= retry.Retries {
+						st.dropped++ // budget spent; abandon this body
+						break
+					}
+					st.retries++
+					if !pause(bo.delay(attempt, retryAfter)) {
 						return
 					}
+					attempt++
 				}
 			}
 		}(c)
@@ -152,9 +194,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	rep := &LoadReport{ByStatus: make(map[string]int), WallS: wall.Seconds()}
 	var lat []float64
+	rep.BreakerOpens = brk.opens
 	for i := range stats {
 		st := &stats[i]
 		rep.TransportErrors += st.transport
+		rep.Retries += st.retries
+		rep.Dropped += st.dropped
 		for code, n := range st.byStatus {
 			rep.Requests += n
 			rep.ByStatus[fmt.Sprintf("%d", code)] += n
@@ -203,9 +248,9 @@ func loadBodies(cfg LoadConfig) ([][]byte, error) {
 			}
 			var body []byte
 			if cfg.Endpoint == "run" {
-				body = marshalResponse(RunRequest{CompileRequest: creq, Inputs: b.Train})
+				body = mustMarshal(RunRequest{CompileRequest: creq, Inputs: b.Train})
 			} else {
-				body = marshalResponse(creq)
+				body = mustMarshal(creq)
 			}
 			bodies = append(bodies, body)
 		}

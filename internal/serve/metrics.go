@@ -51,12 +51,27 @@ func writeMetrics(w io.Writer, s *Server) error {
 	fmt.Fprintf(bw, "hlod_completed_total %d\n", st.CompletedTotal)
 	fmt.Fprintf(bw, "# TYPE hlod_dedup_hits_total counter\n")
 	fmt.Fprintf(bw, "hlod_dedup_hits_total %d\n", s.flights.dedupHits())
+	fmt.Fprintf(bw, "# HELP hlod_panics_total Worker panics contained by the per-request recover boundary.\n")
+	fmt.Fprintf(bw, "# TYPE hlod_panics_total counter\n")
+	var panics int64
+	for _, c := range s.reg.Counters() {
+		if c.Name == "serve.panics" {
+			panics = c.Value
+			break
+		}
+	}
+	fmt.Fprintf(bw, "hlod_panics_total %d\n", panics)
 
 	// Registry counters, split into request counters and the rest. The
 	// obs registry returns counters sorted by name, so the rendering is
-	// deterministic.
+	// deterministic. serve.panics gets a dedicated always-present series
+	// (alerting on a counter that only appears after the first panic is
+	// awkward; see hlod_panics_total above), so it is skipped here.
 	var reqLines, counterLines []string
 	for _, c := range s.reg.Counters() {
+		if c.Name == "serve.panics" {
+			continue
+		}
 		if rest, ok := strings.CutPrefix(c.Name, "http.req|"); ok {
 			parts := strings.SplitN(rest, "|", 2)
 			if len(parts) == 2 {

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/resilience"
+)
+
+// TestWorkerPanicContained verifies the daemon's per-request recover
+// boundary: a panic inside a worker (injected at serve/dispatch) turns
+// into a 500 with an error body, increments hlod_panics_total, releases
+// the worker slot, and leaves the daemon serving later requests
+// normally.
+func TestWorkerPanicContained(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	resilience.DisarmAll()
+	t.Cleanup(resilience.DisarmAll)
+	if _, err := resilience.Arm("serve/dispatch", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	body := mustMarshal(CompileRequest{Sources: []string{slowSource}})
+	resp, data := postJSON(t, ts.URL+"/compile", body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted request: status %d, want 500; body: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "internal error") ||
+		!strings.Contains(string(data), "serve/dispatch") {
+		t.Errorf("faulted request body %q, want an internal-error message naming the fault", data)
+	}
+
+	// The slot was released and the point disarmed itself as it fired,
+	// so the same request now compiles on the single worker.
+	resp, data = postJSON(t, ts.URL+"/compile", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request: status %d, want 200; body: %s", resp.StatusCode, data)
+	}
+	if st := s.adm.state(); st.Busy != 0 || st.Queued != 0 {
+		t.Errorf("admission state after panic: busy=%d queued=%d, want 0/0", st.Busy, st.Queued)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if metrics := readAll(t, mresp); !strings.Contains(metrics, "hlod_panics_total 1") {
+		t.Errorf("metrics missing hlod_panics_total 1:\n%s", metrics)
+	}
+}
+
+// TestPanicsMetricAlwaysPresent pins the always-present rendering: a
+// fresh daemon that has never panicked still exports the series at 0,
+// so alert rules can rely on it existing.
+func TestPanicsMetricAlwaysPresent(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if body := readAll(t, resp); !strings.Contains(body, "hlod_panics_total 0") {
+		t.Errorf("metrics missing hlod_panics_total 0:\n%s", body)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return string(data)
+}

@@ -39,7 +39,12 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
+
+// ptDispatch is the fault-injection point of the worker dispatch (armed
+// only by fault campaigns; see internal/resilience).
+var ptDispatch = resilience.Register("serve/dispatch", resilience.KindDegrade)
 
 // Config tunes the server. The zero value is serviceable: a
 // GOMAXPROCS-sized pool, a queue twice that deep, a 2-minute
@@ -296,6 +301,23 @@ func (s *Server) execute(ctx context.Context, body []byte, build func(ctx contex
 		return &flightResult{canceled: true} // our client gave up while queued
 	}
 	defer release()
+	return s.runGuarded(ctx, body, build)
+}
+
+// runGuarded runs one admitted request under a recover boundary: a
+// panic anywhere in the pipeline (or the serve/dispatch fault point)
+// becomes a 500 carrying the panic value instead of killing the daemon,
+// counted as serve.panics (exported as hlod_panics_total). The worker
+// slot is released normally by execute's deferred release — a panicking
+// request can never leak pool capacity.
+func (s *Server) runGuarded(ctx context.Context, body []byte, build func(ctx context.Context, body []byte) *flightResult) (res *flightResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Count("serve.panics", 1)
+			res = jsonError(http.StatusInternalServerError, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	ptDispatch.Inject()
 	return build(ctx, body)
 }
 
@@ -362,11 +384,7 @@ func (s *Server) buildCompile(ctx context.Context, body []byte) *flightResult {
 		return finish(err)
 	}
 	s.mergeCounters(rec)
-	return &flightResult{
-		status:      http.StatusOK,
-		contentType: "application/json",
-		body:        marshalResponse(buildCompileResponse(c, rec, req.Remarks)),
-	}
+	return s.jsonResult(buildCompileResponse(c, rec, req.Remarks))
 }
 
 func (s *Server) buildRun(ctx context.Context, body []byte) *flightResult {
@@ -398,16 +416,11 @@ func (s *Server) buildRun(ctx context.Context, body []byte) *flightResult {
 		return finish(err)
 	}
 	s.mergeCounters(rec)
-	resp := RunResponse{
+	return s.jsonResult(RunResponse{
 		CompileResponse: buildCompileResponse(c, rec, req.Remarks),
 		Sim:             st,
 		CPI:             st.CPI(),
-	}
-	return &flightResult{
-		status:      http.StatusOK,
-		contentType: "application/json",
-		body:        marshalResponse(resp),
-	}
+	})
 }
 
 func (s *Server) buildTrain(ctx context.Context, body []byte) *flightResult {

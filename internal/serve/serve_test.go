@@ -79,7 +79,7 @@ func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
 func runBody(t *testing.T, iters int64, budget int) []byte {
 	t.Helper()
 	b := budget
-	return marshalResponse(RunRequest{
+	return mustMarshal(RunRequest{
 		CompileRequest: CompileRequest{
 			Sources: []string{slowSource},
 			Options: OptionsJSON{Budget: &b},
@@ -122,7 +122,7 @@ func TestCompileMatchesDriver(t *testing.T) {
 		},
 		Remarks: true,
 	}
-	resp, got := postJSON(t, ts.URL+"/compile", marshalResponse(req))
+	resp, got := postJSON(t, ts.URL+"/compile", mustMarshal(req))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, got)
 	}
@@ -142,7 +142,7 @@ func TestCompileMatchesDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := marshalResponse(buildCompileResponse(c, rec, req.Remarks))
+	want := mustMarshal(buildCompileResponse(c, rec, req.Remarks))
 	if !bytes.Equal(got, want) {
 		t.Errorf("HTTP response differs from direct driver.Compile:\n got: %s\nwant: %s", got, want)
 	}
@@ -154,7 +154,7 @@ func TestTrainMatchesDriver(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
 	req := TrainRequest{Sources: []string{slowSource}, TrainInputs: []int64{5}}
-	resp, got := postJSON(t, ts.URL+"/train", marshalResponse(req))
+	resp, got := postJSON(t, ts.URL+"/train", mustMarshal(req))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, got)
 	}
@@ -314,7 +314,7 @@ func TestRequestTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
 	b := 100
-	body := marshalResponse(RunRequest{
+	body := mustMarshal(RunRequest{
 		CompileRequest: CompileRequest{
 			Sources:   []string{slowSource},
 			Options:   OptionsJSON{Budget: &b},
@@ -368,13 +368,13 @@ func TestRequestValidation(t *testing.T) {
 	}
 
 	// Source that does not compile.
-	resp, data = postJSON(t, ts.URL+"/compile", marshalResponse(CompileRequest{Sources: []string{"module m; func main() int { return undefined_symbol; }"}}))
+	resp, data = postJSON(t, ts.URL+"/compile", mustMarshal(CompileRequest{Sources: []string{"module m; func main() int { return undefined_symbol; }"}}))
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("compile error = %d (%s), want 422", resp.StatusCode, data)
 	}
 
 	// Oversized body.
-	big := marshalResponse(CompileRequest{Sources: []string{strings.Repeat("/ pad\n", 400)}})
+	big := mustMarshal(CompileRequest{Sources: []string{strings.Repeat("/ pad\n", 400)}})
 	resp, data = postJSON(t, ts.URL+"/compile", big)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body = %d (%s), want 413", resp.StatusCode, data)
@@ -387,7 +387,7 @@ func TestMetricsAndDrain(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 
 	// A successful compile populates the counters.
-	resp, data := postJSON(t, ts.URL+"/compile", marshalResponse(CompileRequest{
+	resp, data := postJSON(t, ts.URL+"/compile", mustMarshal(CompileRequest{
 		Sources: []string{slowSource},
 	}))
 	if resp.StatusCode != http.StatusOK {
@@ -428,7 +428,7 @@ func TestMetricsAndDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("draining /healthz = %d, want 503", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/compile", marshalResponse(CompileRequest{Sources: []string{slowSource}}))
+	resp, _ = postJSON(t, ts.URL+"/compile", mustMarshal(CompileRequest{Sources: []string{slowSource}}))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("draining /compile = %d, want 503", resp.StatusCode)
 	}
