@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace] [-j N]
+//	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace]
+//	         [-profile] [-spans-json F] [-trace-out F] [-min-coverage PCT]
+//	         [-j N]
 //
 // With no flags it behaves as -all. Figure 8 accepts -fig8points to
 // bound the sweep resolution. -trace prints, after each experiment, the
 // pipeline phase spans and the unified counter registry accumulated
-// over the experiment's compiles and runs (to stderr). -j fans the
-// independent (benchmark × configuration) cells of each experiment over
-// N workers (default: one per CPU); output is byte-identical for every
-// N, so -j 1 is purely the slow reference mode.
+// over the experiment's compiles and runs (to stderr). -profile prints
+// instead the aggregated per-phase attribution ("where the time goes")
+// for each experiment; -spans-json and -trace-out dump the full flight
+// record — every span of every experiment — as JSONL (for hloprof) and
+// Chrome trace-event JSON (for chrome://tracing) respectively;
+// -min-coverage fails the run if the attribution explains less than PCT
+// percent of the total recorded wall time. -j fans the independent
+// (benchmark × configuration) cells of each experiment over N workers
+// (default: one per CPU); the tables are byte-identical for every N, so
+// -j 1 is purely the slow reference mode.
 package main
 
 import (
@@ -36,6 +44,10 @@ func main() {
 	prodSeeds := flag.Int("prodseeds", 3, "number of generated programs for -prod")
 	all := flag.Bool("all", false, "everything")
 	trace := flag.Bool("trace", false, "print per-experiment phase traces and counters to stderr")
+	profileFlag := flag.Bool("profile", false, "print per-experiment attribution reports to stderr")
+	spansJSON := flag.String("spans-json", "", "write the full flight record as span JSONL to this file")
+	traceOut := flag.String("trace-out", "", "write the full flight record as Chrome trace-event JSON to this file")
+	minCoverage := flag.Float64("min-coverage", 0, "fail if attribution coverage % is below this (0 disables)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the experiment cells (1 = serial)")
 	flag.Parse()
 
@@ -43,11 +55,16 @@ func main() {
 		*all = true
 	}
 	experiments.SetParallelism(*jobs)
+	recording := *trace || *profileFlag || *spansJSON != "" || *traceOut != "" || *minCoverage > 0
 	var rec *obs.Recorder
-	if *trace {
+	if recording {
 		rec = obs.New()
 		experiments.SetRecorder(rec)
 	}
+	// allSpans accumulates every experiment's flight record across the
+	// per-experiment rec.Reset(), for the end-of-run dumps and the
+	// coverage gate.
+	var allSpans []obs.Span
 	run := func(name string, enabled bool, f func() (string, error)) {
 		if !enabled && !*all {
 			return
@@ -60,10 +77,19 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
-		if *trace {
-			fmt.Fprintf(os.Stderr, "--- %s: pipeline trace ---\n", name)
-			obs.WriteTrace(os.Stderr, rec.Spans())
-			obs.WriteCounters(os.Stderr, rec.Counters())
+		if recording {
+			spans := rec.Spans()
+			allSpans = append(allSpans, spans...)
+			if *trace {
+				fmt.Fprintf(os.Stderr, "--- %s: pipeline trace ---\n", name)
+				obs.WriteTrace(os.Stderr, spans)
+				obs.WriteCounters(os.Stderr, rec.Counters())
+			}
+			if *profileFlag {
+				fmt.Fprintf(os.Stderr, "--- %s: where the time goes ---\n", name)
+				obs.WriteAttribution(os.Stderr, obs.Aggregate(spans))
+				fmt.Fprintln(os.Stderr)
+			}
 			rec.Reset()
 		}
 	}
@@ -110,4 +136,33 @@ func main() {
 		}
 		return experiments.RenderProduction(rows), nil
 	})
+
+	if *spansJSON != "" {
+		writeFile(*spansJSON, func(f *os.File) error { return obs.WriteSpansJSONL(f, allSpans) })
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, func(f *os.File) error { return obs.WriteTraceEvents(f, allSpans) })
+	}
+	if *minCoverage > 0 {
+		if got := 100 * obs.Aggregate(allSpans).Coverage(); got < *minCoverage {
+			fmt.Fprintf(os.Stderr, "hlobench: attribution coverage %.1f%% below the -min-coverage %.1f%% gate\n", got, *minCoverage)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeFile(path string, write func(f *os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hlobench: %v\n", err)
+		os.Exit(1)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hlobench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
 }

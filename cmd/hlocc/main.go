@@ -28,6 +28,8 @@
 //	-remarks        print optimization remarks (one line per decision)
 //	-remarks-json F write the remark stream as JSONL to file F
 //	-trace          print the pipeline phase trace and counters to stderr
+//	-trace-out F    write the flight record as Chrome trace-event JSON to F
+//	-spans-json F   write the flight record as span JSONL to F (for hloprof)
 //	-timeout D      abort compilation/training/simulation after duration D
 //	-fail-policy P  pass-firewall policy when a transformation panics or
 //	                fails verification: abort (default; fail the compile),
@@ -39,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -71,6 +74,8 @@ func main() {
 	remarks := flag.Bool("remarks", false, "print optimization remarks (one line per inline/clone/outline/dead-call decision)")
 	remarksJSON := flag.String("remarks-json", "", "write the optimization remark stream as JSONL to this file")
 	trace := flag.Bool("trace", false, "print the pipeline phase trace and counters to stderr")
+	traceOut := flag.String("trace-out", "", "write the flight record as Chrome trace-event JSON to this file")
+	spansJSON := flag.String("spans-json", "", "write the flight record as span JSONL to this file")
 	timeout := flag.Duration("timeout", 0, "abort compilation/training/simulation after this duration (0 = no limit)")
 	failPolicy := flag.String("fail-policy", "abort", "pass-firewall policy when a transformation panics or fails verification: abort | rollback | skip-func")
 	flag.Parse()
@@ -108,7 +113,7 @@ func main() {
 	// -stats needs the per-pass spans, so any observability flag turns
 	// the recorder on.
 	var rec *obs.Recorder
-	if *remarks || *remarksJSON != "" || *trace || *stats {
+	if *remarks || *remarksJSON != "" || *trace || *stats || *traceOut != "" || *spansJSON != "" {
 		rec = obs.New()
 	}
 	opts.Obs = rec
@@ -218,6 +223,27 @@ func main() {
 		if err := obs.WriteCounters(os.Stderr, rec.Counters()); err != nil {
 			fatal(err)
 		}
+	}
+	if *traceOut != "" {
+		writeSink(*traceOut, rec, obs.WriteTraceEvents)
+	}
+	if *spansJSON != "" {
+		writeSink(*spansJSON, rec, obs.WriteSpansJSONL)
+	}
+}
+
+// writeSink dumps the flight record through one of the obs span sinks.
+func writeSink(path string, rec *obs.Recorder, write func(w io.Writer, spans []obs.Span) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = write(f, rec.Spans())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
 	}
 }
 

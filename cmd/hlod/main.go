@@ -17,6 +17,7 @@
 //	-max-body 8388608 request body limit in bytes
 //	-drain 30s        graceful-drain deadline after SIGTERM/SIGINT
 //	-quiet            disable the JSON access log on stderr
+//	-pprof            mount net/http/pprof under /debug/pprof/ (default true)
 //
 // Endpoints:
 //
@@ -25,11 +26,15 @@
 //	POST /train       training run → profile database (profile.Write text format)
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /queue       admission-control snapshot (JSON)
-//	GET  /metrics     Prometheus text format
+//	GET  /metrics     Prometheus text format (incl. per-endpoint latency
+//	                  histograms and the queue-wait vs service-time split)
+//	GET  /debug/pprof/*  CPU/heap/goroutine profiles (unless -pprof=false)
 //
 // On SIGTERM (or SIGINT) the daemon stops admitting work, fails
 // /healthz so load balancers drain it, finishes in-flight requests,
-// and exits within -drain.
+// flushes a terminal "shutdown" record — the server-lifetime counter
+// registry plus any spans still open, marked truncated — to the access
+// log, and exits within -drain.
 package main
 
 import (
@@ -55,6 +60,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log")
+	pprofFlag := flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var accessLog io.Writer = os.Stderr
@@ -67,6 +73,7 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		AccessLog:      accessLog,
+		Pprof:          *pprofFlag,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s}
 
@@ -89,11 +96,15 @@ func main() {
 			// In-flight requests outlived the drain deadline; their
 			// contexts are canceled by Close and they unwind promptly.
 			srv.Close()
+			s.LogShutdown()
 			fatal(fmt.Errorf("drain incomplete: %v", err))
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
+		// Last log line: the server-lifetime counter registry and any
+		// spans still open (truncated) — the drain must not discard them.
+		s.LogShutdown()
 		fmt.Fprintln(os.Stderr, "hlod: drained cleanly")
 	}
 }

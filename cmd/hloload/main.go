@@ -105,6 +105,8 @@ func main() {
 	fmt.Printf("retries=%d dropped=%d breaker-opens=%d\n", rep.Retries, rep.Dropped, rep.BreakerOpens)
 	fmt.Printf("latency p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
 		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+	fmt.Printf("queue-wait p50=%.1fms p99=%.1fms  service p50=%.1fms p99=%.1fms\n",
+		rep.QueueP50MS, rep.QueueP99MS, rep.ServiceP50MS, rep.ServiceP99MS)
 	for code, n := range rep.ByStatus {
 		fmt.Printf("  status %s: %d\n", code, n)
 	}
@@ -142,6 +144,10 @@ func mergeReport(path string, cfg serve.LoadConfig, rep *serve.LoadReport) error
 		"transport_errors": float64(rep.TransportErrors),
 		"bad_responses":    float64(rep.BadResponses),
 		"wall_s":           rep.WallS,
+		"queue_p50_ms":     rep.QueueP50MS,
+		"queue_p99_ms":     rep.QueueP99MS,
+		"service_p50_ms":   rep.ServiceP50MS,
+		"service_p99_ms":   rep.ServiceP99MS,
 	}
 	data, err := json.MarshalIndent(all, "", "  ")
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ipa"
 	"repro/internal/ir"
@@ -36,6 +37,14 @@ type hlo struct {
 	siteSeq    int32
 	rec        *obs.Recorder // nil when observability is off
 	pass       int           // 1-based pass number inside the pass loop; 0 outside
+	// bookkeepNS / verifyNS / verifyCount accumulate the cost of
+	// observability's own full-scope size+cost walks and of the
+	// per-mutation verifier, published as hlo.bookkeeping-ns /
+	// hlo.verify-ns / hlo.verify-count. Maintained only when rec != nil,
+	// so the disabled path stays free.
+	bookkeepNS  int64
+	verifyNS    int64
+	verifyCount int64
 	// verifyErr latches the first VerifyEach failure. Once set, stopped()
 	// reports true so no further transformation runs on the broken IR and
 	// the offending mutation stays the last one performed.
@@ -195,6 +204,7 @@ func RunCheckedCtx(ctx context.Context, p *ir.Program, scope Scope, opts Options
 	h.stats.CostAfter = h.cost
 	h.stats.SizeAfter = h.scopeSize()
 	h.stats.Ops = h.ops
+	h.publishCostCounters()
 	if h.verifyErr != nil {
 		return h.stats, h.verifyErr
 	}
@@ -234,14 +244,38 @@ func (h *hlo) checkMutation(what string, funcs ...*ir.Func) {
 	if !h.opts.VerifyEach || h.verifyErr != nil {
 		return
 	}
+	var t0 time.Time
+	if h.rec != nil {
+		t0 = time.Now()
+		defer func() { h.verifyNS += time.Since(t0).Nanoseconds() }()
+	}
 	for _, f := range funcs {
 		if f == nil {
 			continue
+		}
+		if h.rec != nil {
+			h.verifyCount++
 		}
 		if err := h.prog.VerifyFuncStrict(f); err != nil {
 			h.verifyErr = fmt.Errorf("core: after %s: %w", what, err)
 			return
 		}
+	}
+}
+
+// publishCostCounters exposes HLO's own overhead through the counter
+// registry: hlo.bookkeeping-ns is the time the flight recorder's phase
+// spans spent on full-scope Σ size² and size walks, hlo.verify-ns /
+// hlo.verify-count time the per-mutation verifier (VerifyEach). The
+// split answers "is the inliner slow, or is it our bookkeeping?".
+func (h *hlo) publishCostCounters() {
+	if h.rec == nil {
+		return
+	}
+	h.rec.Count("hlo.bookkeeping-ns", h.bookkeepNS)
+	if h.opts.VerifyEach {
+		h.rec.Count("hlo.verify-ns", h.verifyNS)
+		h.rec.Count("hlo.verify-count", h.verifyCount)
 	}
 }
 

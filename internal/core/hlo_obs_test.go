@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+const obsCounterSrc = `module main;
+func helper(x int) int { return x * 3 + 1; }
+func twice(x int) int { return helper(x) + helper(x + 1); }
+func main() int {
+	var s int;
+	var i int;
+	for (i = 0; i < 20; i = i + 1) { s = s + twice(i); }
+	return s;
+}
+`
+
+// TestHLOOverheadCounters pins HLO's self-attribution: an observed run
+// publishes hlo.bookkeeping-ns (the phase spans' full-scope size/cost
+// walks), and with VerifyEach also hlo.verify-ns/hlo.verify-count —
+// one verification per function touched by an accepted mutation.
+func TestHLOOverheadCounters(t *testing.T) {
+	run := func(verifyEach bool) map[string]int64 {
+		t.Helper()
+		p := testutil.MustBuild(t, obsCounterSrc)
+		opts := core.DefaultOptions()
+		opts.VerifyEach = verifyEach
+		rec := obs.New()
+		opts.Obs = rec
+		stats := core.Run(p, core.WholeProgram(), opts)
+		if stats.Ops == 0 {
+			t.Fatal("no transformations performed — counters are vacuous")
+		}
+		out := map[string]int64{}
+		for _, c := range rec.Counters() {
+			out[c.Name] = c.Value
+		}
+		return out
+	}
+
+	verified := run(true)
+	if verified["hlo.bookkeeping-ns"] <= 0 {
+		t.Errorf("hlo.bookkeeping-ns = %d, want > 0", verified["hlo.bookkeeping-ns"])
+	}
+	if verified["hlo.verify-count"] <= 0 {
+		t.Errorf("hlo.verify-count = %d, want > 0", verified["hlo.verify-count"])
+	}
+	if verified["hlo.verify-ns"] <= 0 {
+		t.Errorf("hlo.verify-ns = %d, want > 0", verified["hlo.verify-ns"])
+	}
+
+	plain := run(false)
+	if _, ok := plain["hlo.verify-count"]; ok {
+		t.Error("hlo.verify-count published without VerifyEach")
+	}
+	if plain["hlo.bookkeeping-ns"] <= 0 {
+		t.Errorf("hlo.bookkeeping-ns = %d, want > 0 without VerifyEach too", plain["hlo.bookkeeping-ns"])
+	}
+}

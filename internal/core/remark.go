@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ipa"
 	"repro/internal/ir"
@@ -108,14 +109,28 @@ func (h *hlo) beginPhase(phase string) obs.Timer {
 	if h.pass > 0 {
 		name = fmt.Sprintf("hlo/pass%d/%s", h.pass, phase)
 	}
-	return h.rec.BeginSized(name, h.scopeSize(), h.computeCost())
+	size, cost := h.sizedWalk()
+	return h.rec.BeginSized(name, size, cost)
 }
 
 func (h *hlo) endPhase(t obs.Timer) {
 	if h.rec == nil {
 		return
 	}
-	t.EndSized(h.scopeSize(), h.computeCost())
+	size, cost := h.sizedWalk()
+	t.EndSized(size, cost)
+}
+
+// sizedWalk is the full scope size + compile-cost rewalk the phase
+// spans pay for their size/cost columns — pure observability overhead
+// (the optimizer itself maintains liveCost by delta). Its time is
+// charged to the hlo.bookkeeping-ns counter, so the attribution report
+// shows when the recorder's own bookkeeping starts to matter.
+func (h *hlo) sizedWalk() (int, int64) {
+	t0 := time.Now()
+	size, cost := h.scopeSize(), h.computeCost()
+	h.bookkeepNS += time.Since(t0).Nanoseconds()
+	return size, cost
 }
 
 // deadCallSite is a pure call site noted before dead-call elimination so

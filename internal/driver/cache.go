@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -28,11 +29,15 @@ import (
 // profile.Data.Attach only reads the database. A nil *Cache is valid
 // and disables memoization.
 //
-// Hits are observationally identical to misses apart from wall time:
-// the same spans are emitted, the same compile-cost charges apply, and
-// errors carry the same messages (a cached permanent error is returned
-// on every subsequent lookup; context-cancellation errors are never
-// cached — see trainProfile).
+// Hits are observationally identical to misses apart from wall time and
+// flight-recorder attribution: the same pipeline spans are emitted, the
+// same compile-cost charges apply, and errors carry the same messages
+// (a cached permanent error is returned on every subsequent lookup;
+// context-cancellation errors are never cached — see trainProfile).
+// The recorder deliberately sees the difference: misses emit
+// frontend/parse and train/run leaves, hits emit frontend/clone leaves
+// and cache.*.hit counters, so the attribution report can say what the
+// cache saved and what each hit's deep copy costs.
 type Cache struct {
 	mu        sync.Mutex
 	frontends map[string]*frontendEntry
@@ -99,8 +104,25 @@ func trainKey(sources []string, train []int64, extras [][]int64) string {
 // returns a private deep copy of the result. On a nil cache it simply
 // runs the front end.
 func (c *Cache) Frontend(sources []string) (*ir.Program, error) {
+	p, _, err := c.frontend(sources, nil)
+	return p, err
+}
+
+// frontend is Frontend with attribution: the actual parse runs inside a
+// "frontend/parse" span and the per-hit deep copy inside a
+// "frontend/clone" span on rec, and the returned hit flag says whether
+// this call found the entry already filled — the answer to "is
+// ir.Program.Clone per hit the dominant cache cost?" lives in those two
+// spans. Which cell's recorder captures the parse span is
+// schedule-dependent (the first requester parses), but exactly one
+// parse happens per source set, so merged attribution stays
+// deterministic.
+func (c *Cache) frontend(sources []string, rec *obs.Recorder) (*ir.Program, bool, error) {
 	if c == nil {
-		return Frontend(sources)
+		sp := rec.Begin("frontend/parse")
+		p, err := Frontend(sources)
+		sp.End()
+		return p, false, err
 	}
 	key := sourceKey(sources)
 	c.mu.Lock()
@@ -113,11 +135,20 @@ func (c *Cache) Frontend(sources []string) (*ir.Program, error) {
 		c.frontends[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.prog, e.err = Frontend(sources) })
+	filled := false
+	e.once.Do(func() {
+		filled = true
+		sp := rec.Begin("frontend/parse")
+		e.prog, e.err = Frontend(sources)
+		sp.End()
+	})
 	if e.err != nil {
-		return nil, e.err
+		return nil, !filled, e.err
 	}
-	return e.prog.Clone(), nil
+	sp := rec.Begin("frontend/clone")
+	p := e.prog.Clone()
+	sp.End()
+	return p, !filled, nil
 }
 
 // trainProfile memoizes the PBO training stage: instrumented build,
@@ -131,11 +162,14 @@ func (c *Cache) Frontend(sources []string) (*ir.Program, error) {
 // a context error is evicted rather than latched — the canceling
 // requester gets its own ctx error, and any waiter retries from the
 // top, becoming the new filler.
-func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int64, extras [][]int64) (*trainEntry, error) {
+// The returned hit flag reports whether the entry was already filled
+// (or being filled by someone else) — waiters count as hits: they pay
+// wall time but no training work of their own.
+func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int64, extras [][]int64, rec *obs.Recorder) (*trainEntry, bool, error) {
 	if c == nil {
 		e := &trainEntry{}
-		e.fill(ctx, c, sources, train, extras)
-		return e, e.err
+		e.fill(ctx, c, sources, train, extras, rec)
+		return e, false, e.err
 	}
 	key := trainKey(sources, train, extras)
 	for {
@@ -148,7 +182,7 @@ func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int6
 			e = &trainEntry{done: make(chan struct{})}
 			c.trains[key] = e
 			c.mu.Unlock()
-			e.fill(ctx, c, sources, train, extras)
+			e.fill(ctx, c, sources, train, extras, rec)
 			if isCtxErr(e.err) {
 				c.mu.Lock()
 				if c.trains[key] == e {
@@ -157,7 +191,7 @@ func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int6
 				c.mu.Unlock()
 			}
 			close(e.done)
-			return e, e.err
+			return e, false, e.err
 		}
 		c.mu.Unlock()
 		select {
@@ -165,9 +199,9 @@ func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int6
 			if isCtxErr(e.err) {
 				continue // the filler was canceled; retry as the filler
 			}
-			return e, e.err
+			return e, true, e.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, true, ctx.Err()
 		}
 	}
 }
@@ -179,7 +213,22 @@ func (c *Cache) trainProfile(ctx context.Context, sources []string, train []int6
 // shared and must be treated as read-only. Valid on a nil *Cache
 // (uncached).
 func (c *Cache) TrainProfile(ctx context.Context, sources []string, train []int64, extras [][]int64) (*profile.Data, error) {
-	e, err := c.trainProfile(ctx, sources, train, extras)
+	return c.TrainProfileObs(ctx, sources, train, extras, nil)
+}
+
+// TrainProfileObs is TrainProfile with flight-record attribution: a
+// filling caller's recorder receives the frontend/parse and train/run
+// leaf spans plus a cache.train hit/miss counter, so a service can
+// attribute training latency the same way batch compiles do.
+func (c *Cache) TrainProfileObs(ctx context.Context, sources []string, train []int64, extras [][]int64, rec *obs.Recorder) (*profile.Data, error) {
+	e, hit, err := c.trainProfile(ctx, sources, train, extras, rec)
+	if rec != nil {
+		if hit {
+			rec.Count("cache.train.hit", 1)
+		} else {
+			rec.Count("cache.train.miss", 1)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -192,16 +241,21 @@ func isCtxErr(err error) bool {
 
 // fill runs the training stage, reusing the front-end cache for the
 // instrumented build. Error messages match the historical uncached
-// paths exactly.
-func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train []int64, extras [][]int64) {
-	trainProg, err := c.Frontend(sources)
+// paths exactly. Each interpreter execution runs inside a "train/run"
+// span on rec (the filling requester's recorder), so the attribution
+// report separates training interpretation from the rest of the train
+// stage's bookkeeping.
+func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train []int64, extras [][]int64, rec *obs.Recorder) {
+	trainProg, _, err := c.frontend(sources, rec)
 	if err != nil {
 		e.err = err
 		return
 	}
 	e.costQuad = programCost(trainProg, false)
 	e.costLinear = programCost(trainProg, true)
+	sp := rec.Begin("train/run")
 	res, err := interp.RunCtx(ctx, trainProg, interp.Options{Inputs: train, Profile: true})
+	sp.End()
 	if err != nil {
 		e.err = fmt.Errorf("driver: training run: %w", err)
 		return
@@ -209,7 +263,9 @@ func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train
 	e.res = res
 	db := res.Profile
 	for _, extra := range extras {
+		sp := rec.Begin("train/run")
 		res2, err := interp.RunCtx(ctx, trainProg, interp.Options{Inputs: extra, Profile: true})
+		sp.End()
 		if err != nil {
 			e.err = fmt.Errorf("driver: extra training run: %w", err)
 			return

@@ -153,8 +153,9 @@ func CompileCtx(ctx context.Context, sources []string, opts Options) (*Compilati
 	}
 	rec := opts.Obs
 	sp := rec.Begin("frontend")
-	p, err := opts.Cache.Frontend(sources)
+	p, hit, err := opts.Cache.frontend(sources, rec)
 	sp.End()
+	countCache(rec, "cache.frontend", hit)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +168,8 @@ func CompileCtx(ctx context.Context, sources []string, opts Options) (*Compilati
 		// plain front-end build (block counting needs unoptimized block
 		// identities), so its compile cost is the unoptimized cost.
 		sp := rec.Begin("train")
-		e, err := opts.Cache.trainProfile(ctx, sources, opts.TrainInputs, opts.ExtraTrainInputs)
+		e, hit, err := opts.Cache.trainProfile(ctx, sources, opts.TrainInputs, opts.ExtraTrainInputs, rec)
+		countCache(rec, "cache.train", hit)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -242,6 +244,21 @@ func (c *Compilation) RunCtx(ctx context.Context, opts Options, inputs []int64) 
 		publishSimCounters(opts.Obs, st)
 	}
 	return st, err
+}
+
+// countCache records one memoization lookup outcome as
+// "<prefix>.hit" / "<prefix>.miss" — merged across a fan-out, misses
+// count real work done (one per distinct key) and hits count work the
+// cache saved.
+func countCache(rec *obs.Recorder, prefix string, hit bool) {
+	if rec == nil {
+		return
+	}
+	if hit {
+		rec.Count(prefix+".hit", 1)
+	} else {
+		rec.Count(prefix+".miss", 1)
+	}
 }
 
 // publishHLOCounters exposes the HLO transformation statistics (Table 1

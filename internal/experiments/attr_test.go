@@ -1,0 +1,51 @@
+package experiments_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// runAttribution regenerates Table 1 from a cold cache at the given
+// parallelism and returns the aggregated attribution of the recorded
+// span stream.
+func runAttribution(t *testing.T, workers int) *obs.Attribution {
+	t.Helper()
+	experiments.ResetCache()
+	rec := obs.New()
+	experiments.SetRecorder(rec)
+	experiments.SetParallelism(workers)
+	defer experiments.SetRecorder(nil)
+	defer experiments.SetParallelism(0)
+	if _, err := experiments.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	return obs.Aggregate(rec.Spans())
+}
+
+// TestAttributionDeterminism extends the harness's determinism
+// guarantee to the flight recorder: -j 1 and -j 8 must produce the same
+// aggregated attribution table modulo wall-clock fields — the same
+// phases, the same number of times (one frontend parse per benchmark,
+// one span per cell, one hlo span per module, ...), and full coverage
+// either way.
+func TestAttributionDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 regeneration is slow")
+	}
+	serial := runAttribution(t, 1)
+	parallel := runAttribution(t, 8)
+	if len(serial.Phases) == 0 {
+		t.Fatal("serial run recorded no phases — determinism check is vacuous")
+	}
+	if got, want := serial.Stable(), parallel.Stable(); !reflect.DeepEqual(got, want) {
+		t.Errorf("attribution tables differ between -j 1 and -j 8:\nj1: %+v\nj8: %+v", got, want)
+	}
+	for _, a := range []*obs.Attribution{serial, parallel} {
+		if cov := a.Coverage(); cov < 0.90 {
+			t.Errorf("attribution coverage = %.1f%%, want >= 90%%", 100*cov)
+		}
+	}
+}

@@ -54,12 +54,19 @@ func SetParallelism(n int) { workers = n }
 // and (per training-input set) one training run.
 var cache = driver.NewCache()
 
+// ResetCache drops the shared frontend/training cache. Profiling and
+// determinism tooling uses it to compare runs from a cold start: with a
+// warm cache the second run records no frontend/parse or train/run
+// spans, so its attribution table legitimately differs from the first.
+func ResetCache() { cache = driver.NewCache() }
+
 // forEachCell runs n independent experiment cells across the configured
 // workers. Every cell gets a private recorder (when a global recorder
 // is attached) merged back in submission order, so traces are identical
-// to a serial run's.
-func forEachCell(n int, task func(i int, rec *obs.Recorder) error) error {
-	return par.DoObs(workers, recorder, n, task)
+// to a serial run's. label(i) names cell i's root span ("cell/..."),
+// the unit of straggler ranking and attribution coverage.
+func forEachCell(n int, label func(i int) string, task func(i int, rec *obs.Recorder) error) error {
+	return par.DoObsNamed(workers, recorder, n, label, task)
 }
 
 // compileAndRun builds one benchmark under the given options and times
@@ -135,7 +142,14 @@ func Table1() ([]Table1Row, error) {
 	}
 	nc := len(table1Configs)
 	rows := make([]Table1Row, len(benches)*nc)
-	err := forEachCell(len(rows), func(i int, rec *obs.Recorder) error {
+	label := func(i int) string {
+		scope := table1Configs[i%nc].scope
+		if scope == "" {
+			scope = "base"
+		}
+		return "cell/table1/" + benches[i/nc].Name + "/" + scope
+	}
+	err := forEachCell(len(rows), label, func(i int, rec *obs.Recorder) error {
 		b, cfg := benches[i/nc], table1Configs[i%nc]
 		opts := driver.Options{
 			CrossModule: cfg.cross,
@@ -217,7 +231,10 @@ func Figure6() ([]Figure6Row, error) {
 	benches := specsuite.All()
 	nc := len(toggleConfigs)
 	cycles := make([]int64, len(benches)*nc)
-	err := forEachCell(len(cycles), func(i int, rec *obs.Recorder) error {
+	label := func(i int) string {
+		return "cell/fig6/" + benches[i/nc].Name + "/" + toggleConfigs[i%nc].key
+	}
+	err := forEachCell(len(cycles), label, func(i int, rec *obs.Recorder) error {
 		b, cfg := benches[i/nc], toggleConfigs[i%nc]
 		opts := driver.DefaultOptions(b.Train)
 		opts.HLO.Inline = cfg.inline
@@ -308,7 +325,10 @@ func Figure7() ([]Figure7Row, error) {
 	}
 	nc := len(toggleConfigs)
 	stats := make([]*pa8000.Stats, len(benches)*nc)
-	err := forEachCell(len(stats), func(i int, rec *obs.Recorder) error {
+	label := func(i int) string {
+		return "cell/fig7/" + benches[i/nc].Name + "/" + toggleConfigs[i%nc].key
+	}
+	err := forEachCell(len(stats), label, func(i int, rec *obs.Recorder) error {
 		b, cfg := benches[i/nc], toggleConfigs[i%nc]
 		opts := driver.DefaultOptions(b.Train)
 		opts.HLO.Inline = cfg.inline
@@ -423,7 +443,10 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 			}
 		}
 	}
-	err = forEachCell(len(points), func(i int, rec *obs.Recorder) error {
+	label := func(i int) string {
+		return fmt.Sprintf("cell/fig8/b%d/ops%d", points[i].Budget, points[i].Ops)
+	}
+	err = forEachCell(len(points), label, func(i int, rec *obs.Recorder) error {
 		pt := &points[i]
 		opts := driver.DefaultOptions(b.Train)
 		opts.HLO.Budget = pt.Budget

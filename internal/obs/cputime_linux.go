@@ -1,0 +1,23 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuNow returns the CPU time (user + system) consumed by the calling
+// OS thread. Goroutines are not pinned to threads, so a span's CPU
+// delta is exact only while the goroutine stayed on one thread; a
+// migration mid-span under- or over-counts and the caller clamps
+// negative deltas to zero. For the CPU-bound pipeline phases this
+// records, migration between Begin and End is rare enough that the
+// attribution is within a few percent of a perf-counter measurement.
+func cpuNow() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package obs
+
+import "time"
+
+// cpuNow is unavailable off Linux (no per-thread rusage in the standard
+// library): spans record zero CPU and the attribution report falls back
+// to wall time.
+func cpuNow() time.Duration { return 0 }

@@ -42,16 +42,45 @@ type Remark struct {
 	Detail   string `json:"detail,omitempty"`  // e.g. the clone or outlined routine created
 }
 
-// Span is one completed pipeline phase. Size/cost fields are zero when
-// the phase does not track them.
+// Span is one pipeline phase (schema v2, the flight-recorder form).
+// Size/cost fields are zero when the phase does not track them.
+//
+// Wall time (Start, Dur) places the span on the process timeline; Start
+// is nanoseconds since a process-wide epoch, so spans merged from many
+// recorders stay mutually ordered (the Chrome trace exporter relies on
+// this). CPU is the span's thread-CPU delta: exact for a span that ran
+// on one OS thread (the common case — pipeline phases are CPU-bound
+// between preemption points), an approximation when the goroutine
+// migrated mid-span. AllocBytes/Allocs are process-wide heap-allocation
+// deltas between Begin and End: exact attribution in a serial run, an
+// upper bound when other goroutines allocate concurrently.
+//
+// Open marks a span whose End never ran — an in-flight phase captured
+// by Spans() or flushed at shutdown. An open span's Dur is zero and
+// must not be read as "took 0 ns"; sinks render it explicitly
+// ("open"/"truncated") instead of as a bogus duration.
 type Span struct {
 	Name       string        `json:"name"`
-	Depth      int           `json:"depth"` // nesting level at Begin time
+	Depth      int           `json:"depth"`              // nesting level at Begin time
+	Start      int64         `json:"start_ns,omitempty"` // ns since the process epoch
 	Dur        time.Duration `json:"dur_ns"`
+	CPU        time.Duration `json:"cpu_ns,omitempty"`     // thread CPU time consumed
+	AllocBytes int64         `json:"alloc_bytes,omitempty"` // heap bytes allocated (process-wide delta)
+	Allocs     int64         `json:"allocs,omitempty"`      // heap objects allocated (process-wide delta)
+	Open       bool          `json:"open,omitempty"`        // never ended (truncated / in flight)
 	SizeBefore int           `json:"size_before,omitempty"` // IR instructions in scope
 	SizeAfter  int           `json:"size_after,omitempty"`
 	CostBefore int64         `json:"cost_before,omitempty"` // compile-cost model units
 	CostAfter  int64         `json:"cost_after,omitempty"`
+}
+
+// Elapsed is the span's wall time: Dur for a closed span, the time
+// accumulated so far for one still open.
+func (sp *Span) Elapsed() time.Duration {
+	if !sp.Open {
+		return sp.Dur
+	}
+	return sinceEpoch() - time.Duration(sp.Start)
 }
 
 // Counter is one named counter value.
@@ -100,9 +129,12 @@ func (r *Recorder) Remarks() []Remark {
 // Timer is an open span handle returned by Begin. The zero Timer (from
 // a nil recorder) is valid and its End methods are no-ops.
 type Timer struct {
-	r     *Recorder
-	idx   int
-	start time.Time
+	r      *Recorder
+	idx    int
+	start  time.Time
+	cpu0   time.Duration
+	bytes0 int64
+	objs0  int64
 }
 
 // Begin opens a span with no size/cost tracking.
@@ -110,36 +142,50 @@ func (r *Recorder) Begin(name string) Timer { return r.BeginSized(name, 0, 0) }
 
 // BeginSized opens a span recording the size and cost of the scope at
 // entry. Spans appear in the stream in Begin order; nesting is captured
-// by Depth.
+// by Depth. The span starts open; EndSized closes it, and a span whose
+// timer is dropped without End stays marked Open in the stream.
 func (r *Recorder) BeginSized(name string, sizeBefore int, costBefore int64) Timer {
 	if r == nil {
 		return Timer{}
 	}
+	bytes0, objs0 := readHeapAllocs()
 	r.mu.Lock()
 	idx := len(r.spans)
 	r.spans = append(r.spans, Span{
 		Name:       name,
 		Depth:      r.depth,
+		Start:      int64(sinceEpoch()),
+		Open:       true,
 		SizeBefore: sizeBefore,
 		CostBefore: costBefore,
 	})
 	r.depth++
 	r.mu.Unlock()
-	return Timer{r: r, idx: idx, start: time.Now()}
+	return Timer{r: r, idx: idx, start: time.Now(), cpu0: cpuNow(), bytes0: bytes0, objs0: objs0}
 }
 
 // End closes the span.
 func (t Timer) End() { t.EndSized(0, 0) }
 
-// EndSized closes the span and records the exit size and cost.
+// EndSized closes the span and records the exit size and cost plus the
+// CPU and allocation deltas since Begin.
 func (t Timer) EndSized(sizeAfter int, costAfter int64) {
 	if t.r == nil {
 		return
 	}
 	d := time.Since(t.start)
+	cpu := cpuNow() - t.cpu0
+	if cpu < 0 {
+		cpu = 0 // the goroutine migrated to a younger OS thread mid-span
+	}
+	bytes1, objs1 := readHeapAllocs()
 	t.r.mu.Lock()
 	sp := &t.r.spans[t.idx]
 	sp.Dur = d
+	sp.CPU = cpu
+	sp.AllocBytes = bytes1 - t.bytes0
+	sp.Allocs = objs1 - t.objs0
+	sp.Open = false
 	sp.SizeAfter = sizeAfter
 	sp.CostAfter = costAfter
 	t.r.depth--

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// epoch is the process-wide zero point of Span.Start. One shared epoch
+// (instead of one per recorder) keeps spans from different recorders —
+// the parallel harness merges one per task — on a single timeline, which
+// the Chrome trace exporter needs to lay cells out side by side.
+var epoch = time.Now()
+
+func sinceEpoch() time.Duration { return time.Since(epoch) }
+
+// heapAllocNames are the runtime/metrics series backing the allocation
+// deltas: cumulative heap bytes and objects allocated by the whole
+// process. metrics.Read is cheap (no stop-the-world, unlike
+// runtime.ReadMemStats), so sampling at every span boundary is
+// affordable for phase-granularity spans.
+const (
+	heapAllocBytesMetric = "/gc/heap/allocs:bytes"
+	heapAllocObjsMetric  = "/gc/heap/allocs:objects"
+)
+
+// readHeapAllocs samples the cumulative process-wide heap allocation
+// counters. Returns zeros if the runtime does not expose the series.
+func readHeapAllocs() (bytes, objects int64) {
+	var s [2]metrics.Sample
+	s[0].Name = heapAllocBytesMetric
+	s[1].Name = heapAllocObjsMetric
+	metrics.Read(s[:])
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		bytes = int64(s[0].Value.Uint64())
+	}
+	if s[1].Value.Kind() == metrics.KindUint64 {
+		objects = int64(s[1].Value.Uint64())
+	}
+	return bytes, objects
+}

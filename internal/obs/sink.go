@@ -100,7 +100,13 @@ func WriteTrace(w io.Writer, spans []Span) error {
 	}
 	for _, sp := range spans {
 		indent := strings.Repeat("  ", sp.Depth)
-		fmt.Fprintf(bw, "%-*s %8.2fms", width+2, indent+sp.Name, sp.Dur.Seconds()*1000)
+		fmt.Fprintf(bw, "%-*s %8.2fms", width+2, indent+sp.Name, sp.Elapsed().Seconds()*1000)
+		if sp.Open {
+			bw.WriteString(" (open)")
+		}
+		if sp.CPU != 0 {
+			fmt.Fprintf(bw, "  cpu %.2fms", sp.CPU.Seconds()*1000)
+		}
 		if sp.SizeBefore != 0 || sp.SizeAfter != 0 {
 			fmt.Fprintf(bw, "  size %d -> %d", sp.SizeBefore, sp.SizeAfter)
 		}
@@ -110,6 +116,38 @@ func WriteTrace(w io.Writer, spans []Span) error {
 		bw.WriteByte('\n')
 	}
 	return bw.Flush()
+}
+
+// WriteSpansJSONL writes the span stream as JSON Lines, one span per
+// line in Begin order — the flight-record format hloprof consumes.
+// Spans still open carry "open":true (and a zero dur_ns that must not
+// be read as a duration), so a truncated record is distinguishable
+// from a phase that really took no time.
+func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSpansJSONL parses a JSONL span stream produced by
+// WriteSpansJSONL.
+func DecodeSpansJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var sp Span
+		if err := dec.Decode(&sp); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: bad JSONL span %d: %w", len(out), err)
+		}
+		out = append(out, sp)
+	}
 }
 
 // WriteCounters renders the counter registry one "name value" line per

@@ -84,6 +84,17 @@ func Do(workers, n int, task func(i int) error) error {
 // some tasks failed, so partial traces stay inspectable). When parent is
 // nil the tasks get a nil recorder and pay nothing.
 func DoObs(workers int, parent *obs.Recorder, n int, task func(i int, rec *obs.Recorder) error) error {
+	return DoObsNamed(workers, parent, n, nil, task)
+}
+
+// DoObsNamed is DoObs with per-task root spans: when label is non-nil
+// (and parent enabled), task i runs inside a span named label(i) on its
+// private recorder. The span is the task's flight-record root — it
+// carries the cell's wall time, thread CPU, and allocation deltas, so
+// obs.TopSpans over the labels ranks stragglers and obs.Aggregate
+// attributes the whole fan-out's wall clock cell by cell. Labels must
+// be pure functions of i to preserve run-to-run determinism.
+func DoObsNamed(workers int, parent *obs.Recorder, n int, label func(i int) string, task func(i int, rec *obs.Recorder) error) error {
 	if !parent.Enabled() {
 		return Do(workers, n, func(i int) error { return task(i, nil) })
 	}
@@ -91,7 +102,14 @@ func DoObs(workers int, parent *obs.Recorder, n int, task func(i int, rec *obs.R
 	for i := range recs {
 		recs[i] = obs.New()
 	}
-	err := Do(workers, n, func(i int) error { return task(i, recs[i]) })
+	err := Do(workers, n, func(i int) error {
+		if label == nil {
+			return task(i, recs[i])
+		}
+		t := recs[i].Begin(label(i))
+		defer t.End()
+		return task(i, recs[i])
+	})
 	for _, rec := range recs {
 		parent.Merge(rec)
 	}

@@ -128,3 +128,34 @@ func TestDoObsMergesPartialTracesOnError(t *testing.T) {
 		t.Fatalf("partial traces lost: %d remarks, want 8", got)
 	}
 }
+
+func TestDoObsNamedWrapsTasksInLabeledSpans(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		parent := obs.New()
+		err := DoObsNamed(workers, parent, 6, func(i int) string {
+			return fmt.Sprintf("cell/%d", i)
+		}, func(i int, rec *obs.Recorder) error {
+			rec.Begin("inner").End()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := parent.Spans()
+		if len(spans) != 12 {
+			t.Fatalf("workers=%d: %d spans, want 12", workers, len(spans))
+		}
+		for i := 0; i < 6; i++ {
+			root, inner := spans[2*i], spans[2*i+1]
+			if root.Name != fmt.Sprintf("cell/%d", i) || root.Depth != 0 || root.Open {
+				t.Fatalf("workers=%d: root %d = %+v", workers, i, root)
+			}
+			if inner.Name != "inner" || inner.Depth != 1 {
+				t.Fatalf("workers=%d: inner %d = %+v", workers, i, inner)
+			}
+			if root.Dur < inner.Dur {
+				t.Fatalf("workers=%d: root shorter than its child", workers)
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // accessEntry is one structured access-log record, emitted as a JSON
@@ -43,7 +45,16 @@ func (l *accessLogger) log(e accessEntry) {
 	if e.Time == "" {
 		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
 	}
-	data, err := json.Marshal(e)
+	l.logJSON(e)
+}
+
+// logJSON writes any record as one JSON line under the logger's lock
+// (the shutdown flush shares the stream with access entries).
+func (l *accessLogger) logJSON(v any) {
+	if l == nil {
+		return
+	}
+	data, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
@@ -51,4 +62,17 @@ func (l *accessLogger) log(e accessEntry) {
 	l.mu.Lock()
 	l.w.Write(data)
 	l.mu.Unlock()
+}
+
+// shutdownEntry is the terminal record of a daemon's access log: the
+// server-lifetime counter registry and every span still open at
+// shutdown (truncated, including the "server" lifetime span). Before
+// this record existed a graceful drain silently discarded the whole
+// server-lifetime registry.
+type shutdownEntry struct {
+	Time      string           `json:"time"`
+	Event     string           `json:"event"` // always "shutdown"
+	UptimeSec float64          `json:"uptime_s"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	OpenSpans []obs.Span       `json:"open_spans,omitempty"`
 }

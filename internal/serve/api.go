@@ -100,6 +100,13 @@ type CompileRequest struct {
 	Options OptionsJSON `json:"options"`
 	// Remarks asks for the optimization-remark stream in the response.
 	Remarks bool `json:"remarks,omitempty"`
+	// Spans asks for the aggregated per-phase attribution of this
+	// request (wall/self/CPU/alloc per pipeline phase) in the response.
+	Spans bool `json:"spans,omitempty"`
+	// Tag is a client-chosen workload label (benchmark name, experiment
+	// cell). It becomes a runtime/pprof label on the executing
+	// goroutines, so daemon CPU profiles can be sliced per workload.
+	Tag string `json:"tag,omitempty"`
 	// TimeoutMS caps this request's deadline; the server clamps it to
 	// its own per-request limit. 0 means the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -124,6 +131,10 @@ type CompileResponse struct {
 	CompileCost int64        `json:"compile_cost"`
 	CodeSize    int          `json:"code_size"`
 	Remarks     []obs.Remark `json:"remarks,omitempty"`
+	// Phases is the aggregated flight-record attribution of this request
+	// (present when the request set "spans": true). Wall-clock fields are
+	// this execution's; a single-flight follower sees the leader's.
+	Phases []obs.PhaseStat `json:"phases,omitempty"`
 }
 
 // RunRequest is the body of POST /run: a compile plus a simulation of
@@ -148,6 +159,7 @@ type TrainRequest struct {
 	Sources          []string  `json:"sources"`
 	TrainInputs      []int64   `json:"train_inputs,omitempty"`
 	ExtraTrainInputs [][]int64 `json:"extra_train_inputs,omitempty"`
+	Tag              string    `json:"tag,omitempty"`
 	TimeoutMS        int64     `json:"timeout_ms,omitempty"`
 }
 
@@ -166,7 +178,7 @@ func (r *TrainRequest) validate() error {
 // request's recorder, so a response served over HTTP is byte-identical
 // to one assembled directly from driver.Compile with the same inputs
 // (the integration tests rely on this).
-func buildCompileResponse(c *driver.Compilation, rec *obs.Recorder, wantRemarks bool) CompileResponse {
+func buildCompileResponse(c *driver.Compilation, rec *obs.Recorder, wantRemarks, wantSpans bool) CompileResponse {
 	resp := CompileResponse{
 		Stats:       c.Stats,
 		CompileCost: c.CompileCost,
@@ -174,6 +186,9 @@ func buildCompileResponse(c *driver.Compilation, rec *obs.Recorder, wantRemarks 
 	}
 	if wantRemarks {
 		resp.Remarks = rec.Remarks()
+	}
+	if wantSpans {
+		resp.Phases = obs.Aggregate(rec.Spans()).Phases
 	}
 	return resp
 }

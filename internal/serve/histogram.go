@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the fixed upper bounds (seconds) of every latency
+// histogram the server exports. The spread covers sub-millisecond cache
+// hits up to the 2-minute request ceiling; Prometheus convention adds a
+// +Inf bucket at render time.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is one endpoint's latency distribution: per-bucket counts
+// (non-cumulative in memory, accumulated at render time), total count,
+// and the sum of observations.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)
+	inf    uint64
+	count  uint64
+	sum    float64
+}
+
+// histVec is a histogram family keyed by endpoint label.
+type histVec struct {
+	mu sync.Mutex
+	by map[string]*histogram
+}
+
+// observe records one latency sample for the endpoint.
+func (v *histVec) observe(endpoint string, d time.Duration) {
+	sec := d.Seconds()
+	v.mu.Lock()
+	if v.by == nil {
+		v.by = make(map[string]*histogram)
+	}
+	h := v.by[endpoint]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		v.by[endpoint] = h
+	}
+	placed := false
+	for i, le := range latencyBuckets {
+		if sec <= le {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.count++
+	h.sum += sec
+	v.mu.Unlock()
+}
+
+// write renders the family in the Prometheus text format with
+// cumulative le buckets, _sum and _count, endpoints sorted for
+// deterministic output.
+func (v *histVec) write(bw *bufio.Writer, name, help string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.by) == 0 {
+		return
+	}
+	endpoints := make([]string, 0, len(v.by))
+	for ep := range v.by {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+	for _, ep := range endpoints {
+		h := v.by[ep]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=%q} %d\n", name, ep, formatLE(le), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, ep, cum+h.inf)
+		fmt.Fprintf(bw, "%s_sum{endpoint=%q} %g\n", name, ep, h.sum)
+		fmt.Fprintf(bw, "%s_count{endpoint=%q} %d\n", name, ep, h.count)
+	}
+}
+
+// formatLE renders a bucket bound the way Prometheus clients expect:
+// shortest decimal form, no exponent for these magnitudes.
+func formatLE(le float64) string {
+	return fmt.Sprintf("%g", le)
+}

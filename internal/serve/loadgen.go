@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +64,14 @@ type LoadReport struct {
 	P90MS           float64        `json:"p90_ms"`
 	P99MS           float64        `json:"p99_ms"`
 	MaxMS           float64        `json:"max_ms"`
+	// Queue-wait vs service-time split, parsed from the daemon's
+	// X-Hlod-Queue-Ms / X-Hlod-Service-Ms response headers on 2xx
+	// responses. Queue percentiles rising while service percentiles hold
+	// means the daemon is saturated, not slower.
+	QueueP50MS   float64 `json:"queue_p50_ms"`
+	QueueP99MS   float64 `json:"queue_p99_ms"`
+	ServiceP50MS float64 `json:"service_p50_ms"`
+	ServiceP99MS float64 `json:"service_p99_ms"`
 }
 
 // Healthy reports whether the run saw only 2xx/429 responses and no
@@ -109,6 +118,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	type clientStats struct {
 		latenciesMS []float64
+		queueMS     []float64
+		serviceMS   []float64
 		byStatus    map[int]int
 		transport   int
 		retries     int
@@ -168,6 +179,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 						st.byStatus[resp.StatusCode]++
 						if resp.StatusCode/100 == 2 {
 							st.latenciesMS = append(st.latenciesMS, float64(time.Since(t0))/float64(time.Millisecond))
+							if v, ok := parseMSHeader(resp, "X-Hlod-Queue-Ms"); ok {
+								st.queueMS = append(st.queueMS, v)
+							}
+							if v, ok := parseMSHeader(resp, "X-Hlod-Service-Ms"); ok {
+								st.serviceMS = append(st.serviceMS, v)
+							}
 						}
 						retryable = resp.StatusCode == http.StatusTooManyRequests
 						retryAfter = parseRetryAfter(resp)
@@ -193,7 +210,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	wall := time.Since(start)
 
 	rep := &LoadReport{ByStatus: make(map[string]int), WallS: wall.Seconds()}
-	var lat []float64
+	var lat, queue, service []float64
 	rep.BreakerOpens = brk.opens
 	for i := range stats {
 		st := &stats[i]
@@ -212,6 +229,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			}
 		}
 		lat = append(lat, st.latenciesMS...)
+		queue = append(queue, st.queueMS...)
+		service = append(service, st.serviceMS...)
 	}
 	rep.Requests += rep.TransportErrors
 	sort.Float64s(lat)
@@ -222,7 +241,31 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.P99MS = lat[n*99/100]
 		rep.MaxMS = lat[n-1]
 	}
+	sort.Float64s(queue)
+	if n := len(queue); n > 0 {
+		rep.QueueP50MS = queue[n*50/100]
+		rep.QueueP99MS = queue[n*99/100]
+	}
+	sort.Float64s(service)
+	if n := len(service); n > 0 {
+		rep.ServiceP50MS = service[n*50/100]
+		rep.ServiceP99MS = service[n*99/100]
+	}
 	return rep, nil
+}
+
+// parseMSHeader reads a millisecond float header set by writeResult on
+// executed work responses (absent on pre-admission rejections).
+func parseMSHeader(resp *http.Response, name string) (float64, bool) {
+	v := resp.Header.Get(name)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ms, true
 }
 
 // loadBodies pre-renders the request matrix: every benchmark under
@@ -239,6 +282,7 @@ func loadBodies(cfg LoadConfig) ([][]byte, error) {
 			budget := budget
 			creq := CompileRequest{
 				Sources: b.Sources,
+				Tag:     name,
 				Options: OptionsJSON{
 					CrossModule: cfg.CrossModule,
 					Profile:     cfg.Profile,

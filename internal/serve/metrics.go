@@ -62,6 +62,14 @@ func writeMetrics(w io.Writer, s *Server) error {
 	}
 	fmt.Fprintf(bw, "hlod_panics_total %d\n", panics)
 
+	// Per-endpoint latency histograms. hlod_request_seconds covers every
+	// request end to end; for executed work requests the queue-wait vs
+	// service-time pair splits that latency into "waited for a worker
+	// slot" and "actually compiled/simulated" — the saturation signal.
+	s.histReq.write(bw, "hlod_request_seconds", "HTTP request latency by endpoint.")
+	s.histQueue.write(bw, "hlod_queue_wait_seconds", "Admission queue wait of executed work requests.")
+	s.histService.write(bw, "hlod_service_seconds", "Execution time of admitted work requests (excludes queueing).")
+
 	// Registry counters, split into request counters and the rest. The
 	// obs registry returns counters sorted by name, so the rendering is
 	// deterministic. serve.panics gets a dedicated always-present series

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the access
+// log (the server writes entries after the response has been sent).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestQueueServiceHeaders verifies every executed work request carries
+// the queue-wait vs service-time split in response headers, and that
+// the two parse as non-negative millisecond floats.
+func TestQueueServiceHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/run", runBody(t, 100, 100))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	for _, h := range []string{"X-Hlod-Queue-Ms", "X-Hlod-Service-Ms"} {
+		v := resp.Header.Get(h)
+		if v == "" {
+			t.Fatalf("%s header missing", h)
+		}
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			t.Errorf("%s = %q, want non-negative float", h, v)
+		}
+	}
+
+}
+
+// TestDrainRejectCarriesNoSplit verifies requests refused before
+// admission (here: while draining) carry no queue/service headers —
+// the split only describes work that actually executed.
+func TestDrainRejectCarriesNoSplit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.StartDrain()
+	resp, _ := postJSON(t, ts.URL+"/run", runBody(t, 100, 100))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if v := resp.Header.Get("X-Hlod-Queue-Ms"); v != "" {
+		t.Errorf("rejected request has X-Hlod-Queue-Ms = %q, want unset", v)
+	}
+}
+
+// TestMetricsHistograms verifies /metrics renders the three latency
+// histogram families with cumulative le buckets, +Inf, _sum and _count.
+func TestMetricsHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	if resp, body := postJSON(t, ts.URL+"/run", runBody(t, 100, 100)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+
+	for _, fam := range []string{"hlod_request_seconds", "hlod_queue_wait_seconds", "hlod_service_seconds"} {
+		if !strings.Contains(text, "# TYPE "+fam+" histogram") {
+			t.Errorf("missing TYPE line for %s", fam)
+		}
+		if !strings.Contains(text, fam+`_bucket{endpoint="run",le="+Inf"}`) {
+			t.Errorf("missing +Inf bucket for %s\n%s", fam, text)
+		}
+		if !strings.Contains(text, fam+`_sum{endpoint="run"}`) ||
+			!strings.Contains(text, fam+`_count{endpoint="run"}`) {
+			t.Errorf("missing _sum/_count for %s", fam)
+		}
+	}
+	// Buckets must be cumulative: +Inf count >= any finite bucket, and
+	// the request histogram saw at least the /run request.
+	if !strings.Contains(text, `hlod_request_seconds_count{endpoint="run"} 1`) {
+		t.Errorf("hlod_request_seconds_count{run} != 1:\n%s", text)
+	}
+}
+
+// TestPprofMount verifies /debug/pprof/ is reachable only when
+// Config.Pprof is set, and that pprof traffic is labeled "pprof" (one
+// endpoint label, not a per-URL explosion).
+func TestPprofMount(t *testing.T) {
+	_, on := newTestServer(t, Config{Workers: 1, Pprof: true})
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with Pprof=true: status %d", resp.StatusCode)
+	}
+
+	_, off := newTestServer(t, Config{Workers: 1})
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof index with Pprof=false: status %d, want 404", resp.StatusCode)
+	}
+
+	if got := endpointLabel("/debug/pprof/heap"); got != "pprof" {
+		t.Errorf("endpointLabel(/debug/pprof/heap) = %q, want pprof", got)
+	}
+}
+
+// TestCompileSpansResponse verifies `"spans": true` adds the aggregated
+// phase attribution to the /compile response.
+func TestCompileSpansResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	req := CompileRequest{
+		Sources: []string{slowSource},
+		Spans:   true,
+	}
+	resp, body := postJSON(t, ts.URL+"/compile", mustMarshal(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Phases) == 0 {
+		t.Fatalf("Phases empty with spans:true: %s", body)
+	}
+	names := make(map[string]bool)
+	for _, p := range cr.Phases {
+		names[p.Name] = true
+		if p.Count <= 0 {
+			t.Errorf("phase %s has Count %d", p.Name, p.Count)
+		}
+	}
+	if !names["request/compile"] {
+		t.Errorf("no request/compile phase in %v", cr.Phases)
+	}
+
+	// Without the flag the field stays absent.
+	req.Spans = false
+	_, body = postJSON(t, ts.URL+"/compile", mustMarshal(req))
+	if bytes.Contains(body, []byte(`"phases"`)) {
+		t.Errorf("phases present without spans:true: %s", body)
+	}
+}
+
+// TestLogShutdown verifies the terminal access-log record: counters
+// from the server-lifetime registry and the still-open "server" span
+// marked open.
+func TestLogShutdown(t *testing.T) {
+	var logBuf syncBuffer
+	s, ts := newTestServer(t, Config{Workers: 1, AccessLog: &logBuf})
+
+	if resp, body := postJSON(t, ts.URL+"/run", runBody(t, 100, 100)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, body)
+	}
+	s.LogShutdown()
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	last := lines[len(lines)-1]
+	var entry struct {
+		Event     string           `json:"event"`
+		UptimeSec float64          `json:"uptime_s"`
+		Counters  map[string]int64 `json:"counters"`
+		OpenSpans []struct {
+			Name string `json:"name"`
+			Open bool   `json:"open"`
+		} `json:"open_spans"`
+	}
+	if err := json.Unmarshal([]byte(last), &entry); err != nil {
+		t.Fatalf("last log line not JSON: %v\n%s", err, last)
+	}
+	if entry.Event != "shutdown" {
+		t.Fatalf("last line event = %q, want shutdown:\n%s", entry.Event, last)
+	}
+	if entry.UptimeSec <= 0 {
+		t.Errorf("uptime_s = %v", entry.UptimeSec)
+	}
+	if entry.Counters["http.req|run|200"] != 1 {
+		t.Errorf("counters missing http.req|run|200: %v", entry.Counters)
+	}
+	if entry.Counters["sim.cycles"] <= 0 {
+		t.Errorf("counters missing merged pipeline counter sim.cycles: %v", entry.Counters)
+	}
+	var server bool
+	for _, sp := range entry.OpenSpans {
+		if !sp.Open {
+			t.Errorf("span %q in open_spans not marked open", sp.Name)
+		}
+		if sp.Name == "server" {
+			server = true
+		}
+	}
+	if !server {
+		t.Errorf("open_spans missing the server lifetime span: %s", last)
+	}
+}

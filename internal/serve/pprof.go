@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"net/http/pprof"
+	"strings"
+)
+
+// mountPprof exposes the standard net/http/pprof handlers on the
+// server's own mux (the daemon serves one mux, never the ambient
+// http.DefaultServeMux, so the stdlib's init-time registration does not
+// apply). Goroutine/heap/CPU profiles of a live daemon carry the
+// runtime/pprof labels the work handlers attach — endpoint, tag, phase
+// — so `go tool pprof` can slice a profile by benchmark or pipeline
+// stage.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// pprofPath reports whether the request path belongs to the pprof tree
+// (for endpoint labeling).
+func pprofPath(path string) bool {
+	return strings.HasPrefix(path, "/debug/pprof")
+}

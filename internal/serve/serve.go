@@ -33,12 +33,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/driver"
 	"repro/internal/obs"
+	"repro/internal/pa8000"
+	"repro/internal/profile"
 	"repro/internal/resilience"
 )
 
@@ -68,20 +71,33 @@ type Config struct {
 	// Cache is the compilation cache shared by all requests; nil means
 	// a fresh one.
 	Cache *driver.Cache
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on
+	// the server's mux (the daemon never serves http.DefaultServeMux).
+	Pprof bool
 }
 
 // Server is the HTTP handler. Create with New; it is immutable after
 // creation apart from the internal registries.
 type Server struct {
-	cfg      Config
-	adm      *admission
-	flights  flightGroup
-	cache    *driver.Cache
-	reg      *obs.Recorder // server-lifetime counter registry
-	log      *accessLogger
-	mux      *http.ServeMux
-	start    time.Time
+	cfg     Config
+	adm     *admission
+	flights flightGroup
+	cache   *driver.Cache
+	reg     *obs.Recorder // server-lifetime counter registry
+	log     *accessLogger
+	mux     *http.ServeMux
+	start   time.Time
+	// life is the server-lifetime span on reg, opened at New and never
+	// ended while serving: the shutdown flush reports it open/truncated,
+	// which is exactly what it is.
+	life     obs.Timer
 	draining atomic.Bool
+	// Per-endpoint latency histograms (seconds): total request time for
+	// every endpoint, and the queue-wait vs service-time split for
+	// executed work requests.
+	histReq     histVec
+	histQueue   histVec
+	histService histVec
 }
 
 // New builds a Server from the config.
@@ -107,12 +123,16 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.life = s.reg.Begin("server")
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/queue", s.handleQueue)
 	s.mux.HandleFunc("/compile", s.workHandler("compile", s.buildCompile))
 	s.mux.HandleFunc("/run", s.workHandler("run", s.buildRun))
 	s.mux.HandleFunc("/train", s.workHandler("train", s.buildTrain))
+	if cfg.Pprof {
+		s.mountPprof()
+	}
 	return s
 }
 
@@ -125,6 +145,32 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Registry exposes the server-lifetime counter registry (tests and
 // embedders).
 func (s *Server) Registry() *obs.Recorder { return s.reg }
+
+// LogShutdown writes the terminal access-log record: the full
+// server-lifetime counter registry plus every span still open, marked
+// truncated ("open": true) — at minimum the "server" lifetime span.
+// cmd/hlod calls this after http.Server.Shutdown completes, so a
+// drained daemon's last log line carries everything the registry
+// accumulated instead of discarding it with the process.
+func (s *Server) LogShutdown() {
+	entry := shutdownEntry{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Event:     "shutdown",
+		UptimeSec: time.Since(s.start).Seconds(),
+	}
+	if cs := s.reg.Counters(); len(cs) > 0 {
+		entry.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			entry.Counters[c.Name] = c.Value
+		}
+	}
+	for _, sp := range s.reg.Spans() {
+		if sp.Open {
+			entry.OpenSpans = append(entry.OpenSpans, sp)
+		}
+	}
+	s.log.logJSON(entry)
+}
 
 // Queue exposes the live admission snapshot (tests and embedders).
 func (s *Server) Queue() QueueState { return s.adm.state() }
@@ -176,6 +222,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the nginx convention for client-closed-request.
 		status = 499
 	}
+	s.histReq.observe(endpointLabel(r.URL.Path), time.Since(start))
 	s.reg.Count("http.req|"+endpointLabel(r.URL.Path)+"|"+strconv.Itoa(status), 1)
 	s.log.log(accessEntry{
 		Method:  r.Method,
@@ -191,11 +238,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // endpointLabel keeps the metrics cardinality bounded: known paths map
-// to themselves (sans slash), everything else to "other".
+// to themselves (sans slash), the pprof tree collapses to one label,
+// everything else to "other".
 func endpointLabel(path string) string {
 	switch path {
 	case "/compile", "/run", "/train", "/healthz", "/metrics", "/queue":
 		return path[1:]
+	}
+	if pprofPath(path) {
+		return "pprof"
 	}
 	return "other"
 }
@@ -267,7 +318,7 @@ func (s *Server) workHandler(endpoint string, build func(ctx context.Context, bo
 		sum := sha256.Sum256(body)
 		key := endpoint + "\x00" + string(sum[:])
 		res, shared, err := s.flights.do(r.Context(), key, func() *flightResult {
-			return s.execute(r.Context(), body, build)
+			return s.execute(r.Context(), endpoint, body, build)
 		})
 		if err != nil {
 			// Our own client disconnected while we waited on a flight.
@@ -289,9 +340,17 @@ func (s *Server) workHandler(endpoint string, build func(ctx context.Context, bo
 
 // execute admits the request into the worker pool and runs build under
 // the per-request deadline. Queue-full and cancellation outcomes are
-// rendered here so every path yields a flightResult.
-func (s *Server) execute(ctx context.Context, body []byte, build func(ctx context.Context, body []byte) *flightResult) *flightResult {
+// rendered here so every path yields a flightResult. The admission wait
+// and the guarded execution are timed separately — the queue-wait vs
+// service-time split that distinguishes "the server is saturated" from
+// "compiles are slow" — and recorded both on the result (response
+// headers) and in the per-endpoint histograms. The build runs under a
+// runtime/pprof endpoint label, so a CPU profile of the daemon can be
+// sliced per endpoint.
+func (s *Server) execute(ctx context.Context, endpoint string, body []byte, build func(ctx context.Context, body []byte) *flightResult) *flightResult {
+	q0 := time.Now()
 	release, retryAfter, err := s.adm.admit(ctx)
+	queueWait := time.Since(q0)
 	if errors.Is(err, errQueueFull) {
 		res := jsonError(http.StatusTooManyRequests, "compile queue full, retry later")
 		res.retryAfter = retryAfter
@@ -301,7 +360,18 @@ func (s *Server) execute(ctx context.Context, body []byte, build func(ctx contex
 		return &flightResult{canceled: true} // our client gave up while queued
 	}
 	defer release()
-	return s.runGuarded(ctx, body, build)
+	s0 := time.Now()
+	var res *flightResult
+	pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
+		res = s.runGuarded(ctx, body, build)
+	})
+	service := time.Since(s0)
+	s.histQueue.observe(endpoint, queueWait)
+	s.histService.observe(endpoint, service)
+	res.queueNS = queueWait.Nanoseconds()
+	res.serviceNS = service.Nanoseconds()
+	res.timed = true
+	return res
 }
 
 // runGuarded runs one admitted request under a recover boundary: a
@@ -351,6 +421,17 @@ func finish(err error) *flightResult {
 	return jsonError(http.StatusUnprocessableEntity, err.Error())
 }
 
+// workLabels is the runtime/pprof label set for one pipeline stage of
+// one request: the phase (compile/simulate/train) plus the client's
+// self-reported tag (benchmark name, experiment cell) when present.
+// Profiles scraped from /debug/pprof can then be sliced by either.
+func workLabels(tag, phase string) pprof.LabelSet {
+	if tag == "" {
+		return pprof.Labels("phase", phase)
+	}
+	return pprof.Labels("phase", phase, "tag", tag)
+}
+
 // mergeCounters folds one request's recorder into the server-lifetime
 // registry. Only counters cross over — remarks and spans stay with the
 // request, so the registry cannot grow without bound.
@@ -378,13 +459,17 @@ func (s *Server) buildCompile(ctx context.Context, body []byte) *flightResult {
 	rec := obs.New()
 	opts.Obs = rec
 	opts.Cache = s.cache
-	c, err := driver.CompileCtx(ctx, req.Sources, opts)
+	var c *driver.Compilation
+	rsp := rec.Begin("request/compile")
+	pprof.Do(ctx, workLabels(req.Tag, "compile"), func(ctx context.Context) {
+		c, err = driver.CompileCtx(ctx, req.Sources, opts)
+	})
+	rsp.End()
+	s.mergeCounters(rec)
 	if err != nil {
-		s.mergeCounters(rec)
 		return finish(err)
 	}
-	s.mergeCounters(rec)
-	return s.jsonResult(buildCompileResponse(c, rec, req.Remarks))
+	return s.jsonResult(buildCompileResponse(c, rec, req.Remarks, req.Spans))
 }
 
 func (s *Server) buildRun(ctx context.Context, body []byte) *flightResult {
@@ -405,19 +490,27 @@ func (s *Server) buildRun(ctx context.Context, body []byte) *flightResult {
 	rec := obs.New()
 	opts.Obs = rec
 	opts.Cache = s.cache
-	c, err := driver.CompileCtx(ctx, req.Sources, opts)
+	var c *driver.Compilation
+	rsp := rec.Begin("request/run")
+	pprof.Do(ctx, workLabels(req.Tag, "compile"), func(ctx context.Context) {
+		c, err = driver.CompileCtx(ctx, req.Sources, opts)
+	})
 	if err != nil {
+		rsp.End()
 		s.mergeCounters(rec)
 		return finish(err)
 	}
-	st, err := c.RunCtx(ctx, opts, req.Inputs)
-	if err != nil {
-		s.mergeCounters(rec)
-		return finish(err)
-	}
+	var st *pa8000.Stats
+	pprof.Do(ctx, workLabels(req.Tag, "simulate"), func(ctx context.Context) {
+		st, err = c.RunCtx(ctx, opts, req.Inputs)
+	})
+	rsp.End()
 	s.mergeCounters(rec)
+	if err != nil {
+		return finish(err)
+	}
 	return s.jsonResult(RunResponse{
-		CompileResponse: buildCompileResponse(c, rec, req.Remarks),
+		CompileResponse: buildCompileResponse(c, rec, req.Remarks, req.Spans),
 		Sim:             st,
 		CPI:             st.CPI(),
 	})
@@ -434,9 +527,17 @@ func (s *Server) buildTrain(ctx context.Context, body []byte) *flightResult {
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
 
-	db, err := s.cache.TrainProfile(ctx, req.Sources, req.TrainInputs, req.ExtraTrainInputs)
-	if err != nil {
-		return finish(err)
+	rec := obs.New()
+	var db *profile.Data
+	var err2 error
+	rsp := rec.Begin("request/train")
+	pprof.Do(ctx, workLabels(req.Tag, "train"), func(ctx context.Context) {
+		db, err2 = s.cache.TrainProfileObs(ctx, req.Sources, req.TrainInputs, req.ExtraTrainInputs, rec)
+	})
+	rsp.End()
+	s.mergeCounters(rec)
+	if err2 != nil {
+		return finish(err2)
 	}
 	var buf bytes.Buffer
 	if err := db.Write(&buf); err != nil {
@@ -449,7 +550,10 @@ func (s *Server) buildTrain(ctx context.Context, body []byte) *flightResult {
 	}
 }
 
-// writeResult flushes a flightResult onto the wire.
+// writeResult flushes a flightResult onto the wire. Executed results
+// carry the queue/service split as headers, so clients (hloload) can
+// separate time spent waiting for a worker from time spent compiling
+// without the server keeping any per-client state.
 func writeResult(w http.ResponseWriter, res *flightResult) {
 	if res.contentType != "" {
 		w.Header().Set("Content-Type", res.contentType)
@@ -457,6 +561,16 @@ func writeResult(w http.ResponseWriter, res *flightResult) {
 	if res.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
 	}
+	if res.timed {
+		w.Header().Set("X-Hlod-Queue-Ms", formatMS(res.queueNS))
+		w.Header().Set("X-Hlod-Service-Ms", formatMS(res.serviceNS))
+	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
+}
+
+// formatMS renders nanoseconds as decimal milliseconds for the timing
+// headers.
+func formatMS(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 3, 64)
 }

@@ -142,7 +142,7 @@ func TestCompileMatchesDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := mustMarshal(buildCompileResponse(c, rec, req.Remarks))
+	want := mustMarshal(buildCompileResponse(c, rec, req.Remarks, false))
 	if !bytes.Equal(got, want) {
 		t.Errorf("HTTP response differs from direct driver.Compile:\n got: %s\nwant: %s", got, want)
 	}

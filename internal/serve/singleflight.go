@@ -15,6 +15,15 @@ type flightResult struct {
 	retryAfter  int // seconds; nonzero only on 429
 	body        []byte
 	canceled    bool
+	// queueNS/serviceNS split the executing request's latency into
+	// admission wait and actual work, surfaced as the X-Hlod-Queue-Ms /
+	// X-Hlod-Service-Ms response headers. timed marks results that went
+	// through admission (errors rendered before admission carry no
+	// split). Followers replay the leader's split: the work they waited
+	// on is the work these numbers describe.
+	queueNS   int64
+	serviceNS int64
+	timed     bool
 }
 
 // flightGroup coalesces concurrent identical requests ("single
