@@ -5,7 +5,7 @@
 //
 //	hlobench [-fig5] [-table1] [-fig6] [-fig7] [-fig8] [-all] [-trace]
 //	         [-profile] [-spans-json F] [-trace-out F] [-min-coverage PCT]
-//	         [-j N]
+//	         [-j N] [-sim-engine predecoded|reference]
 //
 // With no flags it behaves as -all. Figure 8 accepts -fig8points to
 // bound the sweep resolution. -trace prints, after each experiment, the
@@ -19,7 +19,11 @@
 // percent of the total recorded wall time. -j fans the independent
 // (benchmark × configuration) cells of each experiment over N workers
 // (default: one per CPU); the tables are byte-identical for every N, so
-// -j 1 is purely the slow reference mode.
+// -j 1 is purely the slow reference mode. -sim-engine selects the
+// PA-8000 simulator implementation: the predecoded run-batched engine
+// (default) or the instruction-at-a-time reference interpreter — the
+// two produce byte-identical tables, so "reference" exists only to
+// demonstrate that and to measure the engine's speedup.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pa8000"
 )
 
 func main() {
@@ -49,8 +54,17 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the full flight record as Chrome trace-event JSON to this file")
 	minCoverage := flag.Float64("min-coverage", 0, "fail if attribution coverage % is below this (0 disables)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the experiment cells (1 = serial)")
+	simEngine := flag.String("sim-engine", "predecoded", "simulator engine: predecoded or reference")
 	flag.Parse()
 
+	switch *simEngine {
+	case "predecoded":
+	case "reference":
+		pa8000.SetReferenceEngine(true)
+	default:
+		fmt.Fprintf(os.Stderr, "hlobench: unknown -sim-engine %q (want predecoded or reference)\n", *simEngine)
+		os.Exit(2)
+	}
 	if !*fig5 && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*prod {
 		*all = true
 	}

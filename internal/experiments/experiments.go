@@ -18,6 +18,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -61,12 +62,21 @@ var cache = driver.NewCache()
 func ResetCache() { cache = driver.NewCache() }
 
 // forEachCell runs n independent experiment cells across the configured
-// workers. Every cell gets a private recorder (when a global recorder
-// is attached) merged back in submission order, so traces are identical
-// to a serial run's. label(i) names cell i's root span ("cell/..."),
-// the unit of straggler ranking and attribution coverage.
+// workers, claiming the cells expected to run longest first (see
+// scheduleOrder). Every cell gets a private recorder (when a global
+// recorder is attached) merged back in submission order, so traces are
+// identical to a serial run's under any worker count or claim order.
+// label(i) names cell i's root span ("cell/..."), the unit of
+// straggler ranking, attribution coverage, and cost memory.
 func forEachCell(n int, label func(i int) string, task func(i int, rec *obs.Recorder) error) error {
-	return par.DoObsNamed(workers, recorder, n, label, task)
+	order := scheduleOrder(n, label)
+	return par.DoObsNamedOrdered(workers, recorder, n, order, label,
+		func(i int, rec *obs.Recorder) error {
+			start := time.Now()
+			err := task(i, rec)
+			noteCost(label(i), time.Since(start))
+			return err
+		})
 }
 
 // compileAndRun builds one benchmark under the given options and times
@@ -139,6 +149,12 @@ func Table1() ([]Table1Row, error) {
 			return nil, err
 		}
 		benches[i] = b
+	}
+	// The "p" and "cp" cells of one benchmark share a memoized training
+	// run; warming it in a dedicated phase gives training its own cell
+	// spans and starts the longest work first.
+	if err := warmTrain("table1", benches); err != nil {
+		return nil, err
 	}
 	nc := len(table1Configs)
 	rows := make([]Table1Row, len(benches)*nc)
@@ -229,6 +245,9 @@ var toggleConfigs = []struct {
 // All (benchmark × setting) cells run on the worker pool.
 func Figure6() ([]Figure6Row, error) {
 	benches := specsuite.All()
+	if err := warmTrain("fig6", benches); err != nil {
+		return nil, err
+	}
 	nc := len(toggleConfigs)
 	cycles := make([]int64, len(benches)*nc)
 	label := func(i int) string {
@@ -323,6 +342,9 @@ func Figure7() ([]Figure7Row, error) {
 		}
 		benches[i] = b
 	}
+	if err := warmTrain("fig7", benches); err != nil {
+		return nil, err
+	}
 	nc := len(toggleConfigs)
 	stats := make([]*pa8000.Stats, len(benches)*nc)
 	label := func(i int) string {
@@ -388,6 +410,9 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 	}
 	b, err := specsuite.ByName("022.li")
 	if err != nil {
+		return nil, err
+	}
+	if err := warmTrain("fig8", []*specsuite.Benchmark{b}); err != nil {
 		return nil, err
 	}
 	// Phase A, one task per budget: learn how many operations the budget

@@ -2,18 +2,28 @@ package experiments_test
 
 import (
 	"bytes"
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
 
-// runDeterministic regenerates an experiment at the given parallelism
-// with a fresh recorder attached and returns the rendered rows plus the
-// remark stream serialized as JSONL — the two byte streams hlobench and
-// hlocc -remarks-json expose.
-func runDeterministic(t *testing.T, workers int, gen func() (string, error)) (string, []byte) {
+// runDeterministic regenerates an experiment from a cold cache at the
+// given parallelism with a fresh recorder attached and returns the
+// rendered rows, the remark stream serialized as JSONL — the two byte
+// streams hlobench and hlocc -remarks-json expose — and the span
+// attribution skeleton: every recorded span's name, depth and size/cost
+// deltas with the timing fields dropped. The skeleton is sorted: which
+// cell's recorder captures a shared cache fill (frontend/parse,
+// train/run for benchmarks with identical sources) is schedule-dependent
+// by design, but exactly one fill happens per key, so the multiset of
+// spans — and with it the aggregated attribution — is not.
+func runDeterministic(t *testing.T, workers int, gen func() (string, error)) (string, []byte, []byte) {
 	t.Helper()
+	experiments.ResetCache()
 	rec := obs.New()
 	experiments.SetRecorder(rec)
 	experiments.SetParallelism(workers)
@@ -27,7 +37,13 @@ func runDeterministic(t *testing.T, workers int, gen func() (string, error)) (st
 	if err := obs.WriteJSONL(&jsonl, rec.Remarks()); err != nil {
 		t.Fatal(err)
 	}
-	return rendered, jsonl.Bytes()
+	lines := make([]string, 0, len(rec.Spans()))
+	for _, sp := range rec.Spans() {
+		lines = append(lines, fmt.Sprintf("%d %s %d %d %d %d %v",
+			sp.Depth, sp.Name, sp.SizeBefore, sp.SizeAfter, sp.CostBefore, sp.CostAfter, sp.Open))
+	}
+	sort.Strings(lines)
+	return rendered, jsonl.Bytes(), []byte(strings.Join(lines, "\n"))
 }
 
 // TestParallelDeterminism is the harness's headline guarantee: the
@@ -58,8 +74,8 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	for _, exp := range cases {
 		t.Run(exp.name, func(t *testing.T) {
-			serialOut, serialJSON := runDeterministic(t, 1, exp.gen)
-			parallelOut, parallelJSON := runDeterministic(t, 8, exp.gen)
+			serialOut, serialJSON, serialSpans := runDeterministic(t, 1, exp.gen)
+			parallelOut, parallelJSON, parallelSpans := runDeterministic(t, 8, exp.gen)
 			if serialOut != parallelOut {
 				t.Errorf("rendered output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serialOut, parallelOut)
 			}
@@ -69,6 +85,13 @@ func TestParallelDeterminism(t *testing.T) {
 			if !bytes.Equal(serialJSON, parallelJSON) {
 				t.Errorf("JSONL remark stream differs between -j 1 and -j 8 (%d vs %d bytes)",
 					len(serialJSON), len(parallelJSON))
+			}
+			if len(serialSpans) == 0 {
+				t.Fatal("serial run recorded no spans — attribution check is vacuous")
+			}
+			if !bytes.Equal(serialSpans, parallelSpans) {
+				t.Errorf("span attribution skeleton differs between -j 1 and -j 8 (%d vs %d bytes)",
+					len(serialSpans), len(parallelSpans))
 			}
 		})
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isom"
 	"repro/internal/obs"
+	"repro/internal/pa8000"
 	"repro/internal/par"
 	"repro/internal/randprog"
 )
@@ -239,6 +240,47 @@ func compileCell(c cell, sources []string, train []int64, cfg Config, cache *dri
 	return comp, sb.String(), nil
 }
 
+// engineDiff compares every pa8000.Stats counter of the predecoded
+// engine against the reference loop and names the first field that
+// disagrees ("" when they match exactly). Byte-identical statistics —
+// not just output — are the engine's correctness contract: a batching
+// bug that miscounts cycles or cache misses corrupts every experiment
+// without changing a single program result.
+func engineDiff(got, want *pa8000.Stats) string {
+	diff := func(field string, g, w int64) string {
+		return fmt.Sprintf("stats field %s: predecoded %d, reference %d", field, g, w)
+	}
+	switch {
+	case got.Cycles != want.Cycles:
+		return diff("Cycles", got.Cycles, want.Cycles)
+	case got.Instrs != want.Instrs:
+		return diff("Instrs", got.Instrs, want.Instrs)
+	case got.IAccesses != want.IAccesses:
+		return diff("IAccesses", got.IAccesses, want.IAccesses)
+	case got.IMisses != want.IMisses:
+		return diff("IMisses", got.IMisses, want.IMisses)
+	case got.DAccesses != want.DAccesses:
+		return diff("DAccesses", got.DAccesses, want.DAccesses)
+	case got.DMisses != want.DMisses:
+		return diff("DMisses", got.DMisses, want.DMisses)
+	case got.Branches != want.Branches:
+		return diff("Branches", got.Branches, want.Branches)
+	case got.Predicted != want.Predicted:
+		return diff("Predicted", got.Predicted, want.Predicted)
+	case got.Mispredicts != want.Mispredicts:
+		return diff("Mispredicts", got.Mispredicts, want.Mispredicts)
+	case got.Calls != want.Calls:
+		return diff("Calls", got.Calls, want.Calls)
+	case got.Returns != want.Returns:
+		return diff("Returns", got.Returns, want.Returns)
+	case got.ExitCode != want.ExitCode:
+		return diff("ExitCode", got.ExitCode, want.ExitCode)
+	case !equalOutput(got.Output, want.Output):
+		return fmt.Sprintf("output: predecoded %v, reference %v", got.Output, want.Output)
+	}
+	return ""
+}
+
 func checkCell(c cell, sources []string, inputs, train []int64, want *interp.Result, cfg Config) *Failure {
 	fail := func(kind, detail string) *Failure {
 		return &Failure{Cell: c.name, Kind: kind, Detail: detail,
@@ -268,8 +310,21 @@ func checkCell(c cell, sources []string, inputs, train []int64, want *interp.Res
 
 	// Oracle 2: the machine model agrees and retires a sane instruction
 	// count (at least one instruction, and not wildly above the IR step
-	// count — machine expansion is small and bounded).
+	// count — machine expansion is small and bounded). The production
+	// path runs the predecoded engine; oracle 6 below cross-checks it
+	// against the retired reference loop on this same program before
+	// anything else judges the result, errors included.
 	st, err := comp.Run(opts, inputs)
+	refSt, refErr := pa8000.RunReference(comp.Machine, opts.Machine, inputs)
+	if (err == nil) != (refErr == nil) ||
+		(err != nil && refErr != nil && err.Error() != refErr.Error()) {
+		return fail("engine", fmt.Sprintf("predecoded engine %v, reference engine %v", err, refErr))
+	}
+	if err == nil {
+		if d := engineDiff(st, refSt); d != "" {
+			return fail("engine", d)
+		}
+	}
 	if err != nil {
 		return fail("sim", err.Error())
 	}

@@ -72,6 +72,9 @@ func RunCtx(ctx context.Context, p *ir.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	m := newMachine(p, opts)
+	// The machine's memory and arena go back to the pool on every exit;
+	// nothing in a Result aliases them.
+	defer putState(m.st)
 	if ctx != nil {
 		// Fail fast on a dead context: a short run could otherwise finish
 		// between stride checks and mask the cancellation entirely.
@@ -123,6 +126,14 @@ type machine struct {
 	funcByID    map[int64]*ir.Func
 	runtimeByID map[int64]string
 
+	// Pooled backing state and the arena cursor (current chunk, chunk
+	// index, offset) for per-call register files and argument vectors.
+	st    *interpState
+	dirty []uint8
+	cur   []int64
+	ci    int
+	off   int
+
 	prof map[string][]int64 // block counts by function QName
 }
 
@@ -143,10 +154,11 @@ func newMachine(p *ir.Program, opts Options) *machine {
 	if maxDepth == 0 {
 		maxDepth = DefaultMaxDepth
 	}
+	st := getState(memSize)
 	m := &machine{
 		ctx:         context.Background(),
 		prog:        p,
-		mem:         make([]int64, memSize),
+		mem:         st.mem,
 		sp:          memSize,
 		fuel:        fuel,
 		fuel0:       fuel,
@@ -157,13 +169,23 @@ func newMachine(p *ir.Program, opts Options) *machine {
 		funcID:      make(map[string]int64),
 		funcByID:    make(map[int64]*ir.Func),
 		runtimeByID: make(map[int64]string),
+		st:          st,
+		dirty:       st.dirty,
+		cur:         st.chunks[0],
 	}
-	// Lay out globals from address 16 (0 stays "null").
+	// Lay out globals from address 16 (0 stays "null"). Only the
+	// explicitly initialized prefix is written (and dirty-marked); the
+	// rest of each global reads as zero straight from the pooled memory.
 	addr := int64(16)
 	for _, mod := range p.Modules {
 		for _, g := range mod.Globals {
 			m.globalBase[g.QName] = addr
 			copy(m.mem[addr:addr+g.Size], g.Init)
+			if n := int64(len(g.Init)); n > 0 {
+				for pg := addr >> pageShift; pg <= (addr+n-1)>>pageShift; pg++ {
+					m.dirty[pg] = 1
+				}
+			}
 			addr += g.Size
 		}
 	}
@@ -202,6 +224,7 @@ func (m *machine) store(addr, v int64) error {
 		return fmt.Errorf("interp: store to invalid address %d", addr)
 	}
 	m.mem[addr] = v
+	m.dirty[addr>>pageShift] = 1
 	return nil
 }
 
@@ -225,16 +248,21 @@ func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
 		m.depth--
 		return 0, fmt.Errorf("interp: call depth exceeds %d in %s", m.maxDepth, f.QName)
 	}
-	regs := make([]int64, f.NumRegs)
+	mci, moff := m.ci, m.off
+	regs := m.alloc(int(f.NumRegs))
+	if f.NumParams < len(regs) {
+		clear(regs[f.NumParams:])
+	}
 	copy(regs, args[:f.NumParams])
 	savedSP := m.sp
 	m.sp -= f.FrameSize
 	frameBase := m.sp
 	if m.sp < m.limit {
 		m.depth--
+		m.release(mci, moff)
 		return 0, fmt.Errorf("interp: stack overflow in %s", f.QName)
 	}
-	defer func() { m.sp = savedSP; m.depth-- }()
+	defer func() { m.sp = savedSP; m.depth--; m.release(mci, moff) }()
 
 	var counts []int64
 	if m.prof != nil {
@@ -341,6 +369,7 @@ func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
 				if err != nil {
 					return 0, err
 				}
+				aci, aoff := m.ci, m.off
 				args, err := m.evalArgs(in.Args, regs)
 				if err != nil {
 					return 0, err
@@ -353,6 +382,7 @@ func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
 				} else {
 					return 0, fmt.Errorf("interp: indirect call to invalid address %d (in %s at %s)", target, f.QName, in.Pos)
 				}
+				m.release(aci, aoff) // the argument vector dies with the call
 				if err != nil {
 					return 0, err
 				}
@@ -401,18 +431,23 @@ func (m *machine) call(f *ir.Func, args []int64) (int64, error) {
 }
 
 func (m *machine) directCall(in *ir.Instr, regs []int64) (int64, error) {
+	aci, aoff := m.ci, m.off
 	args, err := m.evalArgs(in.Args, regs)
 	if err != nil {
 		return 0, err
 	}
+	var v int64
 	if ir.IsRuntime(in.Callee) {
-		return m.runtimeCall(ir.RuntimeName(in.Callee), args)
+		v, err = m.runtimeCall(ir.RuntimeName(in.Callee), args)
+	} else {
+		callee := m.prog.Func(in.Callee)
+		if callee == nil {
+			return 0, fmt.Errorf("interp: call to unknown function %q", in.Callee)
+		}
+		v, err = m.call(callee, args)
 	}
-	callee := m.prog.Func(in.Callee)
-	if callee == nil {
-		return 0, fmt.Errorf("interp: call to unknown function %q", in.Callee)
-	}
-	return m.call(callee, args)
+	m.release(aci, aoff) // the argument vector dies with the call
+	return v, err
 }
 
 func (m *machine) runtimeCall(name string, args []int64) (int64, error) {
@@ -447,8 +482,11 @@ func (m *machine) runtimeCall(name string, args []int64) (int64, error) {
 	return 0, fmt.Errorf("interp: unknown runtime routine %q", name)
 }
 
+// evalArgs carves the argument vector from the arena; the call site
+// releases it once the call returns. Every slot is written before use,
+// so the arena's arbitrary contents never leak through.
 func (m *machine) evalArgs(ops []ir.Operand, regs []int64) ([]int64, error) {
-	args := make([]int64, len(ops))
+	args := m.alloc(len(ops))
 	for i, o := range ops {
 		v, err := m.operand(o, regs)
 		if err != nil {

@@ -1,0 +1,106 @@
+package interp
+
+import "sync"
+
+// Pooled interpreter state. A run used to allocate a zeroed memSize
+// (default 32 MB) data memory per machine and two slices per call —
+// the callee's register file and the evaluated argument vector. The
+// training phase executes millions of calls, so those two make()s were
+// most of the toolchain's allocation volume, and the GC cycles they
+// forced also drained the simulator's state pool. The machine now
+// checks memory out of a pool (zeroness restored on check-in by
+// clearing only the pages stores dirtied, one byte per page) and
+// carves call slices from a chunked arena with stack discipline: a
+// frame releases to its entry mark on return, and a call site releases
+// the argument vector right after the call returns.
+
+// pageShift sizes dirty tracking: 1<<pageShift words (256 KiB) per
+// page, as in the pa8000 engine's pool.
+const pageShift = 15
+
+const pageWords = 1 << pageShift
+
+// chunkWords is the arena granularity. A chunk holds hundreds of
+// typical frames; deep recursion just chains more chunks, which the
+// pool retains for the next run.
+const chunkWords = 1 << 14
+
+type interpState struct {
+	mem    []int64
+	dirty  []uint8 // one byte per pageWords words; 1 = clear on check-in
+	chunks [][]int64
+}
+
+var statePool sync.Pool
+
+// getState checks out a machine memory shaped for memSize, zeroed (the
+// check-in sweep guarantees it), with at least one arena chunk ready.
+func getState(memSize int64) *interpState {
+	st, _ := statePool.Get().(*interpState)
+	if st == nil {
+		st = &interpState{}
+	}
+	if int64(len(st.mem)) != memSize {
+		st.mem = make([]int64, memSize)
+		st.dirty = make([]uint8, (memSize+pageWords-1)>>pageShift)
+	}
+	if len(st.chunks) == 0 {
+		st.chunks = append(st.chunks, make([]int64, chunkWords))
+	}
+	return st
+}
+
+// putState scrubs the dirtied pages and returns the state to the pool.
+func putState(st *interpState) {
+	mem, dirty := st.mem, st.dirty
+	for i, d := range dirty {
+		if d != 0 {
+			lo := int64(i) << pageShift
+			hi := lo + pageWords
+			if hi > int64(len(mem)) {
+				hi = int64(len(mem))
+			}
+			clear(mem[lo:hi])
+			dirty[i] = 0
+		}
+	}
+	statePool.Put(st)
+}
+
+// alloc carves n words from the arena. The contents are arbitrary; the
+// caller zeroes what must read as zero. The 3-index slice keeps a
+// stray append from aliasing the next frame.
+func (m *machine) alloc(n int) []int64 {
+	if n > len(m.cur)-m.off {
+		m.grow(n)
+	}
+	s := m.cur[m.off : m.off+n : m.off+n]
+	m.off += n
+	return s
+}
+
+func (m *machine) grow(n int) {
+	st := m.st
+	m.ci++
+	if m.ci == len(st.chunks) {
+		sz := chunkWords
+		if n > sz {
+			sz = n
+		}
+		st.chunks = append(st.chunks, make([]int64, sz))
+	} else if len(st.chunks[m.ci]) < n {
+		sz := chunkWords
+		if n > sz {
+			sz = n
+		}
+		st.chunks[m.ci] = make([]int64, sz)
+	}
+	m.cur = st.chunks[m.ci]
+	m.off = 0
+}
+
+// release rewinds the arena to a mark taken before an alloc.
+func (m *machine) release(ci, off int) {
+	m.ci, m.off = ci, off
+	m.cur = m.st.chunks[ci]
+}

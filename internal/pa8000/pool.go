@@ -1,0 +1,314 @@
+package pa8000
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pooled simulator state. A Run used to allocate its caches, BHT and —
+// dominating everything — a freshly zeroed cfg.MemWords (default 32 MB)
+// data memory on every call. The experiment harness runs tens of
+// thousands of simulations, so that allocation showed up as the
+// allocation delta of every span and kept the fault-domain warm paths
+// memory-bound. engineState checks the whole machine out of a
+// sync.Pool instead; memory cleanliness is restored on check-in by
+// clearing only the pages a run actually dirtied (stores + InitData),
+// tracked with one byte per page.
+
+// pageShift sizes the dirty-tracking granularity: 1<<pageShift words
+// (256 KiB) per page, i.e. 128 pages for the default 32 MB memory. A
+// simulated store marks its page with a single indexed byte store.
+const (
+	pageShift = 15
+	pageWords = 1 << pageShift
+)
+
+// simCache is the pooled, inline-probed equivalent of Cache: identical
+// geometry, identical LRU evolution, plus a last-line fast path that
+// turns the common sequential-fetch case into two loads and a store.
+// The fast path is sound because every access (hit, miss or fast)
+// refreshes lastLine/lastIdx, so it can only fire when the immediately
+// preceding access touched the same line — which therefore cannot have
+// been evicted in between.
+type simCache struct {
+	lineWords int64
+	lineShift uint // log2(lineWords) when a power of two, else 0
+	pow2Line  bool
+	sets      int64
+	setMask   int64 // sets-1 when sets is a power of two
+	pow2Sets  bool
+	assoc     int64
+	tags      []int64 // sets × assoc; -1 = invalid
+	lru       []int64
+	clock     int64
+	accesses  int64
+	misses    int64
+	lastLine  int64 // addr>>lineShift of the previous access; -1 = none
+	lastIdx   int64 // way index holding lastLine
+	lastSet   int64 // set of lastLine (true line's set, even when pseudo)
+	prevLine  int64 // the distinct line accessed before lastLine; -1 = none
+	prevIdx   int64
+	prevSet   int64
+	prevOK    bool // prevSet != lastSet, so prevLine cannot have been evicted
+	// resident inverts tags: resident[line] is the way currently
+	// holding line, -1 when absent. It turns a lookup into one indexed
+	// load, with the O(assoc) work deferred to installLine on misses.
+	// Only used when the address space of lines is small enough to
+	// enumerate — the I-cache, whose lines cover the code array.
+	resident []int32
+}
+
+// reset gives the cache the requested geometry and a cold state,
+// reusing the tag/LRU arrays when the shape is unchanged. The geometry
+// derivation matches NewCache exactly.
+func (c *simCache) reset(sizeBytes, lineBytes, assoc int) {
+	if assoc < 1 {
+		assoc = 1
+	}
+	lineWords := int64(lineBytes / 8)
+	if lineWords < 1 {
+		lineWords = 1
+	}
+	lines := int64(sizeBytes / lineBytes)
+	sets := lines / int64(assoc)
+	if sets < 1 {
+		sets = 1
+	}
+	c.lineWords = lineWords
+	// For power-of-two lines the fast path compares true line numbers;
+	// otherwise lineShift 0 degrades it to exact-address repeats (still
+	// sound: same address ⇒ same line) and probe divides for real.
+	c.lineShift = 0
+	c.pow2Line = lineWords&(lineWords-1) == 0
+	if c.pow2Line {
+		c.lineShift = uint(bits.TrailingZeros64(uint64(lineWords)))
+	}
+	c.sets = sets
+	c.setMask = sets - 1
+	c.pow2Sets = sets&(sets-1) == 0
+	c.assoc = int64(assoc)
+	n := sets * int64(assoc)
+	if int64(len(c.tags)) != n {
+		c.tags = make([]int64, n)
+		c.lru = make([]int64, n)
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	clear(c.lru)
+	c.clock = 0
+	c.accesses = 0
+	c.misses = 0
+	c.lastLine = -1
+	c.lastIdx = 0
+	c.lastSet = 0
+	c.prevLine = -1
+	c.prevIdx = 0
+	c.prevSet = 0
+	c.prevOK = false
+}
+
+// probe is the full set-associative lookup, bit-for-bit the loop in
+// Cache.Access: same victim selection (first way wins ties, strictly
+// older stamps displace it), same LRU stamping. The caller has already
+// bumped clock and accesses and missed the last-line fast path.
+func (c *simCache) probe(addr int64) bool {
+	// Addresses here are non-negative (pc ≥ 0 for the I-cache, bounds-
+	// checked data addresses for the D-cache), so the shift and mask
+	// forms agree exactly with the reference's divide and modulo.
+	var line, set int64
+	if c.pow2Line {
+		line = addr >> c.lineShift
+	} else {
+		line = addr / c.lineWords
+	}
+	if c.pow2Sets {
+		set = line & c.setMask
+	} else {
+		set = line % c.sets
+		if set < 0 {
+			set = -set
+		}
+	}
+	base := set * c.assoc
+	victim := base
+	idx := int64(-1)
+	if c.assoc == 2 {
+		// Both caches default to two-way: resolve hit and victim with
+		// straight-line compares. The victim rule matches the scan
+		// below (way 0 wins ties, a strictly older way 1 displaces it).
+		if c.tags[base] == line {
+			idx = base
+		} else if c.tags[base+1] == line {
+			idx = base + 1
+		} else if c.lru[base+1] < c.lru[base] {
+			victim = base + 1
+		}
+	} else {
+		oldest := c.lru[base]
+		for i := base; i < base+c.assoc; i++ {
+			if c.tags[i] == line {
+				idx = i
+				break
+			}
+			if c.lru[i] < oldest {
+				oldest = c.lru[i]
+				victim = i
+			}
+		}
+	}
+	hit := idx >= 0
+	if !hit {
+		c.misses++
+		c.tags[victim] = line
+		idx = victim
+	}
+	c.lru[idx] = c.clock
+	// Slide the two-line MRU window: the displaced lastLine stays
+	// recoverable through access2 only while its set differs from every
+	// set touched since — accesses to other sets cannot evict it.
+	c.prevLine, c.prevIdx, c.prevSet = c.lastLine, c.lastIdx, c.lastSet
+	c.prevOK = c.prevLine >= 0 && c.prevSet != set
+	c.lastLine = addr >> c.lineShift
+	c.lastIdx = idx
+	c.lastSet = set
+	return hit
+}
+
+// ensureResident sizes the resident map for lines [0, n) and empties
+// it. Must be called with the cache cold (all tags invalid), which
+// reset guarantees, so that an all-empty map mirrors the tags.
+func (c *simCache) ensureResident(n int64) {
+	if int64(cap(c.resident)) < n {
+		c.resident = make([]int32, n)
+	}
+	c.resident = c.resident[:n]
+	for i := range c.resident {
+		c.resident[i] = -1
+	}
+}
+
+// victimWay picks the way a miss on line evicts: reference selection
+// exactly (way 0 wins ties, strictly older ways displace it).
+func (c *simCache) victimWay(line int64) int64 {
+	var set int64
+	if c.pow2Sets {
+		set = line & c.setMask
+	} else {
+		set = line % c.sets // line ≥ 0 here
+	}
+	base := set * c.assoc
+	victim := base
+	if c.assoc == 2 {
+		if c.lru[base+1] < c.lru[base] {
+			victim = base + 1
+		}
+	} else {
+		oldest := c.lru[base]
+		for i := base + 1; i < base+c.assoc; i++ {
+			if c.lru[i] < oldest {
+				oldest = c.lru[i]
+				victim = i
+			}
+		}
+	}
+	return victim
+}
+
+// installLine handles a resident-map miss: victim selection, tag
+// install, LRU stamp at the current clock, and both map updates. The
+// caller has already advanced clock past the access and charges the
+// miss penalty.
+func (c *simCache) installLine(line int64) {
+	victim := c.victimWay(line)
+	if old := c.tags[victim]; old >= 0 {
+		c.resident[old] = -1
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	c.resident[line] = int32(victim)
+}
+
+// access2 is the second-chance path behind the inlined lastLine check:
+// a guaranteed hit when the access lands on the other line of the MRU
+// window, else the full probe. The prev hit is sound because prevOK
+// certifies that every access since prevLine's last touch went to a
+// different set (the window only ever holds set-disjoint lines, and
+// fast-path repeats stay within the window), so prevLine is still
+// resident in the way access2 remembered. Swapping the window entries
+// keeps both lines of a ping-pong pattern — the loop-body fetch lines,
+// a stack/global store pair — probe-free after the first round.
+func (c *simCache) access2(addr, pline int64) bool {
+	if c.prevOK && pline == c.prevLine {
+		c.lru[c.prevIdx] = c.clock
+		c.lastLine, c.prevLine = c.prevLine, c.lastLine
+		c.lastIdx, c.prevIdx = c.prevIdx, c.lastIdx
+		c.lastSet, c.prevSet = c.prevSet, c.lastSet
+		return true
+	}
+	return c.probe(addr)
+}
+
+// engineState is one checked-out machine: data memory with its dirty
+// map, both caches, the BHT, the output accumulator, and the predecode
+// buffer. Everything is reusable across runs and configs.
+type engineState struct {
+	mem   []int64
+	dirty []uint8 // one byte per pageWords words; 1 = must clear on check-in
+	ic    simCache
+	dc    simCache
+	bht   []uint8
+	out   []int64
+	code  []pInstr // predecode scratch, capacity reused across runs
+}
+
+var statePool sync.Pool
+
+// getState checks a machine out of the pool, shaped for cfg and in the
+// same cold state a freshly allocated one would have: zeroed memory
+// (guaranteed by putState's dirty-page sweep), invalid cache tags,
+// untrained BHT.
+func getState(cfg Config) *engineState {
+	s, _ := statePool.Get().(*engineState)
+	if s == nil {
+		s = &engineState{}
+	}
+	if int64(len(s.mem)) != cfg.MemWords {
+		s.mem = make([]int64, cfg.MemWords)
+		s.dirty = make([]uint8, (cfg.MemWords+pageWords-1)>>pageShift)
+	}
+	s.ic.reset(cfg.ICacheBytes, cfg.ICacheLine, cfg.ICacheAssoc)
+	s.dc.reset(cfg.DCacheBytes, cfg.DCacheLine, cfg.DCacheAssoc)
+	n := 1
+	for n < cfg.BHTEntries { // NewBHT's round-up-to-power-of-two
+		n <<= 1
+	}
+	if len(s.bht) != n {
+		s.bht = make([]uint8, n)
+	} else {
+		clear(s.bht)
+	}
+	s.out = s.out[:0]
+	return s
+}
+
+// putState scrubs the dirtied memory pages and returns the machine to
+// the pool. Runs touch a handful of pages (their globals and the top
+// of the stack), so this clears kilobytes, not the 32 MB arena.
+func putState(s *engineState) {
+	mem, dirty := s.mem, s.dirty
+	for i, d := range dirty {
+		if d != 0 {
+			lo := int64(i) << pageShift
+			hi := lo + pageWords
+			if hi > int64(len(mem)) {
+				hi = int64(len(mem))
+			}
+			clear(mem[lo:hi])
+			dirty[i] = 0
+		}
+	}
+	s.out = s.out[:0]
+	statePool.Put(s)
+}

@@ -78,6 +78,73 @@ func Do(workers, n int, task func(i int) error) error {
 	return nil
 }
 
+// DoOrdered is Do with an explicit claim order: workers pick tasks up
+// in the sequence order[0], order[1], ... instead of submission order,
+// while result slots, recorder merging and error selection stay keyed
+// by submission index — the schedule moves wall-clock around, never
+// observable output. order must be a permutation of [0, n); nil means
+// submission order. Unlike Do, a single worker also follows the claim
+// order and still runs every task: the returned error is always the
+// lowest-submission-index failure, identical under any worker count.
+func DoOrdered(workers, n int, order []int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		if len(order) != n {
+			panic("par: DoOrdered order is not a permutation of the task indices")
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				panic("par: DoOrdered order is not a permutation of the task indices")
+			}
+			seen[i] = true
+		}
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for _, i := range order {
+			errs[i] = task(i)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(atomic.AddInt64(&next, 1)) - 1
+					if p >= n {
+						return
+					}
+					i := order[p]
+					errs[i] = task(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DoObs is Do with ordered observability: when parent is enabled, every
 // task receives its own fresh recorder, and after all tasks complete the
 // per-task recorders are merged into parent in submission order (even if
@@ -103,6 +170,33 @@ func DoObsNamed(workers int, parent *obs.Recorder, n int, label func(i int) stri
 		recs[i] = obs.New()
 	}
 	err := Do(workers, n, func(i int) error {
+		if label == nil {
+			return task(i, recs[i])
+		}
+		t := recs[i].Begin(label(i))
+		defer t.End()
+		return task(i, recs[i])
+	})
+	for _, rec := range recs {
+		parent.Merge(rec)
+	}
+	return err
+}
+
+// DoObsNamedOrdered is DoObsNamed running on DoOrdered: tasks are
+// claimed in the given priority order (longest-expected-first
+// scheduling shrinks the tail of a barrier), while the per-task
+// recorders are still merged into parent by submission index, so the
+// flight record is byte-identical to an unordered or serial run's.
+func DoObsNamedOrdered(workers int, parent *obs.Recorder, n int, order []int, label func(i int) string, task func(i int, rec *obs.Recorder) error) error {
+	if !parent.Enabled() {
+		return DoOrdered(workers, n, order, func(i int) error { return task(i, nil) })
+	}
+	recs := make([]*obs.Recorder, n)
+	for i := range recs {
+		recs[i] = obs.New()
+	}
+	err := DoOrdered(workers, n, order, func(i int) error {
 		if label == nil {
 			return task(i, recs[i])
 		}
