@@ -69,6 +69,10 @@ func main() {
 		*all = true
 	}
 	experiments.SetParallelism(*jobs)
+	// Allocate and pin the simulator arenas before the first cell, one
+	// per worker: the one-time 32 MB refills otherwise land inside (and
+	// distort) whichever experiments run first after a GC.
+	pa8000.Prewarm(pa8000.Config{}, min(*jobs, 4))
 	recording := *trace || *profileFlag || *spansJSON != "" || *traceOut != "" || *minCoverage > 0
 	var rec *obs.Recorder
 	if recording {

@@ -18,6 +18,12 @@
 //	-drain 30s        graceful-drain deadline after SIGTERM/SIGINT
 //	-quiet            disable the JSON access log on stderr
 //	-pprof            mount net/http/pprof under /debug/pprof/ (default true)
+//	-cache-dir DIR    shared persistent artifact store (compile farm mode):
+//	                  responses, frontend IR, and trained profiles are cached
+//	                  on disk by content address, cache fills are
+//	                  single-flighted across every daemon sharing DIR, and a
+//	                  restarted daemon warm-starts from it
+//	-cache-max N      artifact store size cap in bytes (default 256 MiB)
 //
 // Endpoints:
 //
@@ -49,6 +55,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cas"
+	"repro/internal/pa8000"
 	"repro/internal/serve"
 )
 
@@ -61,11 +69,23 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log")
 	pprofFlag := flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
+	cacheDir := flag.String("cache-dir", "", "shared persistent artifact store directory (farm mode)")
+	cacheMax := flag.Int64("cache-max", 0, "artifact store size cap in bytes (0 = 256 MiB)")
 	flag.Parse()
 
 	var accessLog io.Writer = os.Stderr
 	if *quiet {
 		accessLog = nil
+	}
+	var store *cas.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = cas.Open(*cacheDir, cas.Options{MaxBytes: *cacheMax})
+		if err != nil {
+			fatal(fmt.Errorf("open -cache-dir: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "hlod: artifact store at %s (%d bytes resident)\n",
+			*cacheDir, store.SizeBytes())
 	}
 	s := serve.New(serve.Config{
 		Workers:        *workers,
@@ -74,8 +94,13 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		AccessLog:      accessLog,
 		Pprof:          *pprofFlag,
+		Store:          store,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s}
+	// Pin one simulator arena per worker up front: the 32 MB refills a
+	// GC-drained sync.Pool forces would otherwise land inside the first
+	// /run requests after an idle period.
+	pa8000.Prewarm(pa8000.Config{}, min(s.Queue().Workers, 4))
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -1,0 +1,107 @@
+// Command hlogate is the compile farm's front proxy: it shards work
+// requests across a set of hlod daemons by rendezvous-hashing the cache
+// key (endpoint + body), so a given compile always lands on the daemon
+// whose in-memory caches already hold it. Dead backends are ejected by
+// a per-backend circuit breaker and their keys fail over to the next
+// daemon in rendezvous order; 429 backpressure (and its Retry-After)
+// is relayed to the client untouched, never rerouted.
+//
+// Usage:
+//
+//	hlogate -backends http://h1:8081,http://h2:8082 [flags]
+//
+// Flags:
+//
+//	-addr :8080                 listen address
+//	-backends URL,URL,...       hlod base URLs (required)
+//	-breaker-threshold 3        consecutive failures before ejecting a backend
+//	-breaker-cooldown 1s        how long an ejected backend sits out
+//	-max-body 8388608           request body limit in bytes
+//	-drain 30s                  graceful-drain deadline after SIGTERM/SIGINT
+//	-quiet                      disable the JSON access log on stderr
+//
+// Endpoints: POST /compile, /run, /train (proxied, stamped with
+// X-Hlogate-Backend); GET /healthz (backend liveness table, 503 while
+// draining or with zero live backends); GET /metrics (Prometheus text:
+// per-backend liveness, ejections, forward outcomes).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated hlod base URLs (required)")
+	threshold := flag.Int("breaker-threshold", 3, "consecutive failures before ejecting a backend")
+	cooldown := flag.Duration("breaker-cooldown", time.Second, "how long an ejected backend sits out")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	quiet := flag.Bool("quiet", false, "disable the JSON access log")
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fatal(errors.New("-backends is required (comma-separated hlod base URLs)"))
+	}
+
+	var accessLog io.Writer = os.Stderr
+	if *quiet {
+		accessLog = nil
+	}
+	g := serve.NewGateway(serve.GatewayConfig{
+		Backends:         urls,
+		BreakerThreshold: *threshold,
+		BreakerCooldown:  *cooldown,
+		MaxBodyBytes:     *maxBody,
+		AccessLog:        accessLog,
+	})
+	srv := &http.Server{Addr: *addr, Handler: g}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hlogate: listening on %s, %d backends: %s\n",
+		*addr, len(urls), strings.Join(urls, " "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "hlogate: %v: draining (deadline %s)\n", got, *drain)
+		g.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+			fatal(fmt.Errorf("drain incomplete: %v", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "hlogate: drained cleanly")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlogate:", err)
+	os.Exit(1)
+}

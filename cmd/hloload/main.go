@@ -1,6 +1,9 @@
-// Command hloload is the load generator for hlod: it drives N
-// concurrent clients over the specsuite benchmark × budget matrix for
-// a fixed duration and reports throughput and latency percentiles.
+// Command hloload is the load, soak, and ramp harness for hlod and the
+// compile farm. The default shape drives N concurrent closed-loop
+// clients over the specsuite benchmark × budget matrix for a fixed
+// duration and reports throughput and latency percentiles; -rate
+// switches to open-loop Poisson arrivals (a soak that does not slow
+// down when the server does), and -stages sweeps a concurrency ramp.
 //
 // Usage:
 //
@@ -9,8 +12,17 @@
 // Flags:
 //
 //	-addr URL      daemon base URL (default http://127.0.0.1:8080)
+//	-backends URL,URL,...  farm mode without a gateway: shard each
+//	               request to its rendezvous-hash backend, exactly as
+//	               hlogate would (overrides -addr)
 //	-c N           concurrent clients (default 4)
 //	-d 10s         run duration
+//	-rate R        open-loop mode: Poisson arrivals at R req/s instead
+//	               of closed-loop clients (no retries; shed arrivals
+//	               beyond -max-outstanding are counted, not queued)
+//	-max-outstanding N  in-flight cap in open-loop mode (default 64)
+//	-stages SPEC   concurrency ramp, e.g. "2:15s,4:15s,8:15s" — each
+//	               stage is a closed-loop run at that client count
 //	-endpoint E    compile | run (default compile)
 //	-bench a,b,c   specsuite benchmarks to cycle (default small trio)
 //	-budgets list  HLO budgets to cycle (default 50,100,150,200)
@@ -18,20 +30,25 @@
 //	-cross         cross-module scope
 //	-json FILE     merge the report into FILE (default BENCH_serve.json,
 //	               empty disables)
+//	-key NAME      scenario key for the JSON merge (default
+//	               hloload/<endpoint>/c<N>) — lets a farm benchmark
+//	               record e.g. farm/compile/2-daemons
 //	-retries N     per-request retry budget for 429/transport failures
-//	               (default 0 = unlimited)
+//	               (default 0 = unlimited; closed-loop only)
 //	-backoff D     first backoff delay; grows exponentially with jitter,
-//	               always honoring the server's Retry-After (default 50ms)
+//	               always honoring the server's Retry-After — both its
+//	               delta-seconds and HTTP-date forms (default 50ms)
 //	-backoff-cap D ceiling on the exponential backoff (default 2s)
 //	-breaker N     open a shared circuit breaker after N consecutive
 //	               failures (default 0 = disabled)
 //	-breaker-cooldown D  how long the circuit stays open (default 1s)
-//	-seed N        jitter seed, for reproducible retry schedules
+//	-seed N        jitter seed, for reproducible retry and arrival
+//	               schedules
 //
 // Exit status is non-zero if the run saw any transport error or any
 // response that was neither 2xx nor 429 — under admission control
 // those are the only healthy answers, which makes hloload double as
-// the CI smoke check against a live daemon.
+// the CI smoke check against a live daemon or a whole farm.
 package main
 
 import (
@@ -49,14 +66,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	backends := flag.String("backends", "", "comma-separated hlod base URLs (client-side rendezvous sharding)")
 	clients := flag.Int("c", 4, "concurrent clients")
 	dur := flag.Duration("d", 10*time.Second, "run duration")
+	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
+	maxOut := flag.Int("max-outstanding", 0, "open-loop in-flight cap (0 = 64)")
+	stages := flag.String("stages", "", "concurrency ramp, e.g. 2:15s,4:15s,8:15s")
 	endpoint := flag.String("endpoint", "compile", "compile | run")
 	bench := flag.String("bench", "", "comma-separated specsuite benchmarks")
 	budgets := flag.String("budgets", "", "comma-separated HLO budgets")
 	profileFlag := flag.Bool("profile", false, "enable PBO training on every request")
 	cross := flag.Bool("cross", false, "cross-module scope")
 	jsonOut := flag.String("json", "BENCH_serve.json", "merge the report into this file (empty disables)")
+	keyFlag := flag.String("key", "", "scenario key for the JSON merge (default hloload/<endpoint>/c<N>)")
 	retries := flag.Int("retries", 0, "per-request retry budget (0 = unlimited)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "first backoff delay")
 	backoffCap := flag.Duration("backoff-cap", 2*time.Second, "exponential backoff ceiling")
@@ -66,12 +88,14 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.LoadConfig{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		Clients:     *clients,
-		Duration:    *dur,
-		Endpoint:    *endpoint,
-		Profile:     *profileFlag,
-		CrossModule: *cross,
+		BaseURL:        strings.TrimRight(*addr, "/"),
+		Clients:        *clients,
+		Duration:       *dur,
+		Rate:           *rate,
+		MaxOutstanding: *maxOut,
+		Endpoint:       *endpoint,
+		Profile:        *profileFlag,
+		CrossModule:    *cross,
 		Retry: serve.RetryConfig{
 			Retries:          *retries,
 			Base:             *backoff,
@@ -80,6 +104,17 @@ func main() {
 			BreakerCooldown:  *cooldown,
 			Seed:             *seed,
 		},
+	}
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			cfg.Backends = append(cfg.Backends, strings.TrimRight(b, "/"))
+		}
+	}
+	if *stages != "" {
+		var err error
+		if cfg.Stages, err = parseStages(*stages); err != nil {
+			fatal(err)
+		}
 	}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
@@ -107,12 +142,19 @@ func main() {
 		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
 	fmt.Printf("queue-wait p50=%.1fms p99=%.1fms  service p50=%.1fms p99=%.1fms\n",
 		rep.QueueP50MS, rep.QueueP99MS, rep.ServiceP50MS, rep.ServiceP99MS)
+	if cfg.Rate > 0 {
+		fmt.Printf("open-loop offered=%.1f req/s overload-dropped=%d\n", rep.OfferedRPS, rep.Overload)
+	}
+	for i, stg := range rep.Stages {
+		fmt.Printf("  stage %d: c=%d throughput=%.1f req/s p50=%.1fms p99=%.1fms rejected=%d\n",
+			i, stg.Clients, stg.Throughput, stg.P50MS, stg.P99MS, stg.Rejected)
+	}
 	for code, n := range rep.ByStatus {
 		fmt.Printf("  status %s: %d\n", code, n)
 	}
 
 	if *jsonOut != "" {
-		if err := mergeReport(*jsonOut, cfg, rep); err != nil {
+		if err := mergeReport(*jsonOut, *keyFlag, cfg, rep); err != nil {
 			fatal(err)
 		}
 	}
@@ -122,11 +164,42 @@ func main() {
 	}
 }
 
+// parseStages reads a ramp spec like "2:15s,4:15s,8:15s" — client
+// count, colon, stage duration.
+func parseStages(spec string) ([]serve.Stage, error) {
+	var out []serve.Stage
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, d, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad stage %q: want CLIENTS:DURATION", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad stage client count %q", c)
+		}
+		dur, err := time.ParseDuration(strings.TrimSpace(d))
+		if err != nil {
+			return nil, fmt.Errorf("bad stage duration %q: %v", d, err)
+		}
+		out = append(out, serve.Stage{Clients: n, Duration: dur})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -stages spec %q", spec)
+	}
+	return out, nil
+}
+
 // mergeReport read-modify-writes the report into the JSON file under a
 // key naming the scenario, in the same shape as BENCH_experiments.json
-// (scenario → metric → value).
-func mergeReport(path string, cfg serve.LoadConfig, rep *serve.LoadReport) error {
-	key := fmt.Sprintf("hloload/%s/c%d", cfg.Endpoint, cfg.Clients)
+// (scenario → metric → value). Ramp stages get one sub-key per rung.
+func mergeReport(path, key string, cfg serve.LoadConfig, rep *serve.LoadReport) error {
+	if key == "" {
+		key = fmt.Sprintf("hloload/%s/c%d", cfg.Endpoint, cfg.Clients)
+	}
 	all := map[string]map[string]float64{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &all); err != nil {
@@ -148,6 +221,21 @@ func mergeReport(path string, cfg serve.LoadConfig, rep *serve.LoadReport) error
 		"queue_p99_ms":     rep.QueueP99MS,
 		"service_p50_ms":   rep.ServiceP50MS,
 		"service_p99_ms":   rep.ServiceP99MS,
+	}
+	if cfg.Rate > 0 {
+		all[key]["offered_rps"] = rep.OfferedRPS
+		all[key]["overload_dropped"] = float64(rep.Overload)
+	}
+	for i, stg := range rep.Stages {
+		all[fmt.Sprintf("%s/stage%d-c%d", key, i, stg.Clients)] = map[string]float64{
+			"throughput_rps": stg.Throughput,
+			"p50_ms":         stg.P50MS,
+			"p99_ms":         stg.P99MS,
+			"queue_p99_ms":   stg.QueueP99MS,
+			"requests":       float64(stg.Requests),
+			"rejected_429":   float64(stg.Rejected),
+			"wall_s":         stg.WallS,
+		}
 	}
 	data, err := json.MarshalIndent(all, "", "  ")
 	if err != nil {

@@ -1,0 +1,230 @@
+package cas
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func openTest(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Options{})
+	key := Key([]byte("source"), []byte("opts=1"))
+	if _, err := s.Get("ir", key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("cold Get = %v, want ErrMiss", err)
+	}
+	payload := []byte("module m {\n}\n")
+	if err := s.Put("ir", key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("ir", key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	// Re-put is a no-op on an immutable entry.
+	if err := s.Put("ir", key, payload); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	c := s.Counters()
+	if c["hits"] != 1 || c["misses"] != 1 || c["puts"] != 1 {
+		t.Fatalf("counters = %v, want 1 hit / 1 miss / 1 put", c)
+	}
+}
+
+func TestKeyLengthPrefixed(t *testing.T) {
+	if Key([]byte("ab"), []byte("c")) == Key([]byte("a"), []byte("bc")) {
+		t.Fatal("Key must not collide across part boundaries")
+	}
+	if Key([]byte("ab")) != Key([]byte("ab")) {
+		t.Fatal("Key must be deterministic")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("warm"))
+	if err := s1.Put("resp", key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// A "rebooted daemon": fresh Store over the same directory.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("resp", key)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("warm-start Get = %q, %v", got, err)
+	}
+	if s2.SizeBytes() != s1.SizeBytes() {
+		t.Fatalf("reopen size = %d, want %d", s2.SizeBytes(), s1.SizeBytes())
+	}
+}
+
+// TestCorruptEntryQuarantined is the satellite's quarantine-not-crash
+// case: a flipped byte in an on-disk entry must surface as a miss with
+// the offender moved aside, never as a panic or a bad payload.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	s := openTest(t, Options{})
+	key := Key([]byte("victim"))
+	if err := s.Put("ir", key, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("ir", key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.Get("ir", key)
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("Get corrupt = %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, ErrMiss) {
+		t.Fatal("CorruptError must unwrap to ErrMiss so callers recompute")
+	}
+	if corrupt.Path == "" || !strings.HasPrefix(corrupt.Path, filepath.Join(s.dir, "quarantine")) {
+		t.Fatalf("quarantine path = %q", corrupt.Path)
+	}
+	if _, err := os.Stat(corrupt.Path); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// The slot is clean again: plain miss, then a fresh Put works.
+	if _, err := s.Get("ir", key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("post-quarantine Get = %v, want plain miss", err)
+	}
+	if err := s.Put("ir", key, []byte("payload-bytes")); err != nil {
+		t.Fatalf("re-Put after quarantine: %v", err)
+	}
+	if got, err := s.Get("ir", key); err != nil || string(got) != "payload-bytes" {
+		t.Fatalf("recovered Get = %q, %v", got, err)
+	}
+}
+
+func TestTruncatedAndWrongKindEntries(t *testing.T) {
+	s := openTest(t, Options{})
+	key := Key([]byte("t"))
+	if err := s.Put("ir", key, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("ir", key)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *CorruptError
+	if _, err := s.Get("ir", key); !errors.As(err, &corrupt) {
+		t.Fatalf("truncated Get = %v, want CorruptError", err)
+	}
+
+	// An entry written under one kind must not validate under another:
+	// kind is part of the header, so a cross-kind read degrades too.
+	key2 := Key([]byte("k2"))
+	if err := s.Put("profile", key2, []byte("p1 data")); err != nil {
+		t.Fatal(err)
+	}
+	src := s.objectPath("profile", key2)
+	dst := s.objectPath("ir", key2)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ir", key2); !errors.As(err, &corrupt) {
+		t.Fatalf("cross-kind Get = %v, want CorruptError", err)
+	}
+}
+
+// TestInjectedReadFaultDegrades proves the "cas/read" resilience point:
+// an injected panic mid-validation becomes a quarantine + miss, and the
+// store stays fully usable.
+func TestInjectedReadFaultDegrades(t *testing.T) {
+	s := openTest(t, Options{})
+	key := Key([]byte("faulty"))
+	if err := s.Put("ir", key, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resilience.Arm("cas/read", 0); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.Disarm("cas/read")
+	_, err := s.Get("ir", key)
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("armed Get = %v, want CorruptError naming the injected fault", err)
+	}
+	// Point disarms as it fires; the store must keep working.
+	if err := s.Put("ir", key, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("ir", key); err != nil || string(got) != "fine" {
+		t.Fatalf("post-fault Get = %q, %v", got, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := openTest(t, Options{MaxBytes: 300})
+	old := time.Now().Add(-time.Hour)
+	keys := []string{Key([]byte("a")), Key([]byte("b")), Key([]byte("c"))}
+	payload := make([]byte, 100)
+	for i, k := range keys[:2] {
+		if err := s.Put("resp", k, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Age the entries so LRU order is deterministic: a oldest.
+		if err := os.Chtimes(s.objectPath("resp", k), old.Add(time.Duration(i)*time.Minute), old.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third entry pushes total past 300 bytes; "a" (oldest) must go.
+	if err := s.Put("resp", keys[2], payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("resp", keys[0]); !errors.Is(err, ErrMiss) {
+		t.Fatalf("oldest entry survived eviction: %v", err)
+	}
+	if _, err := s.Get("resp", keys[2]); err != nil {
+		t.Fatalf("just-written entry evicted: %v", err)
+	}
+	if s.Counters()["evictions"] == 0 {
+		t.Fatal("no evictions counted")
+	}
+	if s.SizeBytes() > 300 {
+		t.Fatalf("size %d still over cap", s.SizeBytes())
+	}
+}
+
+func TestBadKindRejected(t *testing.T) {
+	s := openTest(t, Options{})
+	if err := s.Put("../escape", "k", nil); err == nil {
+		t.Fatal("Put accepted a path-traversal kind")
+	}
+	if _, err := s.Get("UPPER", "k"); err == nil || errors.Is(err, ErrMiss) {
+		t.Fatalf("Get bad kind = %v, want hard error", err)
+	}
+}

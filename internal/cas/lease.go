@@ -1,0 +1,227 @@
+package cas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cache-fill leases: the cross-process single-flight protocol.
+//
+// A lease is a file leases/<kind>-<key>.lease containing the owner name
+// and an absolute expiry. The protocol rides entirely on two atomic
+// filesystem operations, so it needs no server:
+//
+//   - Acquire: create the file with O_EXCL. Exactly one process wins.
+//   - Takeover: rename the expired file to a unique tombstone. Rename
+//     is atomic, so exactly one of the racing followers claims the dead
+//     lease; it then re-runs Acquire (and may still lose the O_EXCL
+//     race to a third process — that's fine, someone leads).
+//
+// Leaders renew at TTL/3 via Heartbeat, so an expired lease means the
+// leader missed several renewals: it is dead or wedged, and followers
+// may take over. Release removes the file; a leader that dies without
+// releasing is covered by expiry.
+
+// ErrHeld is returned by Acquire when another live lease holds the key.
+type ErrHeld struct {
+	Owner   string
+	Expires time.Time
+}
+
+func (e *ErrHeld) Error() string {
+	return fmt.Sprintf("cas: lease held by %s until %s", e.Owner, e.Expires.Format(time.RFC3339Nano))
+}
+
+// Lease is a held cache-fill lease. The holder fills the entry, Puts
+// it, then Releases; everyone else polls in WaitEntry.
+type Lease struct {
+	s        *Store
+	path     string
+	released bool
+	stop     chan struct{} // closes to stop the heartbeat, if started
+}
+
+func (s *Store) leasePath(kind, key string) string {
+	return filepath.Join(s.dir, "leases", kind+"-"+key+".lease")
+}
+
+// Acquire tries to become the filler for (kind, key). It returns a
+// *Lease on success, an *ErrHeld when a live leader exists, or another
+// error for environmental failures. An expired lease on disk is taken
+// over (atomically, via rename) rather than waited on.
+func (s *Store) Acquire(kind, key string) (*Lease, error) {
+	if !validKind(kind) {
+		return nil, fmt.Errorf("cas: bad kind %q", kind)
+	}
+	path := s.leasePath(kind, key)
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			expiry := s.now().Add(s.opts.LeaseTTL)
+			_, werr := fmt.Fprintf(f, "%s %d\n", s.opts.Owner, expiry.UnixNano())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, fmt.Errorf("cas: lease %s: %w", path, werr)
+			}
+			s.acquires.Add(1)
+			return &Lease{s: s, path: path}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("cas: lease %s: %w", path, err)
+		}
+		owner, expires, rerr := readLease(path)
+		if rerr != nil {
+			// The file vanished between OpenFile and read (released or
+			// taken over); retry the create.
+			if attempt < 16 {
+				continue
+			}
+			return nil, fmt.Errorf("cas: lease %s: churning", path)
+		}
+		if s.now().Before(expires) {
+			return nil, &ErrHeld{Owner: owner, Expires: expires}
+		}
+		// Expired: claim the corpse by renaming it. Only one follower's
+		// rename succeeds; the losers loop and re-read.
+		tomb := fmt.Sprintf("%s.dead-%s-%d", path, s.opts.Owner, s.now().UnixNano())
+		if os.Rename(path, tomb) == nil {
+			os.Remove(tomb)
+			s.takeovers.Add(1)
+		}
+		if attempt >= 16 {
+			return nil, fmt.Errorf("cas: lease %s: churning", path)
+		}
+	}
+}
+
+func readLease(path string) (owner string, expires time.Time, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", time.Time{}, err
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) != 2 {
+		return "", time.Time{}, fmt.Errorf("cas: malformed lease %q", string(raw))
+	}
+	ns, perr := strconv.ParseInt(fields[1], 10, 64)
+	if perr != nil {
+		return "", time.Time{}, fmt.Errorf("cas: malformed lease expiry %q", fields[1])
+	}
+	return fields[0], time.Unix(0, ns), nil
+}
+
+// Renew pushes the lease's expiry out by one TTL. Atomic via
+// write-temp-then-rename, so followers reading concurrently see either
+// the old expiry or the new one.
+func (l *Lease) Renew() error {
+	if l.released {
+		return errors.New("cas: renew after release")
+	}
+	expiry := l.s.now().Add(l.s.opts.LeaseTTL)
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), ".renew-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := fmt.Fprintf(tmp, "%s %d\n", l.s.opts.Owner, expiry.UnixNano())
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, l.path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cas: renew %s: %w", l.path, werr)
+	}
+	return nil
+}
+
+// Heartbeat renews the lease every TTL/3 in a background goroutine
+// until Release. Long fills (training runs for seconds) call this once
+// right after Acquire so followers never misread a live leader as dead.
+func (l *Lease) Heartbeat() {
+	if l.stop != nil {
+		return
+	}
+	l.stop = make(chan struct{})
+	interval := l.s.opts.LeaseTTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				_ = l.Renew()
+			}
+		}
+	}()
+}
+
+// Release ends the lease: the heartbeat stops and the lease file is
+// removed, waking followers immediately. Safe to call twice.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	if l.stop != nil {
+		close(l.stop)
+	}
+	os.Remove(l.path)
+}
+
+// WaitEntry is the follower side of cross-process single-flight, and
+// the only entry point most callers need. It returns one of:
+//
+//   - (payload, nil, nil): the entry exists (possibly filled by
+//     another process while we waited);
+//   - (nil, lease, nil): no entry and we now hold the fill lease —
+//     the caller must fill, Put, and Release (a heartbeat is already
+//     running);
+//   - (nil, nil, err): the context died while waiting.
+//
+// The loop tries Get, then Acquire, then sleeps one poll interval; a
+// leader crash is covered because Acquire takes over expired leases.
+func (s *Store) WaitEntry(ctx context.Context, kind, key string) ([]byte, *Lease, error) {
+	for first := true; ; first = false {
+		payload, err := s.Get(kind, key)
+		if err == nil {
+			return payload, nil, nil
+		}
+		if !errors.Is(err, ErrMiss) {
+			return nil, nil, err
+		}
+		lease, aerr := s.Acquire(kind, key)
+		if aerr == nil {
+			lease.Heartbeat()
+			return nil, lease, nil
+		}
+		var held *ErrHeld
+		if !errors.As(aerr, &held) {
+			return nil, nil, aerr
+		}
+		if first {
+			s.waits.Add(1)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("cas: waiting for %s/%s (leader %s): %w", kind, key, held.Owner, ctx.Err())
+		case <-time.After(s.opts.PollInterval):
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cas"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -38,10 +39,16 @@ import (
 // frontend/parse and train/run leaves, hits emit frontend/clone leaves
 // and cache.*.hit counters, so the attribution report can say what the
 // cache saved and what each hit's deep copy costs.
+// A Cache optionally carries a second, persistent tier (SetStore): a
+// content-addressed on-disk store shared by every daemon in a compile
+// farm. Fills consult the disk tier before doing work and publish
+// their results back, so a rebooted process warm-starts from artifacts
+// the farm already built — see persist.go for formats and guarantees.
 type Cache struct {
 	mu        sync.Mutex
 	frontends map[string]*frontendEntry
 	trains    map[string]*trainEntry
+	store     *cas.Store // tier 2, nil when purely in-memory
 }
 
 // NewCache returns an empty cache.
@@ -138,9 +145,18 @@ func (c *Cache) frontend(sources []string, rec *obs.Recorder) (*ir.Program, bool
 	filled := false
 	e.once.Do(func() {
 		filled = true
+		if c.store != nil {
+			if p, ok := c.loadFrontend(key, rec); ok {
+				e.prog = p
+				return
+			}
+		}
 		sp := rec.Begin("frontend/parse")
 		e.prog, e.err = Frontend(sources)
 		sp.End()
+		if e.err == nil && c.store != nil {
+			c.storeFrontend(key, e.prog, rec)
+		}
 	})
 	if e.err != nil {
 		return nil, !filled, e.err
@@ -246,6 +262,11 @@ func isCtxErr(err error) bool {
 // report separates training interpretation from the rest of the train
 // stage's bookkeeping.
 func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train []int64, extras [][]int64, rec *obs.Recorder) {
+	if c != nil && c.store != nil {
+		if e.loadTrain(c, trainKey(sources, train, extras), rec) {
+			return
+		}
+	}
 	trainProg, _, err := c.frontend(sources, rec)
 	if err != nil {
 		e.err = err
@@ -273,4 +294,7 @@ func (e *trainEntry) fill(ctx context.Context, c *Cache, sources []string, train
 		db.Merge(res2.Profile, 100)
 	}
 	e.data = db
+	if c != nil && c.store != nil {
+		e.storeTrain(c, trainKey(sources, train, extras), rec)
+	}
 }

@@ -80,9 +80,10 @@ func forEachCell(n int, label func(i int) string, task func(i int, rec *obs.Reco
 }
 
 // compileAndRun builds one benchmark under the given options and times
-// it on its ref input. rec is the cell's recorder (nil when recording
-// is off).
-func compileAndRun(b *specsuite.Benchmark, opts driver.Options, rec *obs.Recorder) (*driver.Compilation, *pa8000.Stats, error) {
+// it on the given input vector (usually b.Ref or one entry of
+// b.RefVectors()). rec is the cell's recorder (nil when recording is
+// off).
+func compileAndRun(b *specsuite.Benchmark, opts driver.Options, inputs []int64, rec *obs.Recorder) (*driver.Compilation, *pa8000.Stats, error) {
 	opts.TrainInputs = b.Train
 	opts.Obs = rec
 	opts.Cache = cache
@@ -90,11 +91,47 @@ func compileAndRun(b *specsuite.Benchmark, opts driver.Options, rec *obs.Recorde
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	st, err := c.Run(opts, b.Ref)
+	st, err := c.Run(opts, inputs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: run: %w", b.Name, err)
 	}
 	return c, st, nil
+}
+
+// refCell identifies one (benchmark, configuration, input-vector)
+// experiment cell. Benchmarks whose reference workload is a deck of
+// independent vectors (specsuite.Benchmark.RefVecs) get one cell per
+// vector so the scheduler can spread the deck across workers — the
+// monolithic m88ksim run was the straggler capping parallel speedup.
+// Cycles are summed per (benchmark, configuration) after the barrier;
+// the sum is byte-identical to running the deck sequentially in one
+// cell because every vector simulates from a fresh machine state.
+type refCell struct{ bi, ci, vi int }
+
+// refCells flattens benches × nConfigs × per-bench ref vectors.
+func refCells(benches []*specsuite.Benchmark, nConfigs int) []refCell {
+	var cells []refCell
+	for bi, b := range benches {
+		nv := len(b.RefVectors())
+		for ci := 0; ci < nConfigs; ci++ {
+			for vi := 0; vi < nv; vi++ {
+				cells = append(cells, refCell{bi, ci, vi})
+			}
+		}
+	}
+	return cells
+}
+
+// cellLabel names a refCell's root span: "cell/<exp>/<bench>/<config>",
+// plus a "/v<i>" vector suffix only for benchmarks with a split deck
+// (single-vector labels stay byte-compatible with the cost history and
+// profiling docs).
+func cellLabel(exp string, b *specsuite.Benchmark, config string, vi int) string {
+	l := "cell/" + exp + "/" + b.Name + "/" + config
+	if len(b.RefVectors()) > 1 {
+		l += fmt.Sprintf("/v%d", vi)
+	}
+	return l
 }
 
 // Figure5Row is one bar of Figure 5.
@@ -157,36 +194,48 @@ func Table1() ([]Table1Row, error) {
 		return nil, err
 	}
 	nc := len(table1Configs)
+	cells := refCells(benches, nc)
 	rows := make([]Table1Row, len(benches)*nc)
+	cycles := make([]int64, len(cells))
 	label := func(i int) string {
-		scope := table1Configs[i%nc].scope
+		cl := cells[i]
+		scope := table1Configs[cl.ci].scope
 		if scope == "" {
 			scope = "base"
 		}
-		return "cell/table1/" + benches[i/nc].Name + "/" + scope
+		return cellLabel("table1", benches[cl.bi], scope, cl.vi)
 	}
-	err := forEachCell(len(rows), label, func(i int, rec *obs.Recorder) error {
-		b, cfg := benches[i/nc], table1Configs[i%nc]
+	err := forEachCell(len(cells), label, func(i int, rec *obs.Recorder) error {
+		cl := cells[i]
+		b, cfg := benches[cl.bi], table1Configs[cl.ci]
 		opts := driver.Options{
 			CrossModule: cfg.cross,
 			Profile:     cfg.prof,
 			HLO:         core.DefaultOptions(),
 		}
-		c, st, err := compileAndRun(b, opts, rec)
+		c, st, err := compileAndRun(b, opts, b.RefVectors()[cl.vi], rec)
 		if err != nil {
 			return err
 		}
-		rows[i] = Table1Row{
-			Name:        b.Name,
-			Scope:       cfg.scope,
-			Stats:       c.Stats,
-			CompileCost: c.CompileCost,
-			RunCycles:   st.Cycles,
+		cycles[i] = st.Cycles
+		if cl.vi == 0 {
+			// Transformation statistics and compile cost are properties
+			// of the build, identical for every vector of the deck; the
+			// deck's run cycles are summed below.
+			rows[cl.bi*nc+cl.ci] = Table1Row{
+				Name:        b.Name,
+				Scope:       cfg.scope,
+				Stats:       c.Stats,
+				CompileCost: c.CompileCost,
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, cl := range cells {
+		rows[cl.bi*nc+cl.ci].RunCycles += cycles[i]
 	}
 	return rows, nil
 }
@@ -249,24 +298,31 @@ func Figure6() ([]Figure6Row, error) {
 		return nil, err
 	}
 	nc := len(toggleConfigs)
-	cycles := make([]int64, len(benches)*nc)
+	cells := refCells(benches, nc)
+	perCell := make([]int64, len(cells))
 	label := func(i int) string {
-		return "cell/fig6/" + benches[i/nc].Name + "/" + toggleConfigs[i%nc].key
+		cl := cells[i]
+		return cellLabel("fig6", benches[cl.bi], toggleConfigs[cl.ci].key, cl.vi)
 	}
-	err := forEachCell(len(cycles), label, func(i int, rec *obs.Recorder) error {
-		b, cfg := benches[i/nc], toggleConfigs[i%nc]
+	err := forEachCell(len(cells), label, func(i int, rec *obs.Recorder) error {
+		cl := cells[i]
+		b, cfg := benches[cl.bi], toggleConfigs[cl.ci]
 		opts := driver.DefaultOptions(b.Train)
 		opts.HLO.Inline = cfg.inline
 		opts.HLO.Clone = cfg.clone
-		_, st, err := compileAndRun(b, opts, rec)
+		_, st, err := compileAndRun(b, opts, b.RefVectors()[cl.vi], rec)
 		if err != nil {
 			return err
 		}
-		cycles[i] = st.Cycles
+		perCell[i] = st.Cycles
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	cycles := make([]int64, len(benches)*nc)
+	for i, cl := range cells {
+		cycles[cl.bi*nc+cl.ci] += perCell[i]
 	}
 	rows := make([]Figure6Row, 0, len(benches))
 	for bi, b := range benches {
@@ -482,7 +538,7 @@ func Figure8(budgets []int, maxPoints int) ([]Figure8Point, error) {
 			opts.HLO.Inline = false
 			opts.HLO.Clone = false
 		}
-		_, st, err := compileAndRun(b, opts, rec)
+		_, st, err := compileAndRun(b, opts, b.Ref, rec)
 		if err != nil {
 			return err
 		}

@@ -53,9 +53,15 @@ func costHint(label string) int64 {
 // run faster, but compile longer — the dominant term at small budgets
 // is simulation, so earlier points rank longer.
 func seedWeight(label string) int64 {
-	last := label
-	if i := strings.LastIndexByte(label, '/'); i >= 0 {
-		last = label[i+1:]
+	segs := strings.Split(label, "/")
+	last := segs[len(segs)-1]
+	// Per-vector cells of a split ref deck ("…/c/v3") rank by their
+	// configuration segment — the vector suffix only names the slice of
+	// the workload, and every slice of a deck costs about the same.
+	if n, ok := strings.CutPrefix(last, "v"); ok && len(segs) >= 2 {
+		if _, err := strconv.Atoi(n); err == nil && n != "" {
+			last = segs[len(segs)-2]
+		}
 	}
 	switch last {
 	case "train":

@@ -1,0 +1,84 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/specsuite"
+)
+
+// TestRefDeckSplitTotals pins the m88ksim straggler split: the harness
+// times each vector of a split ref deck as its own cell (each cell
+// compiling through the shared cache and running one slice), and the
+// summed cycles must be byte-identical to the serial reference — one
+// compile, the deck run back-to-back. Any state leaking between runs,
+// or any compile nondeterminism across cells, breaks the equality.
+func TestRefDeckSplitTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the m88ksim ref deck twice")
+	}
+	b, err := specsuite.ByName("124.m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := b.RefVectors()
+	if len(vecs) < 2 {
+		t.Fatalf("m88ksim ref deck not split: %d vector(s)", len(vecs))
+	}
+	var iters int64
+	for _, v := range vecs {
+		iters += v[0]
+	}
+	if iters != b.Ref[0] {
+		t.Fatalf("deck covers %d iterations, monolithic ref ran %d", iters, b.Ref[0])
+	}
+
+	cache := driver.NewCache()
+	opts := driver.Options{CrossModule: true, HLO: core.DefaultOptions(), Cache: cache}
+
+	// Serial reference: one compile, the deck run sequentially.
+	c, err := driver.Compile(b.Sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial int64
+	for _, v := range vecs {
+		st, err := c.Run(opts, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial += st.Cycles
+	}
+
+	// Harness behaviour: every vector cell compiles for itself (only the
+	// frontend is memoized) and runs its own slice.
+	var split int64
+	for _, v := range vecs {
+		cv, err := driver.Compile(b.Sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := cv.Run(opts, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split += st.Cycles
+	}
+	if split != serial {
+		t.Fatalf("split deck total %d cycles != serial deck total %d", split, serial)
+	}
+}
+
+// TestRefVectorsDefault: benchmarks without a split deck present their
+// monolithic ref vector unchanged.
+func TestRefVectorsDefault(t *testing.T) {
+	b, err := specsuite.ByName("022.li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := b.RefVectors()
+	if len(vecs) != 1 || vecs[0][0] != b.Ref[0] || vecs[0][1] != b.Ref[1] {
+		t.Fatalf("RefVectors() = %v, want [%v]", vecs, b.Ref)
+	}
+}

@@ -27,8 +27,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/interp"
@@ -115,6 +117,7 @@ func RunFaults(cfg FaultConfig) (*FaultReport, error) {
 		"isom/decode":    probeIsomDecode,
 		"profile/read":   probeProfileRead,
 		"serve/dispatch": probeServeDispatch,
+		"cas/read":       probeCASRead,
 	}
 
 	for _, b := range benches {
@@ -276,6 +279,55 @@ func probeProfileRead(rep *FaultReport, fail func(string, string, string, ...any
 	rep.Fired[name] += int(resilience.Lookup(name).Fired())
 	if err == nil || !strings.Contains(err.Error(), "injected fault at "+name) {
 		fail(name, "", "profile read did not degrade to an error naming the fault: %v", err)
+	}
+}
+
+// probeCASRead asserts the artifact store's degrade boundary: a panic
+// injected while validating an on-disk entry must quarantine the file
+// and report a structured miss, leaving the store fully usable.
+func probeCASRead(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "cas/read"
+	dir, err := os.MkdirTemp("", "hlocas-fault-*")
+	if err != nil {
+		fail(name, "", "tempdir: %v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		fail(name, "", "open store: %v", err)
+		return
+	}
+	key := cas.Key([]byte("fault-probe"))
+	if err := st.Put("ir", key, []byte("artifact")); err != nil {
+		fail(name, "", "put: %v", err)
+		return
+	}
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	_, gerr := st.Get("ir", key)
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	var corrupt *cas.CorruptError
+	if gerr == nil {
+		fail(name, "", "read succeeded through an injected panic")
+		return
+	}
+	if !errors.As(gerr, &corrupt) || !strings.Contains(gerr.Error(), "injected fault at "+name) {
+		fail(name, "", "read did not degrade to a CorruptError naming the fault: %v", gerr)
+		return
+	}
+	// The store must keep working after the quarantine.
+	if err := st.Put("ir", key, []byte("artifact")); err != nil {
+		fail(name, "", "store unusable after fault: %v", err)
+		return
+	}
+	if got, err := st.Get("ir", key); err != nil || string(got) != "artifact" {
+		fail(name, "", "post-fault roundtrip = %q, %v", got, err)
 	}
 }
 

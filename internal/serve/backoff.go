@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -86,21 +87,43 @@ func (b *backoff) delay(attempt int, retryAfter time.Duration) time.Duration {
 	return max(d, retryAfter)
 }
 
-// parseRetryAfter reads a response's Retry-After header (delta-seconds
-// form only, which is what hlod sends); 0 when absent or malformed.
+// retryAfterCap bounds how long a server-provided Retry-After can stall
+// a client: a proxy in the chain answering with an absurd delta (or a
+// date far in the future) must not park the load generator for hours.
+const retryAfterCap = 5 * time.Minute
+
+// parseRetryAfter reads a response's Retry-After header in both RFC
+// 9110 forms — delta-seconds ("3") and HTTP-date ("Wed, 21 Oct 2026
+// 07:28:00 GMT") — returning 0 when absent, malformed, or in the past,
+// and clamping absurd values to retryAfterCap. hlod itself sends
+// delta-seconds, but hlogate forwards whatever the backend chain
+// produced, so clients must accept the full grammar.
 func parseRetryAfter(resp *http.Response) time.Duration {
+	return parseRetryAfterAt(resp, time.Now())
+}
+
+// parseRetryAfterAt is parseRetryAfter with an injectable clock for the
+// HTTP-date form (tests).
+func parseRetryAfterAt(resp *http.Response, now time.Time) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	s := resp.Header.Get("Retry-After")
+	s := strings.TrimSpace(resp.Header.Get("Retry-After"))
 	if s == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(s)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(s); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, terr := http.ParseTime(s); terr == nil {
+		d = t.Sub(now)
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d < 0 {
+		return 0 // negative delta or a date already past: retry now
+	}
+	return min(d, retryAfterCap)
 }
 
 // breaker is a minimal shared circuit breaker: closed while the server

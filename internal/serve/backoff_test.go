@@ -77,6 +77,43 @@ func TestParseRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterHTTPDate covers the second RFC 9110 form plus the
+// clamping rules: dates become a delta against the injected clock,
+// values in the past collapse to 0, and absurd waits (either form) are
+// capped so a misbehaving proxy cannot park a client for hours.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		h.Set("Retry-After", v)
+		return &http.Response{Header: h}
+	}
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+	if d := parseRetryAfterAt(mk(now.Add(3*time.Second).Format(http.TimeFormat)), now); d != 3*time.Second {
+		t.Errorf("HTTP-date 3s ahead = %v, want 3s", d)
+	}
+	// RFC 850 and ANSI C asctime are the other two formats http.ParseTime
+	// accepts; servers in the wild still emit them.
+	if d := parseRetryAfterAt(mk(now.Add(2*time.Second).Format(time.RFC850)), now); d != 2*time.Second {
+		t.Errorf("RFC 850 date = %v, want 2s", d)
+	}
+	if d := parseRetryAfterAt(mk(now.Add(-time.Minute).Format(http.TimeFormat)), now); d != 0 {
+		t.Errorf("date in the past = %v, want 0", d)
+	}
+	if d := parseRetryAfterAt(mk(now.Add(48*time.Hour).Format(http.TimeFormat)), now); d != retryAfterCap {
+		t.Errorf("date 48h ahead = %v, want the %v cap", d, retryAfterCap)
+	}
+	if d := parseRetryAfterAt(mk("99999999"), now); d != retryAfterCap {
+		t.Errorf("absurd delta-seconds = %v, want the %v cap", d, retryAfterCap)
+	}
+	if d := parseRetryAfterAt(mk(" 4 "), now); d != 4*time.Second {
+		t.Errorf("padded delta-seconds = %v, want 4s", d)
+	}
+	if d := parseRetryAfterAt(mk("Wed, 99 Foo 2026 99:99:99 GMT"), now); d != 0 {
+		t.Errorf("malformed date = %v, want 0", d)
+	}
+}
+
 func TestBreakerOpensAndRecovers(t *testing.T) {
 	cfg := RetryConfig{BreakerThreshold: 3, BreakerCooldown: time.Second}.withDefaults()
 	brk := newBreaker(cfg)

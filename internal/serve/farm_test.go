@@ -1,0 +1,170 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/serve"
+)
+
+var farmBody = []byte(`{"sources":["module m;\nfunc main() int { return 40 + 2; }"]}`)
+
+func farmServer(t *testing.T, dir, owner string) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	store, err := cas.Open(dir, cas.Options{Owner: owner, LeaseTTL: 2 * time.Second, PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Workers: 1, Store: store})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCompile(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(farmBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	return resp, data
+}
+
+func counter(s *serve.Server, name string) int64 {
+	for _, c := range s.Registry().Counters() {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// TestFarmResponseReplay: the second identical request to one daemon is
+// served from the persistent store — byte-identical, marked with
+// X-Hlod-Cache: hit, and without a second compile.
+func TestFarmResponseReplay(t *testing.T) {
+	s, ts := farmServer(t, t.TempDir(), "a")
+	r1, body1 := postCompile(t, ts.URL)
+	if r1.Header.Get("X-Hlod-Cache") == "hit" {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	r2, body2 := postCompile(t, ts.URL)
+	if r2.Header.Get("X-Hlod-Cache") != "hit" {
+		t.Fatal("second request missing X-Hlod-Cache: hit")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("replayed response is not byte-identical")
+	}
+	if got := counter(s, "serve.cas.resp.fill"); got != 1 {
+		t.Fatalf("fills = %d, want 1", got)
+	}
+	if got := counter(s, "serve.cas.resp.hit"); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+// TestFarmCrossDaemonDedup: daemon B must serve a request daemon A
+// already compiled straight from the shared store, byte-identically.
+func TestFarmCrossDaemonDedup(t *testing.T) {
+	dir := t.TempDir()
+	sa, tsa := farmServer(t, dir, "a")
+	sb, tsb := farmServer(t, dir, "b")
+	_, bodyA := postCompile(t, tsa.URL)
+	respB, bodyB := postCompile(t, tsb.URL)
+	if respB.Header.Get("X-Hlod-Cache") != "hit" {
+		t.Fatal("daemon B recompiled a key daemon A already filled")
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("daemons disagree on the response bytes")
+	}
+	if fills := counter(sa, "serve.cas.resp.fill") + counter(sb, "serve.cas.resp.fill"); fills != 1 {
+		t.Fatalf("total fills = %d, want 1", fills)
+	}
+}
+
+// TestFarmWarmStartAfterReboot is the acceptance criterion at the serve
+// layer: a rebooted daemon (fresh process state, same cache directory)
+// serves its first /compile from the store without recompiling,
+// verified via the cas hit counters.
+func TestFarmWarmStartAfterReboot(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := farmServer(t, dir, "boot1")
+	_, body1 := postCompile(t, ts1.URL)
+	ts1.Close()
+
+	s2, ts2 := farmServer(t, dir, "boot2") // reboot: everything in-memory is gone
+	resp, body2 := postCompile(t, ts2.URL)
+	if resp.Header.Get("X-Hlod-Cache") != "hit" {
+		t.Fatal("rebooted daemon recompiled its first request")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("warm-start response differs from the original")
+	}
+	if hits := s2.Store().Counters()["hits"]; hits == 0 {
+		t.Fatal("store hit counter did not move on warm start")
+	}
+	if fills := counter(s2, "serve.cas.resp.fill"); fills != 0 {
+		t.Fatalf("rebooted daemon filled %d entries for a cached key", fills)
+	}
+}
+
+// TestFarmConcurrentDaemonsSingleFill: many clients race the same cold
+// key against two daemons; the lease protocol must allow exactly one
+// compile across both processes, and every client gets the same bytes.
+func TestFarmConcurrentDaemonsSingleFill(t *testing.T) {
+	dir := t.TempDir()
+	sa, tsa := farmServer(t, dir, "a")
+	sb, tsb := farmServer(t, dir, "b")
+	urls := []string{tsa.URL, tsb.URL}
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(urls[i%2]+"/compile", "application/json", bytes.NewReader(farmBody))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				bodies[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if fills := counter(sa, "serve.cas.resp.fill") + counter(sb, "serve.cas.resp.fill"); fills != 1 {
+		t.Fatalf("total fills across the farm = %d, want 1", fills)
+	}
+	var want []byte
+	for _, b := range bodies {
+		if b != nil {
+			want = b
+			break
+		}
+	}
+	if want == nil {
+		t.Fatal("no request succeeded")
+	}
+	for i, b := range bodies {
+		if b != nil && !bytes.Equal(b, want) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+}

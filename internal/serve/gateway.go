@@ -1,0 +1,404 @@
+package serve
+
+// The compile farm's front door: cmd/hlogate terminates client HTTP,
+// picks a backend daemon by rendezvous-hashing the request's cache key
+// (endpoint + body), and proxies the exchange verbatim. Keying the
+// route on the same bytes hlod keys its caches on means a given compile
+// always lands on the daemon whose in-memory tier already holds it —
+// the shared cas.Store makes any routing correct, affinity just makes
+// it fast. Each backend gets its own circuit breaker (the PR 5
+// breaker): transport errors and 5xx responses count as failures, and
+// an ejected backend's traffic fails over to the next daemon in that
+// key's rendezvous order until a half-open probe revives it. 429s are
+// NOT failures and are never rerouted — queue-full is healthy
+// backpressure, and hiding it behind a retry on another saturated
+// daemon would destroy the Retry-After signal clients pace on.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RendezvousOrder ranks backends for key by rendezvous (highest-random-
+// weight) hashing: every client that knows the backend set computes the
+// same preference order for a key with no coordination, and removing a
+// backend only remaps the keys that were on it. Used by hlogate for
+// routing and by hloload's -backends client mode, so both sides of the
+// farm agree on placement.
+func RendezvousOrder(key string, backends []string) []string {
+	type ranked struct {
+		url    string
+		weight uint64
+	}
+	rs := make([]ranked, len(backends))
+	for i, b := range backends {
+		h := fnv.New64a()
+		io.WriteString(h, key)
+		h.Write([]byte{0})
+		io.WriteString(h, b)
+		rs[i] = ranked{url: b, weight: h.Sum64()}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].weight != rs[j].weight {
+			return rs[i].weight > rs[j].weight
+		}
+		return rs[i].url < rs[j].url // deterministic on (absurdly unlikely) ties
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.url
+	}
+	return out
+}
+
+// GatewayConfig tunes the front proxy. Backends is required; everything
+// else has serviceable defaults.
+type GatewayConfig struct {
+	// Backends are the hlod base URLs (e.g. http://127.0.0.1:8081).
+	Backends []string
+	// BreakerThreshold ejects a backend after this many consecutive
+	// transport/5xx failures; <= 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an ejected backend sits out before a
+	// half-open probe; <= 0 means 1s.
+	BreakerCooldown time.Duration
+	// MaxBodyBytes bounds request bodies (read fully so a failover can
+	// replay them); <= 0 means 8 MiB, matching hlod.
+	MaxBodyBytes int64
+	// Client issues the proxied requests; nil means a client with a
+	// 5-minute timeout (compiles are slow; hlod's own RequestTimeout is
+	// the real ceiling).
+	Client *http.Client
+	// AccessLog, when non-nil, receives one JSON line per proxied
+	// request.
+	AccessLog io.Writer
+}
+
+// gwBackend is one daemon as the gateway sees it: its URL and the
+// breaker guarding it.
+type gwBackend struct {
+	url string
+	brk *breaker
+}
+
+// Gateway is the proxy handler. Create with NewGateway.
+type Gateway struct {
+	cfg      GatewayConfig
+	backends []*gwBackend
+	client   *http.Client
+	reg      *obs.Recorder
+	log      *accessLogger
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+}
+
+// NewGateway builds a Gateway; it panics if cfg.Backends is empty
+// (cmd/hlogate validates the flag first).
+func NewGateway(cfg GatewayConfig) *Gateway {
+	if len(cfg.Backends) == 0 {
+		panic("serve.NewGateway: no backends")
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		client: cfg.Client,
+		reg:    obs.New(),
+		log:    newAccessLogger(cfg.AccessLog),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	rc := RetryConfig{BreakerThreshold: cfg.BreakerThreshold, BreakerCooldown: cfg.BreakerCooldown}
+	for _, b := range cfg.Backends {
+		g.backends = append(g.backends, &gwBackend{url: b, brk: newBreaker(rc)})
+	}
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/compile", g.proxyHandler("compile"))
+	g.mux.HandleFunc("/run", g.proxyHandler("run"))
+	g.mux.HandleFunc("/train", g.proxyHandler("train"))
+	return g
+}
+
+// StartDrain fails /healthz and refuses new work; in-flight proxied
+// requests finish. cmd/hlogate's SIGTERM handler calls this before
+// http.Server.Shutdown, mirroring hlod.
+func (g *Gateway) StartDrain() { g.draining.Store(true) }
+
+// Registry exposes the gateway-lifetime counters (tests).
+func (g *Gateway) Registry() *obs.Recorder { return g.reg }
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	g.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = 499
+	}
+	g.reg.Count("gw.req|"+endpointLabel(r.URL.Path)+"|"+strconv.Itoa(status), 1)
+	g.log.log(accessEntry{
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Status: status,
+		DurMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Bytes:  sw.bytes,
+		Remote: r.RemoteAddr,
+		// relay stamped the serving daemon on the response headers.
+		Backend: sw.Header().Get("X-Hlogate-Backend"),
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	now := time.Now()
+	live := 0
+	var buf bytes.Buffer
+	for _, b := range g.backends {
+		open, _ := b.brk.stats(now)
+		state := "up"
+		if open {
+			state = "ejected"
+		} else {
+			live++
+		}
+		fmt.Fprintf(&buf, "%s %s\n", b.url, state)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if live == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "ok %d/%d backends\n", live, len(g.backends))
+	w.Write(buf.Bytes())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	now := time.Now()
+	fmt.Fprintf(w, "# HELP hlogate_up Whether the gateway is routing (0 while draining).\n")
+	fmt.Fprintf(w, "# TYPE hlogate_up gauge\n")
+	up := 1
+	if g.draining.Load() {
+		up = 0
+	}
+	fmt.Fprintf(w, "hlogate_up %d\n", up)
+	fmt.Fprintf(w, "# TYPE hlogate_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "hlogate_uptime_seconds %.3f\n", time.Since(g.start).Seconds())
+	fmt.Fprintf(w, "# HELP hlogate_backend_up Backend liveness as the breaker sees it.\n")
+	fmt.Fprintf(w, "# TYPE hlogate_backend_up gauge\n")
+	for _, b := range g.backends {
+		open, _ := b.brk.stats(now)
+		v := 1
+		if open {
+			v = 0
+		}
+		fmt.Fprintf(w, "hlogate_backend_up{backend=%q} %d\n", b.url, v)
+	}
+	fmt.Fprintf(w, "# TYPE hlogate_backend_ejections_total counter\n")
+	for _, b := range g.backends {
+		_, opens := b.brk.stats(now)
+		fmt.Fprintf(w, "hlogate_backend_ejections_total{backend=%q} %d\n", b.url, opens)
+	}
+	// Counter registry: gw.req|endpoint|code and gw.fwd|backend|outcome.
+	var reqLines, fwdLines, rest []string
+	for _, c := range g.reg.Counters() {
+		if suffix, ok := cutCounter(c.Name, "gw.req|"); ok {
+			reqLines = append(reqLines, fmt.Sprintf("hlogate_requests_total{endpoint=%q,code=%q} %d", suffix[0], suffix[1], c.Value))
+			continue
+		}
+		if suffix, ok := cutCounter(c.Name, "gw.fwd|"); ok {
+			fwdLines = append(fwdLines, fmt.Sprintf("hlogate_forwards_total{backend=%q,outcome=%q} %d", suffix[0], suffix[1], c.Value))
+			continue
+		}
+		rest = append(rest, fmt.Sprintf("hlogate_counter{name=%q} %d", c.Name, c.Value))
+	}
+	writeCounterBlock(w, "hlogate_requests_total", "Client requests by endpoint and final status.", reqLines)
+	writeCounterBlock(w, "hlogate_forwards_total", "Proxied attempts by backend and outcome (ok, error, http_5xx).", fwdLines)
+	writeCounterBlock(w, "hlogate_counter", "Other gateway counters.", rest)
+}
+
+// cutCounter splits "prefix|a|b" counter names into their two label
+// parts.
+func cutCounter(name, prefix string) ([2]string, bool) {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return [2]string{}, false
+	}
+	restStr := name[len(prefix):]
+	for i := 0; i < len(restStr); i++ {
+		if restStr[i] == '|' {
+			return [2]string{restStr[:i], restStr[i+1:]}, true
+		}
+	}
+	return [2]string{}, false
+}
+
+func writeCounterBlock(w io.Writer, name, help string, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	sort.Strings(lines)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// stats reports whether the breaker currently holds the backend ejected
+// and how many times it has opened. Half-open (probing) counts as up —
+// the next request is the probe.
+func (b *breaker) stats(now time.Time) (open bool, opens int64) {
+	if b == nil || b.threshold <= 0 {
+		return false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && now.Before(b.openUntil), b.opens
+}
+
+// proxyHandler forwards one work endpoint. The body is read fully up
+// front so a failover can replay it against the next backend in the
+// key's rendezvous order.
+func (g *Gateway) proxyHandler(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeResult(w, jsonError(http.StatusMethodNotAllowed, "POST required"))
+			return
+		}
+		if g.draining.Load() {
+			writeResult(w, jsonError(http.StatusServiceUnavailable, "draining"))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeResult(w, jsonError(http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)))
+				return
+			}
+			return // client gone mid-upload
+		}
+		g.forward(w, r, endpoint, body)
+	}
+}
+
+// forward tries the key's rendezvous order, skipping ejected backends,
+// failing over past transport errors and 5xx responses, and relaying
+// the first healthy answer verbatim (all headers — Retry-After and the
+// X-Hlod-* queue/cache set included — plus X-Hlogate-Backend naming the
+// daemon that served it). When every backend is down it answers 503
+// with a Retry-After derived from the soonest breaker reopen.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, endpoint string, body []byte) {
+	order := RendezvousOrder(endpoint+"\x00"+string(body), g.cfg.Backends)
+	byURL := make(map[string]*gwBackend, len(g.backends))
+	for _, b := range g.backends {
+		byURL[b.url] = b
+	}
+
+	var lastStatus int
+	var lastBody []byte
+	var lastHeader http.Header
+	var lastBackend string
+	minWait := time.Duration(-1)
+	for _, url := range order {
+		b := byURL[url]
+		now := time.Now()
+		if ok, wait := b.brk.allow(now); !ok {
+			if minWait < 0 || wait < minWait {
+				minWait = wait
+			}
+			g.reg.Count("gw.fwd|"+url+"|skipped", 1)
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+"/"+endpoint, bytes.NewReader(body))
+		if err != nil {
+			b.brk.report(time.Now(), false)
+			continue
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			// Transport failure: the daemon is gone or unreachable. Eject
+			// progress and fail over — unless our own client bailed.
+			if r.Context().Err() != nil {
+				return
+			}
+			b.brk.report(time.Now(), false)
+			g.reg.Count("gw.fwd|"+url+"|error", 1)
+			continue
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
+		resp.Body.Close()
+		if rerr != nil {
+			b.brk.report(time.Now(), false)
+			g.reg.Count("gw.fwd|"+url+"|error", 1)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			// Daemon-side failure: count it, remember it (if no backend
+			// does better the client still deserves the real error), and
+			// try the next candidate.
+			b.brk.report(time.Now(), false)
+			g.reg.Count("gw.fwd|"+url+"|http_5xx", 1)
+			lastStatus, lastBody, lastHeader, lastBackend = resp.StatusCode, respBody, resp.Header, url
+			continue
+		}
+		// Anything below 500 — success, client error, or 429 backpressure
+		// — is a healthy daemon answering. Relay verbatim.
+		b.brk.report(time.Now(), true)
+		g.reg.Count("gw.fwd|"+url+"|ok", 1)
+		relay(w, resp.StatusCode, resp.Header, respBody, url)
+		return
+	}
+
+	if lastStatus != 0 {
+		relay(w, lastStatus, lastHeader, lastBody, lastBackend)
+		return
+	}
+	// Every backend skipped or unreachable with nothing to relay.
+	g.reg.Count("gw.unavailable", 1)
+	if minWait > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(max(minWait/time.Second, 1))))
+	}
+	writeResult(w, jsonError(http.StatusServiceUnavailable, "no backend available"))
+}
+
+// relay copies a backend response onto the client connection, headers
+// first (verbatim), stamped with the serving backend.
+func relay(w http.ResponseWriter, status int, header http.Header, body []byte, backend string) {
+	for k, vs := range header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Hlogate-Backend", backend)
+	w.WriteHeader(status)
+	w.Write(body)
+}

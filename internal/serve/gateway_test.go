@@ -1,0 +1,237 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestRendezvousOrderStableAndBalanced(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	if got := serve.RendezvousOrder("k1", backends); len(got) != 3 {
+		t.Fatalf("order has %d entries, want 3", len(got))
+	}
+	// Deterministic: same key, same order, regardless of input slice order.
+	a := serve.RendezvousOrder("k1", backends)
+	b := serve.RendezvousOrder("k1", []string{"http://c", "http://a", "http://b"})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order depends on backend list order: %v vs %v", a, b)
+		}
+	}
+	// Balanced-ish: over many keys every backend wins some.
+	wins := map[string]int{}
+	for i := 0; i < 300; i++ {
+		wins[serve.RendezvousOrder(fmt.Sprintf("key-%d", i), backends)[0]]++
+	}
+	for _, be := range backends {
+		if wins[be] == 0 {
+			t.Fatalf("backend %s never ranked first across 300 keys: %v", be, wins)
+		}
+	}
+	// Minimal disruption: dropping a backend must not remap keys it did
+	// not own.
+	two := []string{"http://a", "http://b"}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := serve.RendezvousOrder(key, backends)[0]
+		if first == "http://c" {
+			continue
+		}
+		if got := serve.RendezvousOrder(key, two)[0]; got != first {
+			t.Fatalf("key %q moved from %s to %s when an unrelated backend left", key, first, got)
+		}
+	}
+}
+
+// stubBackend is a minimal hlod stand-in: counts /compile hits and
+// echoes a recognizable body with a header worth forwarding.
+func stubBackend(t *testing.T, name string, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("X-Hlod-Queue-Ms", "1.000")
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "7")
+		}
+		w.WriteHeader(status)
+		fmt.Fprintf(w, "from %s\n", name)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func postGateway(t *testing.T, g *serve.Gateway, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/compile", strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	g.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestGatewayShardsByBody: identical bodies always land on one backend;
+// across many distinct bodies both backends see traffic.
+func TestGatewayShardsByBody(t *testing.T) {
+	a, hitsA := stubBackend(t, "a", http.StatusOK)
+	b, hitsB := stubBackend(t, "b", http.StatusOK)
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{a.URL, b.URL}})
+
+	var firstBackend string
+	for i := 0; i < 5; i++ {
+		rr := postGateway(t, g, `{"same":"body"}`)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status %d", rr.Code)
+		}
+		be := rr.Header().Get("X-Hlogate-Backend")
+		if firstBackend == "" {
+			firstBackend = be
+		} else if be != firstBackend {
+			t.Fatalf("same body bounced between backends: %s then %s", firstBackend, be)
+		}
+	}
+	if hitsA.Load()+hitsB.Load() != 5 {
+		t.Fatalf("backends saw %d+%d hits, want 5 total", hitsA.Load(), hitsB.Load())
+	}
+	for i := 0; i < 40; i++ {
+		postGateway(t, g, fmt.Sprintf(`{"body":%d}`, i))
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("traffic never spread: a=%d b=%d", hitsA.Load(), hitsB.Load())
+	}
+}
+
+// TestGatewayForwardsBackpressure: a 429 with Retry-After is relayed
+// verbatim and never rerouted — queue-full is a signal, not a failure.
+func TestGatewayForwardsBackpressure(t *testing.T) {
+	a, hitsA := stubBackend(t, "a", http.StatusTooManyRequests)
+	b, hitsB := stubBackend(t, "b", http.StatusTooManyRequests)
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{a.URL, b.URL}})
+
+	rr := postGateway(t, g, `{"x":1}`)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want the backend's 7", ra)
+	}
+	if qh := rr.Header().Get("X-Hlod-Queue-Ms"); qh == "" {
+		t.Fatal("queue header not forwarded")
+	}
+	if hitsA.Load()+hitsB.Load() != 1 {
+		t.Fatalf("429 was retried across backends: a=%d b=%d", hitsA.Load(), hitsB.Load())
+	}
+}
+
+// TestGatewayFailsOverAndEjects: a dead backend's keys fail over to the
+// survivor; after the breaker threshold the corpse is skipped outright
+// and /healthz reports it ejected.
+func TestGatewayFailsOverAndEjects(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+	live, hits := stubBackend(t, "live", http.StatusOK)
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{deadURL, live.URL}, BreakerThreshold: 2})
+
+	for i := 0; i < 8; i++ {
+		rr := postGateway(t, g, fmt.Sprintf(`{"n":%d}`, i))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 via failover", i, rr.Code)
+		}
+		if be := rr.Header().Get("X-Hlogate-Backend"); be != live.URL {
+			t.Fatalf("request %d served by %q, want the live backend", i, be)
+		}
+	}
+	if hits.Load() != 8 {
+		t.Fatalf("live backend saw %d hits, want all 8", hits.Load())
+	}
+
+	hreq := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrr := httptest.NewRecorder()
+	g.ServeHTTP(hrr, hreq)
+	if hrr.Code != http.StatusOK {
+		t.Fatalf("healthz = %d with one live backend", hrr.Code)
+	}
+	if !strings.Contains(hrr.Body.String(), "ejected") {
+		t.Fatalf("healthz does not report the dead backend ejected:\n%s", hrr.Body.String())
+	}
+}
+
+// TestGatewayAllBackendsDown: nothing reachable yields 503 (with a
+// Retry-After once the breakers are open), not a hang or a panic.
+func TestGatewayAllBackendsDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{deadURL}, BreakerThreshold: 1})
+
+	if rr := postGateway(t, g, `{}`); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+	rr := postGateway(t, g, `{}`) // breaker now open: skipped, not dialed
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("open-breaker 503 missing Retry-After")
+	}
+}
+
+// TestGatewayDrain mirrors hlod: draining fails /healthz and refuses
+// new work so a load balancer upstream stops routing here.
+func TestGatewayDrain(t *testing.T) {
+	a, _ := stubBackend(t, "a", http.StatusOK)
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{a.URL}})
+	g.StartDrain()
+	if rr := postGateway(t, g, `{}`); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("work status %d while draining, want 503", rr.Code)
+	}
+	hreq := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrr := httptest.NewRecorder()
+	g.ServeHTTP(hrr, hreq)
+	if hrr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d while draining, want 503", hrr.Code)
+	}
+}
+
+// TestGatewayEndToEndFarm wires the real thing: two hlod servers over
+// one shared store behind the gateway. The same body via the gate twice
+// must hit the farm cache the second time, and the bytes must match a
+// direct backend request.
+func TestGatewayEndToEndFarm(t *testing.T) {
+	dir := t.TempDir()
+	_, tsa := farmServer(t, dir, "a")
+	_, tsb := farmServer(t, dir, "b")
+	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{tsa.URL, tsb.URL}})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	r1, body1 := postCompile(t, gts.URL)
+	if r1.Header.Get("X-Hlogate-Backend") == "" {
+		t.Fatal("response not stamped with the serving backend")
+	}
+	r2, body2 := postCompile(t, gts.URL)
+	if r2.Header.Get("X-Hlod-Cache") != "hit" {
+		t.Fatal("second request through the gate was not a farm cache hit")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("gateway responses differ across the cache fill")
+	}
+	// Byte-identical with a direct request to either daemon.
+	direct, err := http.Post(tsa.URL+"/compile", "application/json", bytes.NewReader(farmBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Body.Close()
+	directBody, _ := io.ReadAll(direct.Body)
+	if !bytes.Equal(directBody, body1) {
+		t.Fatal("direct and gated responses differ")
+	}
+}

@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// stubDaemon answers every work request 200 after delay, counting hits.
+func stubDaemon(t *testing.T, delay time.Duration) (*httptest.Server, func() int) {
+	t.Helper()
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, func() int { mu.Lock(); defer mu.Unlock(); return hits }
+}
+
+func TestRunLoadStagesRamp(t *testing.T) {
+	ts, hits := stubDaemon(t, 0)
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL: ts.URL,
+		Stages: []serve.Stage{
+			{Clients: 1, Duration: 150 * time.Millisecond},
+			{Clients: 2, Duration: 150 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stage rungs = %d, want 2", len(rep.Stages))
+	}
+	if rep.Stages[0].Clients != 1 || rep.Stages[1].Clients != 2 {
+		t.Fatalf("stage client counts = %d,%d", rep.Stages[0].Clients, rep.Stages[1].Clients)
+	}
+	if got := rep.Stages[0].Requests + rep.Stages[1].Requests; got != rep.Requests {
+		t.Fatalf("stage requests sum to %d, total says %d", got, rep.Requests)
+	}
+	// The server may see a few more than the client counted: a request
+	// in flight when a stage's clock expires is abandoned uncounted.
+	if rep.Requests == 0 || hits() < rep.Requests || hits() > rep.Requests+4 {
+		t.Fatalf("requests = %d, server saw %d", rep.Requests, hits())
+	}
+	if !rep.Healthy() {
+		t.Fatalf("unhealthy ramp: %+v", rep)
+	}
+}
+
+func TestRunLoadOpenLoopPoisson(t *testing.T) {
+	ts, hits := stubDaemon(t, 0)
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 300 * time.Millisecond,
+		Retry:    serve.RetryConfig{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open-loop run sent nothing")
+	}
+	if rep.OfferedRPS <= 0 {
+		t.Fatalf("offered rate = %v, want > 0", rep.OfferedRPS)
+	}
+	if hits() < rep.Requests {
+		t.Fatalf("requests = %d, server saw only %d", rep.Requests, hits())
+	}
+	if !rep.Healthy() {
+		t.Fatalf("unhealthy open-loop run: %+v", rep)
+	}
+	// Determinism: the same seed replays the same arrival schedule, so
+	// the offered count should be extremely close across runs (the wall
+	// clock jitters the tail arrival, so allow one).
+	rep2, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 300 * time.Millisecond,
+		Retry:    serve.RetryConfig{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.OfferedRPS - rep2.OfferedRPS; d > 60 || d < -60 {
+		t.Errorf("seeded arrival rates diverged: %.1f vs %.1f", rep.OfferedRPS, rep2.OfferedRPS)
+	}
+}
+
+func TestRunLoadOpenLoopShedsOverload(t *testing.T) {
+	ts, _ := stubDaemon(t, 80*time.Millisecond) // slow daemon
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:        ts.URL,
+		Rate:           400,
+		Duration:       250 * time.Millisecond,
+		MaxOutstanding: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overload == 0 {
+		t.Fatalf("no arrivals shed at 400 req/s against an 80ms daemon with 1 outstanding: %+v", rep)
+	}
+}
+
+// TestRunLoadBackendsShard: client-side rendezvous sharding sends each
+// body to exactly one backend, and the matrix spreads across both.
+func TestRunLoadBackendsShard(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]map[string]bool{} // body -> set of backends
+	mkBackend := func(name string) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			mu.Lock()
+			if seen[string(body)] == nil {
+				seen[string(body)] = map[string]bool{}
+			}
+			seen[string(body)][name] = true
+			mu.Unlock()
+			w.Write([]byte(`{}`))
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := mkBackend("a"), mkBackend("b")
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Backends: []string{a.URL, b.URL},
+		Clients:  2,
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || !rep.Healthy() {
+		t.Fatalf("bad sharded run: %+v", rep)
+	}
+	backends := map[string]bool{}
+	for body, bes := range seen {
+		if len(bes) != 1 {
+			t.Fatalf("body %.40q landed on %d backends, want exactly 1", body, len(bes))
+		}
+		for be := range bes {
+			backends[be] = true
+		}
+	}
+	if len(backends) != 2 {
+		t.Fatalf("only %d backend(s) saw traffic across the 12-body matrix", len(backends))
+	}
+}

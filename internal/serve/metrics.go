@@ -51,6 +51,25 @@ func writeMetrics(w io.Writer, s *Server) error {
 	fmt.Fprintf(bw, "hlod_completed_total %d\n", st.CompletedTotal)
 	fmt.Fprintf(bw, "# TYPE hlod_dedup_hits_total counter\n")
 	fmt.Fprintf(bw, "hlod_dedup_hits_total %d\n", s.flights.dedupHits())
+
+	// Farm tier: the shared artifact store's operation counters
+	// (hits/misses/puts/evictions/quarantines and the lease protocol's
+	// acquires/waits/takeovers), present only when -cache-dir is set.
+	if s.store != nil {
+		cs := s.store.Counters()
+		names := make([]string, 0, len(cs))
+		for name := range cs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(bw, "# HELP hlod_cas Shared artifact store operations by kind.\n")
+		fmt.Fprintf(bw, "# TYPE hlod_cas counter\n")
+		for _, name := range names {
+			fmt.Fprintf(bw, "hlod_cas{op=%q} %d\n", name, cs[name])
+		}
+		fmt.Fprintf(bw, "# TYPE hlod_cas_bytes gauge\n")
+		fmt.Fprintf(bw, "hlod_cas_bytes %d\n", s.store.SizeBytes())
+	}
 	fmt.Fprintf(bw, "# HELP hlod_panics_total Worker panics contained by the per-request recover boundary.\n")
 	fmt.Fprintf(bw, "# TYPE hlod_panics_total counter\n")
 	var panics int64

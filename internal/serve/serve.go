@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/driver"
 	"repro/internal/obs"
 	"repro/internal/pa8000"
@@ -71,6 +72,12 @@ type Config struct {
 	// Cache is the compilation cache shared by all requests; nil means
 	// a fresh one.
 	Cache *driver.Cache
+	// Store, when non-nil, is the compile farm's shared persistent
+	// artifact store (hlod -cache-dir): rendered 200 responses are
+	// cached and replayed by content address, cache fills are
+	// single-flighted across every process sharing the directory, and
+	// the driver cache gains its disk tier (warm starts).
+	Store *cas.Store
 	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on
 	// the server's mux (the daemon never serves http.DefaultServeMux).
 	Pprof bool
@@ -83,6 +90,7 @@ type Server struct {
 	adm     *admission
 	flights flightGroup
 	cache   *driver.Cache
+	store   *cas.Store // farm tier; nil for a standalone daemon
 	reg     *obs.Recorder // server-lifetime counter registry
 	log     *accessLogger
 	mux     *http.ServeMux
@@ -114,10 +122,14 @@ func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache = driver.NewCache()
 	}
+	if cfg.Store != nil {
+		cfg.Cache.SetStore(cfg.Store)
+	}
 	s := &Server{
 		cfg:   cfg,
 		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
 		cache: cfg.Cache,
+		store: cfg.Store,
 		reg:   obs.New(),
 		log:   newAccessLogger(cfg.AccessLog),
 		mux:   http.NewServeMux(),
@@ -145,6 +157,9 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Registry exposes the server-lifetime counter registry (tests and
 // embedders).
 func (s *Server) Registry() *obs.Recorder { return s.reg }
+
+// Store exposes the farm's artifact store; nil for a standalone daemon.
+func (s *Server) Store() *cas.Store { return s.store }
 
 // LogShutdown writes the terminal access-log record: the full
 // server-lifetime counter registry plus every span still open, marked
@@ -179,6 +194,7 @@ func (s *Server) Queue() QueueState { return s.adm.state() }
 // middleware can see what the handler learned.
 type requestMeta struct {
 	dedup   bool
+	cached  bool
 	timeout bool
 	err     string
 }
@@ -232,6 +248,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Bytes:   sw.bytes,
 		Remote:  r.RemoteAddr,
 		Dedup:   meta.dedup,
+		Cached:  meta.cached,
 		Timeout: meta.timeout,
 		Err:     meta.err,
 	})
@@ -318,7 +335,7 @@ func (s *Server) workHandler(endpoint string, build func(ctx context.Context, bo
 		sum := sha256.Sum256(body)
 		key := endpoint + "\x00" + string(sum[:])
 		res, shared, err := s.flights.do(r.Context(), key, func() *flightResult {
-			return s.execute(r.Context(), endpoint, body, build)
+			return s.executeFarm(r.Context(), endpoint, body, build)
 		})
 		if err != nil {
 			// Our own client disconnected while we waited on a flight.
@@ -331,6 +348,7 @@ func (s *Server) workHandler(endpoint string, build func(ctx context.Context, bo
 			return
 		}
 		m.dedup = shared
+		m.cached = res.cached
 		if res.status == http.StatusGatewayTimeout {
 			m.timeout = true
 		}
@@ -564,6 +582,9 @@ func writeResult(w http.ResponseWriter, res *flightResult) {
 	if res.timed {
 		w.Header().Set("X-Hlod-Queue-Ms", formatMS(res.queueNS))
 		w.Header().Set("X-Hlod-Service-Ms", formatMS(res.serviceNS))
+	}
+	if res.cached {
+		w.Header().Set("X-Hlod-Cache", "hit")
 	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)

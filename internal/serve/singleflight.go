@@ -24,6 +24,10 @@ type flightResult struct {
 	queueNS   int64
 	serviceNS int64
 	timed     bool
+	// cached marks a response replayed from the farm's persistent
+	// store (X-Hlod-Cache: hit): it consumed no worker slot, so it
+	// carries no queue/service split.
+	cached bool
 }
 
 // flightGroup coalesces concurrent identical requests ("single
