@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/ipa"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/policy"
 )
 
 // cloneSpec describes a specialization: for each formal parameter of the
@@ -44,29 +44,14 @@ func (s *cloneSpec) key() string {
 	return b.String()
 }
 
-// cloneGroup is a set of call sites that can all safely call the clone
-// described by spec (Figure 3's clone groups).
-type cloneGroup struct {
-	spec     *cloneSpec
-	sites    []int32 // Site IDs of the member edges
-	callers  []*ir.Func
-	benefits []int64 // per-site benefit, parallel to sites
-	benefit  int64
-	// coversAll marks groups containing every direct call to the clonee,
-	// which anticipates deletion of the clonee (zero cost in the paper).
-	coversAll bool
-	// cost and headroom record the budget state at selection time for
-	// optimization remarks.
-	cost, headroom int64
-}
-
-// clonePass implements Figure 3: build parameter-usage and calling-
-// context descriptors, form clone groups greedily, rank by benefit,
-// create clones under the stage budget, optimize them, and retarget the
-// member call sites.
-func (h *hlo) clonePass(stageBudget int64) {
-	g := ipa.Build(h.prog)
-
+// cloneGroups implements the enumeration half of Figure 3: build
+// parameter-usage and calling-context descriptors and form clone
+// groups greedily in edge order, each site claimed by at most one
+// group. Ranking and budget accounting belong to the decision policy.
+// Rejection remarks for illegal sites and empty specs are emitted when
+// emit is set (the first enumeration of a phase). The group's Spec
+// field carries the *cloneSpec payload back into applyCloneGroup.
+func (h *hlo) cloneGroups(g *ipa.Graph, emit bool) []*policy.CloneGroup {
 	usage := make(map[*ir.Func]*ipa.ParamUsage)
 	usageOf := func(f *ir.Func) *ipa.ParamUsage {
 		u, ok := usage[f]
@@ -78,14 +63,18 @@ func (h *hlo) clonePass(stageBudget int64) {
 	}
 
 	claimed := make(map[int32]bool) // sites already in a group this pass
-	var groups []*cloneGroup
+	var groups []*policy.CloneGroup
 	for _, e := range g.Edges {
 		if r := cloneLegal(e, h.scope); r != OK {
-			h.remarkEdge(RemarkClone, e, r)
+			if emit {
+				h.remarkEdge(RemarkClone, e, r)
+			}
 			continue
 		}
 		if h.skippedFunc(e.Caller) || h.skippedFunc(e.Callee) {
-			h.remarkEdge(RemarkClone, e, SkippedFunc)
+			if emit {
+				h.remarkEdge(RemarkClone, e, SkippedFunc)
+			}
 			continue
 		}
 		site := e.Instr().Site
@@ -102,11 +91,13 @@ func (h *hlo) clonePass(stageBudget int64) {
 			}
 		}
 		if spec.nBound() == 0 {
-			h.remarkEdge(RemarkClone, e, NoBinding)
+			if emit {
+				h.remarkEdge(RemarkClone, e, NoBinding)
+			}
 			continue
 		}
 		// Greedily grow the group over the clonee's other legal sites.
-		grp := &cloneGroup{spec: spec}
+		grp := &policy.CloneGroup{Callee: callee, Key: spec.key(), Spec: spec}
 		specCtx := ipa.Context(spec.bound)
 		total := len(g.CallersOf[callee])
 		for _, e2 := range g.CallersOf[callee] {
@@ -124,73 +115,51 @@ func (h *hlo) clonePass(stageBudget int64) {
 				continue
 			}
 			b2 := h.cloneSiteBenefit(e2, spec, u)
-			grp.sites = append(grp.sites, s2)
-			grp.callers = append(grp.callers, e2.Caller)
-			grp.benefits = append(grp.benefits, b2)
-			grp.benefit += b2
+			grp.Sites = append(grp.Sites, s2)
+			grp.Callers = append(grp.Callers, e2.Caller)
+			grp.Benefits = append(grp.Benefits, b2)
+			grp.Benefit += b2
 		}
-		if len(grp.sites) == 0 {
+		if len(grp.Sites) == 0 {
 			continue
 		}
-		grp.coversAll = len(grp.sites) == total && deletable(callee, h.scope) && !addressTaken(h.prog, callee)
-		for _, s := range grp.sites {
+		grp.CoversAll = len(grp.Sites) == total && deletable(callee, h.scope) && !addressTaken(h.prog, callee)
+		for _, s := range grp.Sites {
 			claimed[s] = true
 		}
 		groups = append(groups, grp)
 	}
+	return groups
+}
 
-	// Rank groups by benefit and create clones greedily under the stage
-	// budget.
-	sort.SliceStable(groups, func(i, j int) bool {
-		a, b := groups[i], groups[j]
-		if a.benefit != b.benefit {
-			return a.benefit > b.benefit
-		}
-		return a.spec.key() < b.spec.key()
-	})
-	c := h.cost
-	for gi, grp := range groups {
-		if grp.benefit <= 0 {
-			h.remarkGroup(grp, RejNoBenefit)
-			continue
-		}
-		if h.stopped() {
-			for _, rest := range groups[gi:] {
-				h.remarkGroup(rest, RejStopped)
-			}
-			return
-		}
-		x := h.costOf(int64(grp.spec.callee.Size()))
-		if grp.coversAll {
-			// The clonee will die: the paper treats such groups as free.
-			x = 0
-		}
-		if h.opts.ReuseCloneDB {
-			if _, exists := h.cloneDB[grp.spec.key()]; exists {
-				// "If a given clone exists in the database then it is
-				// simply reused": only call sites change, no new code.
-				x = 0
-			}
-		}
-		grp.cost = x
-		grp.headroom = stageBudget - c
-		if c+x > stageBudget {
-			h.remarkGroup(grp, RejBudget)
-			continue
-		}
-		c += x
-		h.applyCloneGroup(grp)
+// cloneGroupCost is the projected compile cost of materializing the
+// group's clone right now: the clonee's cost, discounted to zero when
+// the group covers every call (the clonee dies — "the paper treats
+// such groups as free") or when the clone database already holds the
+// spec ("if a given clone exists in the database then it is simply
+// reused": only call sites change, no new code). Live state: earlier
+// accepts in the same phase grow the database, so policies must query
+// per decision rather than cache.
+func (h *hlo) cloneGroupCost(grp *policy.CloneGroup) int64 {
+	if grp.CoversAll {
+		return 0
 	}
+	if h.opts.ReuseCloneDB {
+		if _, exists := h.cloneDB[grp.Key]; exists {
+			return 0
+		}
+	}
+	return h.costOf(int64(grp.Callee.Size()))
 }
 
 // remarkGroup records one rejection remark per member site of a group
 // declined as a whole by the selection loop.
-func (h *hlo) remarkGroup(grp *cloneGroup, reason Reason) {
+func (h *hlo) remarkGroup(grp *policy.CloneGroup, reason Reason) {
 	if h.rec == nil {
 		return
 	}
-	for i := range grp.sites {
-		h.remarkCloneSite(grp, i, false, reason, grp.cost, grp.headroom, "")
+	for i := range grp.Sites {
+		h.remarkCloneSite(grp, i, false, reason, grp.Cost, grp.Headroom, "")
 	}
 }
 
@@ -218,9 +187,10 @@ func (h *hlo) cloneSiteBenefit(e *ipa.Edge, spec *cloneSpec, u *ipa.ParamUsage) 
 
 // applyCloneGroup creates (or reuses) the clone and retargets every
 // member site.
-func (h *hlo) applyCloneGroup(grp *cloneGroup) {
-	clonee := grp.spec.callee
-	key := grp.spec.key()
+func (h *hlo) applyCloneGroup(grp *policy.CloneGroup) {
+	spec := grp.Spec.(*cloneSpec)
+	clonee := spec.callee
+	key := grp.Key
 	cloneName, reused := "", false
 	if h.opts.ReuseCloneDB {
 		cloneName, reused = h.cloneDB[key]
@@ -228,12 +198,12 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 	if !reused {
 		var clone *ir.Func
 		outcome := h.guardMutation(
-			obs.Remark{Kind: RemarkClone, Caller: grp.callers[0].QName, Callee: clonee.QName,
-				Site: grp.sites[0], Benefit: grp.benefit},
+			obs.Remark{Kind: RemarkClone, Caller: grp.Callers[0].QName, Callee: clonee.QName,
+				Site: grp.Sites[0], Benefit: grp.Benefit},
 			nil,
 			func() ([]*ir.Func, string, error) {
 				ptClone.Inject()
-				clone = h.makeClone(grp.spec)
+				clone = h.makeClone(spec)
 				return []*ir.Func{clone}, "clone " + clone.QName, nil
 			})
 		if outcome != fwOK {
@@ -245,38 +215,38 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		h.cloneDB[key] = cloneName
 		h.stats.Clones++
 	}
-	for i, site := range grp.sites {
+	for i, site := range grp.Sites {
 		if h.stopped() {
-			h.remarkCloneSite(grp, i, false, RejStopped, grp.cost, grp.headroom, cloneName)
+			h.remarkCloneSite(grp, i, false, RejStopped, grp.Cost, grp.Headroom, cloneName)
 			return
 		}
-		caller := grp.callers[i]
+		caller := grp.Callers[i]
 		if h.skippedFunc(caller) {
-			h.remarkCloneSite(grp, i, false, SkippedFunc, grp.cost, grp.headroom, cloneName)
+			h.remarkCloneSite(grp, i, false, SkippedFunc, grp.Cost, grp.Headroom, cloneName)
 			continue
 		}
 		blk, idx, ok := ir.FindSite(caller, site)
 		if !ok {
-			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.cost, grp.headroom, cloneName)
+			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.Cost, grp.Headroom, cloneName)
 			continue
 		}
 		in := &blk.Instrs[idx]
 		if in.Op != ir.Call || in.Callee != clonee.QName {
 			// Retargeted or transformed since the graph was built.
-			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.cost, grp.headroom, cloneName)
+			h.remarkCloneSite(grp, i, false, RejRetargeted, grp.Cost, grp.Headroom, cloneName)
 			continue
 		}
 		// Edit the bound actuals out of the argument list and point the
 		// site at the clone.
 		var args []ir.Operand
 		for ai, a := range in.Args {
-			if ai >= len(grp.spec.bound) || grp.spec.bound[ai].Kind == ir.KindInvalid {
+			if ai >= len(spec.bound) || spec.bound[ai].Kind == ir.KindInvalid {
 				args = append(args, a)
 			}
 		}
 		outcome := h.guardMutation(
 			obs.Remark{Kind: RemarkClone, Caller: caller.QName, Callee: clonee.QName,
-				Site: site, Benefit: grp.benefits[i]},
+				Site: site, Benefit: grp.Benefits[i]},
 			[]*ir.Func{caller},
 			func() ([]*ir.Func, string, error) {
 				in.Callee = cloneName
@@ -288,7 +258,7 @@ func (h *hlo) applyCloneGroup(grp *cloneGroup) {
 		}
 		h.stats.CloneRepls++
 		h.countOp()
-		h.remarkCloneSite(grp, i, true, OK, grp.cost, grp.headroom, cloneName)
+		h.remarkCloneSite(grp, i, true, OK, grp.Cost, grp.Headroom, cloneName)
 	}
 	if clonee.Module != h.prog.Func(cloneName).Module {
 		// Cannot happen (clones live in the clonee's module), but keep

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// policyHost implements policy.Host over one HLO invocation: the
+// decision layer (internal/policy) enumerates candidates and applies
+// decisions through it, while legality screening, benefit computation,
+// the mutation mechanics, the pass firewall, VerifyEach and remark
+// emission all stay here — shared by every policy, so the correctness
+// bar and the remark vocabulary are uniform across them.
+type policyHost struct{ h *hlo }
+
+func (p policyHost) Graph() *ipa.Graph { return ipa.Build(p.h.prog) }
+
+func (p policyHost) RefreshSites() { p.h.siteSeq = p.h.prog.AssignSites(p.h.siteSeq) }
+
+func (p policyHost) InlineCandidates(g *ipa.Graph, emit bool) []*policy.InlineSite {
+	return p.h.inlineCandidates(g, emit)
+}
+
+func (p policyHost) CloneGroups(g *ipa.Graph, emit bool) []*policy.CloneGroup {
+	return p.h.cloneGroups(g, emit)
+}
+
+func (p policyHost) Cost() int64 { return p.h.cost }
+
+func (p policyHost) CostOf(size int64) int64 { return p.h.costOf(size) }
+
+func (p policyHost) CloneGroupCost(grp *policy.CloneGroup) int64 {
+	return p.h.cloneGroupCost(grp)
+}
+
+func (p policyHost) Stopped() bool { return p.h.stopped() }
+
+func (p policyHost) RejectInline(s *policy.InlineSite, why policy.Verdict) {
+	p.h.remarkInline(s, false, reasonOf(why))
+}
+
+func (p policyHost) RejectGroup(grp *policy.CloneGroup, why policy.Verdict) {
+	p.h.remarkGroup(grp, reasonOf(why))
+}
+
+// Inline performs one inline under the pass firewall: body splice,
+// incremental cost and statistics bookkeeping, and the accept remark
+// (with the verdict's reason code — OK ordinarily, "always-inline" or
+// "re-ranked" for policy-attributed accepts). A declined mutation (the
+// site vanished or was retargeted since enumeration) emits the
+// "retargeted" rejection.
+func (p policyHost) Inline(cand *policy.InlineSite, why policy.Verdict) policy.Outcome {
+	h := p.h
+	old := int64(cand.Caller.Size())
+	outcome := h.guardMutation(
+		obs.Remark{Kind: RemarkInline, Caller: cand.Caller.QName, Callee: cand.Callee.QName,
+			Site: cand.Site, Benefit: cand.Benefit},
+		[]*ir.Func{cand.Caller, cand.Callee},
+		func() ([]*ir.Func, string, error) {
+			ptInline.Inject()
+			if err := h.performInline(cand); err != nil {
+				return nil, "", err
+			}
+			return nil, fmt.Sprintf("inline %s into %s", cand.Callee.QName, cand.Caller.QName), nil
+		})
+	switch outcome {
+	case fwOK:
+		h.recost(cand.Caller, old)
+		h.stats.Inlines++
+		h.countOp()
+		h.remarkInline(cand, true, reasonOf(why))
+		return policy.Applied
+	case fwDeclined:
+		h.remarkInline(cand, false, RejRetargeted)
+		return policy.Declined
+	default:
+		// guardMutation restored the snapshots and emitted the rollback
+		// remark.
+		return policy.RolledBack
+	}
+}
+
+func (p policyHost) ApplyCloneGroup(grp *policy.CloneGroup) { p.h.applyCloneGroup(grp) }
+
+// reasonOf maps policy decision codes onto the remark-stream Reason
+// vocabulary.
+func reasonOf(v policy.Verdict) Reason {
+	switch v {
+	case policy.OK:
+		return OK
+	case policy.NoBenefit:
+		return RejNoBenefit
+	case policy.Budget:
+		return RejBudget
+	case policy.Stopped:
+		return RejStopped
+	case policy.BloatFactor:
+		return BloatFactor
+	case policy.AlwaysInline:
+		return AlwaysDirective
+	case policy.Reranked:
+		return Reranked
+	}
+	panic(fmt.Sprintf("core: unmapped policy verdict %d", v))
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/specsuite"
+)
+
+// The policy race: every registered decision policy compiled and timed
+// head-to-head over the benchmark × budget matrix, against a shared
+// neither-inline-nor-clone baseline. The paper's greedy selection is
+// one point in the design space the related work maps out; this
+// experiment answers "was greedy the right call?" with speedup vs code
+// growth vs compile time instead of citation. All racers run over the
+// identical substrate — same legality screens, mutation mechanics,
+// firewalls and verification — so every difference in the table is a
+// decision-order difference.
+
+// PolicyRacePolicies returns the default racer line-up as parseable
+// specs: the paper's greedy selection and both alternatives at their
+// default parameters.
+func PolicyRacePolicies() []string {
+	return []string{"greedy", "bottomup", "priority"}
+}
+
+// PolicyRaceBudgets is the default budget axis of the race.
+func PolicyRaceBudgets() []int { return []int{100, 150, 200} }
+
+// PolicyRaceRow is one (benchmark, policy, budget) outcome.
+type PolicyRaceRow struct {
+	Name   string
+	Suite  string
+	Policy string // canonical identity, policy.Parse(spec).Key()
+	Budget int
+
+	Inlines     int
+	Clones      int
+	CodeGrowth  float64 // HLO scope size after / before
+	CodeSize    int     // linked machine instructions
+	CompileCost int64   // Σ size² model units, incl. instrumented build
+	RunCycles   int64
+	Speedup     float64 // neither-build cycles / this build's cycles
+}
+
+// PolicyRace races the given policies (parseable specs; nil means
+// PolicyRacePolicies) across benches × budgets (nil means the full
+// suite and PolicyRaceBudgets), all under the paper's peak scope
+// (cross-module + profile). One extra baseline configuration per
+// benchmark — inlining and cloning off — anchors the speedup column;
+// its cells are shared by every policy and budget.
+func PolicyRace(policies []string, budgets []int, benches []*specsuite.Benchmark) ([]PolicyRaceRow, error) {
+	if policies == nil {
+		policies = PolicyRacePolicies()
+	}
+	if len(budgets) == 0 {
+		budgets = PolicyRaceBudgets()
+	}
+	if benches == nil {
+		benches = specsuite.All()
+	}
+	keys := make([]string, len(policies))
+	for i, spec := range policies {
+		p, err := policy.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy race: %w", err)
+		}
+		keys[i] = p.Key()
+	}
+	if err := warmTrain("policyrace", benches); err != nil {
+		return nil, err
+	}
+
+	// Configuration space: index 0 is the baseline, then policy-major ×
+	// budget-minor racers. Labels carry the canonical policy key, so the
+	// scheduler's cost memory is namespaced per policy (one policy's
+	// observed durations never steer another's claim order).
+	nb := len(budgets)
+	nc := 1 + len(policies)*nb
+	config := func(ci int) string {
+		if ci == 0 {
+			return "neither"
+		}
+		pi, bi := (ci-1)/nb, (ci-1)%nb
+		return keys[pi] + "/b" + strconv.Itoa(budgets[bi])
+	}
+
+	type buildOut struct {
+		inlines, clones int
+		growth          float64
+		codeSize        int
+		compileCost     int64
+	}
+	cells := refCells(benches, nc)
+	cycles := make([]int64, len(cells))
+	builds := make([]buildOut, len(benches)*nc)
+	label := func(i int) string {
+		cl := cells[i]
+		return cellLabel("policyrace", benches[cl.bi], config(cl.ci), cl.vi)
+	}
+	err := forEachCell(len(cells), label, func(i int, rec *obs.Recorder) error {
+		cl := cells[i]
+		b := benches[cl.bi]
+		opts := driver.DefaultOptions(b.Train)
+		if cl.ci == 0 {
+			opts.HLO.Inline = false
+			opts.HLO.Clone = false
+		} else {
+			pi, bi := (cl.ci-1)/nb, (cl.ci-1)%nb
+			opts.HLO.Policy = policies[pi]
+			opts.HLO.Budget = budgets[bi]
+		}
+		c, st, err := compileAndRun(b, opts, b.RefVectors()[cl.vi], rec)
+		if err != nil {
+			return err
+		}
+		cycles[i] = st.Cycles
+		if cl.vi == 0 {
+			// Build properties are identical across the deck; keep only
+			// the row fields, not the whole compilation.
+			builds[cl.bi*nc+cl.ci] = buildOut{
+				inlines:     c.Stats.Inlines,
+				clones:      c.Stats.Clones,
+				growth:      ratio(int64(c.Stats.SizeAfter), int64(c.Stats.SizeBefore)),
+				codeSize:    c.CodeSize,
+				compileCost: c.CompileCost,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]int64, len(benches)*nc)
+	for i, cl := range cells {
+		sums[cl.bi*nc+cl.ci] += cycles[i]
+	}
+
+	var rows []PolicyRaceRow
+	for bi, b := range benches {
+		base := sums[bi*nc] // config 0 is the neither baseline
+		for pi := range policies {
+			for bj, budget := range budgets {
+				ci := 1 + pi*nb + bj
+				bo := builds[bi*nc+ci]
+				rows = append(rows, PolicyRaceRow{
+					Name:        b.Name,
+					Suite:       b.Suite,
+					Policy:      keys[pi],
+					Budget:      budget,
+					Inlines:     bo.inlines,
+					Clones:      bo.clones,
+					CodeGrowth:  bo.growth,
+					CodeSize:    bo.codeSize,
+					CompileCost: bo.compileCost,
+					RunCycles:   sums[bi*nc+ci],
+					Speedup:     ratio(base, sums[bi*nc+ci]),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PolicyRaceSummary is one (policy, budget) aggregate of a race.
+type PolicyRaceSummary struct {
+	Policy string
+	Budget int
+
+	GeoSpeedup  float64 // geometric mean over benchmarks
+	MeanGrowth  float64 // arithmetic mean code-growth factor
+	CompileCost int64   // summed over benchmarks
+}
+
+// PolicyRaceSummaries aggregates a race result set per (policy, budget)
+// in first-appearance order — the "who won" lines under the table.
+func PolicyRaceSummaries(rows []PolicyRaceRow) []PolicyRaceSummary {
+	type acc struct {
+		logSum float64
+		growth float64
+		cost   int64
+		n      int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	key := func(r PolicyRaceRow) string { return r.Policy + "/b" + strconv.Itoa(r.Budget) }
+	for _, r := range rows {
+		k := key(r)
+		a, ok := accs[k]
+		if !ok {
+			a = &acc{}
+			accs[k] = a
+			order = append(order, k)
+		}
+		if r.Speedup > 0 {
+			a.logSum += math.Log(r.Speedup)
+		}
+		a.growth += r.CodeGrowth
+		a.cost += r.CompileCost
+		a.n++
+	}
+	out := make([]PolicyRaceSummary, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		cut := strings.LastIndex(k, "/b")
+		budget, _ := strconv.Atoi(k[cut+2:])
+		out = append(out, PolicyRaceSummary{
+			Policy:      k[:cut],
+			Budget:      budget,
+			GeoSpeedup:  math.Exp(a.logSum / float64(a.n)),
+			MeanGrowth:  a.growth / float64(a.n),
+			CompileCost: a.cost,
+		})
+	}
+	return out
+}
+
+// RenderPolicyRace formats a race as a text table: per-benchmark rows
+// grouped by policy and budget, then the per-(policy, budget) summary
+// block. The summary sorts by budget then policy so the head-to-head
+// comparison at each budget reads as consecutive lines.
+func RenderPolicyRace(rows []PolicyRaceRow) string {
+	var b strings.Builder
+	b.WriteString("Policy race: decision policies head-to-head (cross-module + profile)\n")
+	b.WriteString("(speedup is vs the neither-inline-nor-clone build; growth is HLO scope size after/before)\n")
+	fmt.Fprintf(&b, "%-14s %-20s %6s %8s %7s %8s %7s %13s %12s\n",
+		"benchmark", "policy", "budget", "speedup", "growth", "inlines", "clones", "compile-cost", "run-cycles")
+	prev := ""
+	for _, r := range rows {
+		name := r.Name
+		if name == prev {
+			name = ""
+		} else {
+			prev = r.Name
+		}
+		fmt.Fprintf(&b, "%-14s %-20s %6d %8.3f %7.3f %8d %7d %13d %12d\n",
+			name, r.Policy, r.Budget, r.Speedup, r.CodeGrowth, r.Inlines, r.Clones, r.CompileCost, r.RunCycles)
+	}
+	sums := PolicyRaceSummaries(rows)
+	sort.SliceStable(sums, func(i, j int) bool {
+		if sums[i].Budget != sums[j].Budget {
+			return sums[i].Budget < sums[j].Budget
+		}
+		return sums[i].Policy < sums[j].Policy
+	})
+	b.WriteString("summary per (policy, budget), geomean speedup over all benchmarks:\n")
+	fmt.Fprintf(&b, "%-14s %-20s %6s %8s %7s %13s\n",
+		"", "policy", "budget", "speedup", "growth", "compile-cost")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-14s %-20s %6d %8.3f %7.3f %13d\n",
+			"", s.Policy, s.Budget, s.GeoSpeedup, s.MeanGrowth, s.CompileCost)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/specsuite"
+)
+
+// TestPolicyRaceShapes runs a one-benchmark, one-budget race of all
+// three policies and checks the structural invariants: one row per
+// (policy, budget) with canonical policy identities, a positive speedup
+// vs the shared neither baseline (inlining must not make 022.li
+// slower), code growth of at least 1 (HLO only adds code at budget
+// 100), and a summary block covering every racer.
+func TestPolicyRaceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a benchmark ten ways; skipped under -short")
+	}
+	li, err := specsuite.ByName("022.li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := experiments.PolicyRace(nil, []int{100}, []*specsuite.Benchmark{li})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPolicies := []string{"greedy", "bottomup:bloat=300", "priority"}
+	if len(rows) != len(wantPolicies) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantPolicies))
+	}
+	for i, r := range rows {
+		if r.Policy != wantPolicies[i] {
+			t.Errorf("row %d policy = %q, want %q", i, r.Policy, wantPolicies[i])
+		}
+		if r.Budget != 100 {
+			t.Errorf("row %d budget = %d, want 100", i, r.Budget)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("%s: speedup %.3f not above the neither baseline", r.Policy, r.Speedup)
+		}
+		if r.CodeGrowth < 1 {
+			t.Errorf("%s: code growth %.3f below 1", r.Policy, r.CodeGrowth)
+		}
+		if r.Inlines <= 0 {
+			t.Errorf("%s: no inlines at budget 100", r.Policy)
+		}
+		if r.CompileCost <= 0 || r.RunCycles <= 0 || r.CodeSize <= 0 {
+			t.Errorf("%s: empty measurement row %+v", r.Policy, r)
+		}
+	}
+	sums := experiments.PolicyRaceSummaries(rows)
+	if len(sums) != len(wantPolicies) {
+		t.Fatalf("got %d summaries, want %d", len(sums), len(wantPolicies))
+	}
+	out := experiments.RenderPolicyRace(rows)
+	for _, p := range wantPolicies {
+		if !strings.Contains(out, p) {
+			t.Errorf("rendered table missing policy %q", p)
+		}
+	}
+}

@@ -60,6 +60,48 @@ func TestScheduleOrderFig8BudgetsEarlierFirst(t *testing.T) {
 	}
 }
 
+func TestScheduleOrderPolicyCells(t *testing.T) {
+	// Policy-race cells rank by the policy segment on a cold start —
+	// priority (re-enumerating) before bottomup and greedy, the shared
+	// neither baseline before all of them — and the budget suffix never
+	// hides the policy segment.
+	labels := []string{
+		"cell/policyrace/022.li/greedy/b100",
+		"cell/policyrace/022.li/bottomup:bloat=300/b100",
+		"cell/policyrace/022.li/priority/b100",
+		"cell/policyrace/022.li/neither",
+	}
+	order := scheduleOrder(len(labels), func(i int) string { return labels[i] })
+	want := []int{3, 2, 1, 0}
+	for p := range want {
+		if order[p] != want[p] {
+			t.Fatalf("policy schedule = %v, want %v", order, want)
+		}
+	}
+	// Per-vector deck cells of a policy config rank like their config.
+	if a, b := seedWeight("cell/policyrace/124.m88ksim/priority/b150/v3"),
+		seedWeight("cell/policyrace/022.li/priority/b100"); a != b {
+		t.Fatalf("vector suffix changes policy seed weight: %d vs %d", a, b)
+	}
+}
+
+func TestScheduleCostMemoryNamespacedByPolicy(t *testing.T) {
+	// The satellite regression: noteCost on one policy's label must not
+	// skew another policy's cost hint for the same benchmark and budget.
+	// Labels carry the canonical policy key, so cost memory is
+	// per-policy by construction.
+	greedy := "cell/sched-policy-test/085.gcc/greedy/b100"
+	prio := "cell/sched-policy-test/085.gcc/priority/b100"
+	before := costHint(prio)
+	noteCost(greedy, 30*time.Second)
+	if got := costHint(prio); got != before {
+		t.Fatalf("priority cost hint moved from %d to %d after a greedy observation", before, got)
+	}
+	if costHint(greedy) <= before {
+		t.Fatalf("greedy observation did not raise its own hint above the seed")
+	}
+}
+
 func TestScheduleOrderTiesKeepSubmissionOrder(t *testing.T) {
 	// Equal weights (unknown suffixes) must preserve submission order so
 	// the schedule is deterministic for a fixed cost history.

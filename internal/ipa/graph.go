@@ -131,6 +131,41 @@ func (g *Graph) InCycle(f *ir.Func) bool { return g.inCycle[f] }
 // connected component.
 func (g *Graph) SameSCC(a, b *ir.Func) bool { return g.scc[a] == g.scc[b] }
 
+// SCCIndex returns f's strongly-connected-component ID. Tarjan assigns
+// IDs in completion order, so the ascending sequence is a callees-first
+// topological order of the condensation: for any direct edge
+// caller→callee with the two in different components,
+// SCCIndex(callee) < SCCIndex(caller). Bottom-up policies sort on it.
+func (g *Graph) SCCIndex(f *ir.Func) int { return g.scc[f] }
+
+// PostOrder numbers functions so that callees come before callers
+// (cycles broken arbitrarily but deterministically): the bottom-up
+// perform schedule of the paper's Figure 4.
+func PostOrder(g *Graph) map[*ir.Func]int {
+	order := make(map[*ir.Func]int)
+	visited := make(map[*ir.Func]bool)
+	next := 0
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if visited[f] {
+			return
+		}
+		visited[f] = true
+		for _, e := range g.CalleesOf[f] {
+			if e.Callee != nil {
+				visit(e.Callee)
+			}
+		}
+		order[f] = next
+		next++
+	}
+	g.Prog.Funcs(func(f *ir.Func) bool {
+		visit(f)
+		return true
+	})
+	return order
+}
+
 // computeSCCs runs Tarjan's algorithm (iteratively) over the direct-call
 // graph.
 func (g *Graph) computeSCCs() {

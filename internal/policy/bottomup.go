@@ -1,0 +1,149 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// bottomUp inlines in Tarjan-SCC topological order, callees first: a
+// routine's own inlines are performed (immediately, not deferred)
+// before any caller considers inlining it, so what moves up the graph
+// is the final, fully expanded body — the classic bottom-up inliner
+// shape (fast-forth in SNIPPETS.md), in contrast to the paper's
+// global benefit ranking with deferred bottom-up performs.
+//
+// Growth control is per function rather than purely global: a caller
+// may grow to at most bloat% of its size at phase entry (the code-bloat
+// factor), rejected with the "bloat-factor" reason beyond that. Source
+// directives are honored harder than in greedy: an always-inline callee
+// bypasses the benefit and bloat screens (accepted with reason
+// "always-inline"), and never-inline sites are already screened out by
+// the shared legality layer. The global stage budget binds every
+// policy, directives included — the budget invariant is not negotiable.
+type bottomUp struct {
+	bloatPct int64
+}
+
+// defaultBloatPct allows a routine to triple before the per-function
+// cap bites — roomy next to the global stage budget, which usually
+// binds first at the paper's budgets.
+const defaultBloatPct = 300
+
+func newBottomUp(params map[string]string) (Policy, error) {
+	if err := rejectUnknown("bottomup", params, "bloat"); err != nil {
+		return nil, err
+	}
+	bloat, err := intParam(params, "bloat", defaultBloatPct)
+	if err != nil {
+		return nil, err
+	}
+	return &bottomUp{bloatPct: bloat}, nil
+}
+
+func (b *bottomUp) Name() string { return "bottomup" }
+func (b *bottomUp) Key() string  { return fmt.Sprintf("bottomup:bloat=%d", b.bloatPct) }
+
+// InlinePass visits inline sites grouped by caller in ascending SCC
+// index. Tarjan assigns component IDs in completion order, so for any
+// edge caller→callee outside a cycle, scc(callee) < scc(caller):
+// ascending caller order is exactly callees-first. Within a caller,
+// sites rank by benefit. Performs are immediate, so cost accounting
+// uses live sizes, not estimates.
+func (b *bottomUp) InlinePass(h Host, stageBudget int64) {
+	g := h.Graph()
+	cands := h.InlineCandidates(g, true)
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, c := cands[i], cands[j]
+		ai, ci := g.SCCIndex(a.Caller), g.SCCIndex(c.Caller)
+		if ai != ci {
+			return ai < ci
+		}
+		if a.Caller.QName != c.Caller.QName {
+			return a.Caller.QName < c.Caller.QName
+		}
+		if a.Benefit != c.Benefit {
+			return a.Benefit > c.Benefit
+		}
+		return a.Site < c.Site
+	})
+
+	base := make(map[*ir.Func]int64) // caller size at phase entry
+	c := h.Cost()
+	for i, cand := range cands {
+		if h.Stopped() {
+			for _, rest := range cands[i:] {
+				h.RejectInline(rest, Stopped)
+			}
+			return
+		}
+		always := cand.Callee.AlwaysInline
+		if !always && cand.Benefit <= 0 {
+			h.RejectInline(cand, NoBenefit)
+			continue
+		}
+		callerSz := int64(cand.Caller.Size())
+		calleeSz := int64(cand.Callee.Size())
+		if _, ok := base[cand.Caller]; !ok {
+			base[cand.Caller] = callerSz
+		}
+		if !always && (callerSz+calleeSz)*100 > base[cand.Caller]*b.bloatPct {
+			h.RejectInline(cand, BloatFactor)
+			continue
+		}
+		x := h.CostOf(callerSz+calleeSz) - h.CostOf(callerSz)
+		cand.Cost = x
+		cand.Headroom = stageBudget - c
+		if c+x > stageBudget {
+			h.RejectInline(cand, Budget)
+			continue
+		}
+		why := OK
+		if always {
+			why = AlwaysInline
+		}
+		if h.Inline(cand, why) == Applied {
+			c += x
+		}
+	}
+}
+
+// ClonePass creates clone groups bottom-up: groups of callees deep in
+// the graph first (ascending SCC index of the clonee), so specialized
+// bodies exist before the inline phase walks the same order. Budget
+// accounting and the zero-cost discounts match greedy; only the order
+// differs.
+func (b *bottomUp) ClonePass(h Host, stageBudget int64) {
+	g := h.Graph()
+	groups := h.CloneGroups(g, true)
+	sort.SliceStable(groups, func(i, j int) bool {
+		ai, ci := g.SCCIndex(groups[i].Callee), g.SCCIndex(groups[j].Callee)
+		if ai != ci {
+			return ai < ci
+		}
+		return groups[i].Key < groups[j].Key
+	})
+	c := h.Cost()
+	for gi, grp := range groups {
+		if h.Stopped() {
+			for _, rest := range groups[gi:] {
+				h.RejectGroup(rest, Stopped)
+			}
+			return
+		}
+		if grp.Benefit <= 0 {
+			h.RejectGroup(grp, NoBenefit)
+			continue
+		}
+		x := h.CloneGroupCost(grp)
+		grp.Cost = x
+		grp.Headroom = stageBudget - c
+		if c+x > stageBudget {
+			h.RejectGroup(grp, Budget)
+			continue
+		}
+		c += x
+		h.ApplyCloneGroup(grp)
+	}
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+)
+
+// greedy is the paper's policy, extracted verbatim from the historical
+// internal/core selection loops and bit-identical to them: benefit-
+// ranked greedy selection under the stage budget with cascaded-cost
+// accounting for inlines (Figure 4) and benefit-ranked clone-group
+// creation with covers-all and database-reuse discounts (Figure 3).
+// The golden tests byte-compare its remark streams and output IR
+// against the pre-extraction seed.
+type greedy struct{}
+
+func newGreedy(params map[string]string) (Policy, error) {
+	if err := rejectUnknown("greedy", params); err != nil {
+		return nil, err
+	}
+	return greedy{}, nil
+}
+
+func (greedy) Name() string { return "greedy" }
+func (greedy) Key() string  { return "greedy" }
+
+// InlinePass implements Figure 4's selection: rank by benefit, select
+// greedily under the stage budget with cascaded-cost accounting, then
+// perform the accepted inlines in bottom-up call-graph order.
+func (greedy) InlinePass(h Host, stageBudget int64) {
+	g := h.Graph()
+	cands := h.InlineCandidates(g, true)
+	rankByBenefit(cands)
+
+	// Greedy selection with cascaded cost: est tracks the projected size
+	// of each routine as accepted inlines expand it, so the cost of
+	// inlining B into A reflects B's own accepted inlines (the paper's
+	// schedule insertion).
+	est := make(map[*ir.Func]int64)
+	sizeOf := func(f *ir.Func) int64 {
+		if s, ok := est[f]; ok {
+			return s
+		}
+		s := int64(f.Size())
+		est[f] = s
+		return s
+	}
+	var accepted []*InlineSite
+	c := h.Cost()
+	for _, cand := range cands {
+		if cand.Benefit <= 0 {
+			h.RejectInline(cand, NoBenefit)
+			continue
+		}
+		callerSz, calleeSz := sizeOf(cand.Caller), sizeOf(cand.Callee)
+		x := h.CostOf(callerSz+calleeSz) - h.CostOf(callerSz)
+		cand.Cost = x
+		cand.Headroom = stageBudget - c
+		if c+x > stageBudget {
+			h.RejectInline(cand, Budget)
+			continue
+		}
+		c += x
+		est[cand.Caller] = callerSz + calleeSz
+		accepted = append(accepted, cand)
+	}
+
+	// Perform bottom-up: callers that are themselves callees of later
+	// inlines must be expanded first, so schedule by post-order index.
+	order := ipa.PostOrder(g)
+	sort.SliceStable(accepted, func(i, j int) bool {
+		return order[accepted[i].Caller] < order[accepted[j].Caller]
+	})
+	for i, cand := range accepted {
+		if h.Stopped() {
+			for _, rest := range accepted[i:] {
+				h.RejectInline(rest, Stopped)
+			}
+			return
+		}
+		h.Inline(cand, OK)
+	}
+}
+
+// ClonePass implements Figure 3's selection: rank the formed groups by
+// benefit and create clones greedily under the stage budget, with the
+// covers-all and database-reuse zero-cost discounts.
+func (greedy) ClonePass(h Host, stageBudget int64) {
+	g := h.Graph()
+	groups := h.CloneGroups(g, true)
+	rankGroupsByBenefit(groups)
+	c := h.Cost()
+	for gi, grp := range groups {
+		if grp.Benefit <= 0 {
+			h.RejectGroup(grp, NoBenefit)
+			continue
+		}
+		if h.Stopped() {
+			for _, rest := range groups[gi:] {
+				h.RejectGroup(rest, Stopped)
+			}
+			return
+		}
+		x := h.CloneGroupCost(grp)
+		grp.Cost = x
+		grp.Headroom = stageBudget - c
+		if c+x > stageBudget {
+			h.RejectGroup(grp, Budget)
+			continue
+		}
+		c += x
+		h.ApplyCloneGroup(grp)
+	}
+}
+
+// rankByBenefit is the paper's inline ranking: benefit descending with
+// a deterministic caller-name/site tie-break.
+func rankByBenefit(cands []*InlineSite) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Benefit != b.Benefit {
+			return a.Benefit > b.Benefit
+		}
+		if a.Caller.QName != b.Caller.QName {
+			return a.Caller.QName < b.Caller.QName
+		}
+		return a.Site < b.Site
+	})
+}
+
+// rankGroupsByBenefit is the paper's clone-group ranking: benefit
+// descending, ties on the specialization key, stable.
+func rankGroupsByBenefit(groups []*CloneGroup) {
+	sort.SliceStable(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.Benefit != b.Benefit {
+			return a.Benefit > b.Benefit
+		}
+		return a.Key < b.Key
+	})
+}

@@ -1,0 +1,248 @@
+// Package policy is the decision layer of HLO: which legal inline
+// sites and clone groups to take, in what order, under what budget
+// discipline. The paper's greedy, benefit-ranked, stage-budgeted
+// selection (Figures 3 and 4) is one Policy among several; the
+// legality screens, the mutation mechanics, the pass firewall and
+// per-mutation verification all stay in internal/core and are reached
+// through the Host interface, so every policy is held to the same
+// correctness bar and differs only in its decisions.
+//
+// The contract with core:
+//
+//   - core runs the pass driver (Figure 2): staging, cost sync points,
+//     site assignment, re-optimization between phases. Each clone or
+//     inline phase hands control to the Policy with a stage budget.
+//   - The Policy enumerates candidates through the Host (legality
+//     rejections are screened and remarked there), decides, and applies
+//     decisions back through the Host. Mutations run under core's pass
+//     firewall; accept/reject remarks are emitted by the Host so the
+//     remark stream stays uniform across policies.
+//   - Budget invariant: a policy must set Cost and Headroom on every
+//     candidate it accepts, with Cost ≤ Headroom at decision time —
+//     the projected compile-cost delta may not exceed the stage budget
+//     remaining. The differential fuzzer and the property tests check
+//     this on every accepted remark.
+//
+// A Policy must be deterministic: same IR, same profile, same options →
+// the same decision sequence. All ranking ties must break on stable
+// keys (qualified names, site IDs), never on map order.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ipa"
+	"repro/internal/ir"
+)
+
+// InlineSite is one legality-screened inline candidate. Benefit is the
+// figure of merit computed by core (Section 2.4: profile frequency,
+// cold-site penalty, constant-argument credit, always-inline boost).
+// Cost and Headroom are filled in by the policy at decision time and
+// flow into the optimization remark: the projected compile-cost delta
+// and the stage budget remaining when the decision was made.
+type InlineSite struct {
+	Caller, Callee *ir.Func
+	Site           int32
+	Benefit        int64
+	Args           int
+	Cost, Headroom int64
+}
+
+// CloneGroup is one clone group (Figure 3): a set of call sites that
+// can all safely call the clone described by the specialization. Key is
+// the clone-database key (clonee + exact binding); Spec is the host's
+// private specialization payload, threaded back on apply. CoversAll
+// marks groups containing every direct call to the clonee (the clonee
+// dies, so the paper treats the clone as free).
+type CloneGroup struct {
+	Callee         *ir.Func
+	Key            string
+	Sites          []int32
+	Callers        []*ir.Func
+	Benefits       []int64 // per-site, parallel to Sites
+	Benefit        int64
+	CoversAll      bool
+	Cost, Headroom int64
+	Spec           any // host-private specialization payload
+}
+
+// Verdict is a policy decision code, mapped by the host onto the
+// core.Reason vocabulary of the optimization-remark stream.
+type Verdict uint8
+
+// Decision codes. OK accompanies ordinary accepts; NoBenefit, Budget
+// and Stopped are the selection-stage rejections shared by all
+// policies. The rest are policy-specific: BloatFactor is bottomup's
+// per-function growth-cap rejection, AlwaysInline marks a site accepted
+// because of a source directive (bottomup honors it past benefit and
+// bloat screens), Reranked marks a priority-queue accept decided after
+// an earlier mutation re-ranked the queue.
+const (
+	OK Verdict = iota
+	NoBenefit
+	Budget
+	Stopped
+	BloatFactor
+	AlwaysInline
+	Reranked
+)
+
+// Outcome reports what happened to one applied decision.
+type Outcome uint8
+
+const (
+	// Applied: the mutation landed (and verified, under VerifyEach).
+	Applied Outcome = iota
+	// Declined: the site vanished or was retargeted since enumeration;
+	// nothing changed. The host emitted the rejection remark.
+	Declined
+	// RolledBack: the pass firewall contained a panic or verification
+	// failure and restored the touched functions.
+	RolledBack
+)
+
+// Host is the machinery a policy drives: candidate enumeration over the
+// legality screens, the compile-cost model and budget state, and the
+// mutation entry points (pass firewall, VerifyEach, remark emission,
+// statistics all included). Implemented by internal/core.
+type Host interface {
+	// Graph builds the call graph of the current IR.
+	Graph() *ipa.Graph
+	// RefreshSites re-assigns call-site IDs (new sites created by
+	// mutations carry ID 0 until assigned). Policies that re-enumerate
+	// after a mutation must call this before Graph.
+	RefreshSites()
+
+	// InlineCandidates legality-screens every edge of g in edge order
+	// and returns the viable sites with their figure of merit. When emit
+	// is set, rejection remarks for illegal or quarantined sites are
+	// emitted (the first enumeration of a phase); re-enumerations pass
+	// false so the remark stream is not duplicated.
+	InlineCandidates(g *ipa.Graph, emit bool) []*InlineSite
+	// CloneGroups forms the phase's clone groups (Figure 3) in edge
+	// order: parameter-usage ∩ calling-context specs, grown greedily
+	// over matching sites, each site claimed by at most one group.
+	CloneGroups(g *ipa.Graph, emit bool) []*CloneGroup
+
+	// Cost returns the compile-cost model value at the last sync point
+	// (phase entry); CostOf the cost of one routine of the given size.
+	Cost() int64
+	CostOf(size int64) int64
+	// CloneGroupCost is the projected cost of materializing the group's
+	// clone right now: zero when the group covers all calls (the clonee
+	// dies) or when the clone database already holds the spec (reuse).
+	// Live state — must be re-queried per decision, not cached, because
+	// earlier accepts in the same phase change the database.
+	CloneGroupCost(g *CloneGroup) int64
+	// Stopped reports the stop conditions: operation limit (StopAfter),
+	// latched verification failure, canceled context.
+	Stopped() bool
+
+	// RejectInline and RejectGroup emit rejection remarks (one per
+	// group-member site) carrying the verdict's reason code and the
+	// candidate's Cost/Headroom fields.
+	RejectInline(s *InlineSite, why Verdict)
+	RejectGroup(g *CloneGroup, why Verdict)
+
+	// Inline performs one inline under the pass firewall: body splice,
+	// cost/stats bookkeeping, accept remark with why's reason code (OK
+	// for ordinary accepts). A Declined outcome (site retargeted) emits
+	// its own rejection remark.
+	Inline(s *InlineSite, why Verdict) Outcome
+	// ApplyCloneGroup creates (or reuses) the group's clone and
+	// retargets every member site, emitting per-site remarks.
+	ApplyCloneGroup(g *CloneGroup)
+}
+
+// Policy decides what HLO does with its budget. InlinePass and
+// ClonePass each drive one phase of one pass iteration: enumerate
+// through the host, rank, and apply decisions, spending at most
+// stageBudget - Host.Cost() of projected compile cost.
+type Policy interface {
+	// Name is the bare registry name ("greedy", "bottomup", "priority").
+	Name() string
+	// Key is the canonical identity including parameters (e.g.
+	// "bottomup:bloat=300"): equal keys ⇒ identical decisions on
+	// identical input. Cache keys and experiment labels use Key, never
+	// Name, so two parameterizations of one policy are never conflated.
+	Key() string
+	InlinePass(h Host, stageBudget int64)
+	ClonePass(h Host, stageBudget int64)
+}
+
+// builders maps registry names to constructors taking the parsed
+// parameter list (possibly empty).
+var builders = map[string]func(params map[string]string) (Policy, error){
+	"greedy":   func(p map[string]string) (Policy, error) { return newGreedy(p) },
+	"bottomup": func(p map[string]string) (Policy, error) { return newBottomUp(p) },
+	"priority": func(p map[string]string) (Policy, error) { return newPriority(p) },
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a policy spec "name" or "name:k=v,k=v". The empty
+// string means the default greedy policy (the paper's). Unknown names
+// and malformed or unknown parameters are errors.
+func Parse(spec string) (Policy, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	if name == "" {
+		name = "greedy"
+	}
+	build, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	params := map[string]string{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, found := strings.Cut(kv, "=")
+			if !found || k == "" || v == "" {
+				return nil, fmt.Errorf("policy: malformed parameter %q in %q (want k=v)", kv, spec)
+			}
+			params[k] = v
+		}
+	}
+	return build(params)
+}
+
+// intParam reads an integer parameter, rejecting non-positive values.
+func intParam(params map[string]string, key string, def int64) (int64, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("policy: parameter %s=%q: want a positive integer", key, v)
+	}
+	return n, nil
+}
+
+// rejectUnknown errors on parameters the policy does not define, so a
+// typo is a hard error instead of a silently different configuration.
+func rejectUnknown(name string, params map[string]string, known ...string) error {
+	for k := range params {
+		ok := false
+		for _, want := range known {
+			if k == want {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("policy: %s: unknown parameter %q", name, k)
+		}
+	}
+	return nil
+}

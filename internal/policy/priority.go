@@ -1,0 +1,107 @@
+package policy
+
+// priority runs the inline phase as a global priority queue re-ranked
+// after every mutation (Truffle-style budget-driven exploration): take
+// the best site that fits the remaining budget, perform it immediately,
+// then re-enumerate — the mutation may have exposed new sites (calls
+// inside the inlined body), changed sizes, or re-ordered the queue.
+// Accepts decided from a re-ranked queue carry the "re-ranked" reason
+// so the remark stream shows which decisions the exploration produced.
+//
+// The clone phase is deliberately greedy's single-shot ranked
+// selection: clone groups are formed from a whole-graph view and
+// applying one does not change the benefit of another within a phase
+// (sites are claimed exclusively), so there is no queue to re-rank —
+// exploration pays off only on the inline side, where each accept
+// reshapes the candidate set.
+type priority struct{}
+
+func newPriority(params map[string]string) (Policy, error) {
+	if err := rejectUnknown("priority", params); err != nil {
+		return nil, err
+	}
+	return priority{}, nil
+}
+
+func (priority) Name() string { return "priority" }
+func (priority) Key() string  { return "priority" }
+
+// InlinePass loops {enumerate → rank → accept the best fitting site →
+// re-enumerate} until nothing fits. Each accepted inline costs at least
+// one model unit, so the stage budget bounds the loop. Legality remarks
+// are emitted only on the first enumeration of the phase; the final
+// round's unaccepted candidates are rejected once, at the end, so the
+// remark stream carries each decision exactly once.
+func (priority) InlinePass(h Host, stageBudget int64) {
+	c := h.Cost()
+	first := true
+	mutated := false
+	for {
+		if !first {
+			h.RefreshSites()
+		}
+		g := h.Graph()
+		cands := h.InlineCandidates(g, first)
+		first = false
+		rankByBenefit(cands)
+		if h.Stopped() {
+			for _, s := range cands {
+				h.RejectInline(s, Stopped)
+			}
+			return
+		}
+		progressed := false
+		var leftover []*InlineSite
+		for _, s := range cands {
+			if s.Benefit <= 0 {
+				leftover = append(leftover, s)
+				continue
+			}
+			x := liveCost(h, s)
+			if c+x > stageBudget {
+				leftover = append(leftover, s)
+				continue
+			}
+			s.Cost = x
+			s.Headroom = stageBudget - c
+			why := OK
+			if mutated {
+				why = Reranked
+			}
+			if h.Inline(s, why) == Applied {
+				c += x
+				mutated = true
+				progressed = true
+				break
+			}
+			// Declined or rolled back: the host emitted the remark; try
+			// the next-ranked candidate in this round.
+		}
+		if !progressed {
+			// Exploration exhausted: reject what remains, exactly once.
+			for _, s := range leftover {
+				if s.Benefit <= 0 {
+					h.RejectInline(s, NoBenefit)
+					continue
+				}
+				s.Cost = liveCost(h, s)
+				s.Headroom = stageBudget - c
+				h.RejectInline(s, Budget)
+			}
+			return
+		}
+	}
+}
+
+// ClonePass is greedy's (see the type comment).
+func (priority) ClonePass(h Host, stageBudget int64) {
+	greedy{}.ClonePass(h, stageBudget)
+}
+
+// liveCost is the projected compile-cost delta of inlining s computed
+// from live sizes — priority performs immediately, so there are no
+// cascaded estimates to track.
+func liveCost(h Host, s *InlineSite) int64 {
+	callerSz, calleeSz := int64(s.Caller.Size()), int64(s.Callee.Size())
+	return h.CostOf(callerSz+calleeSz) - h.CostOf(callerSz)
+}

@@ -1,0 +1,112 @@
+package policy_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/randprog"
+)
+
+// The policy-independent correctness contract, checked as a
+// testing/quick property over random programs: under ANY registered
+// policy,
+//
+//  1. every mutation passes ir.VerifyFuncStrict (Options.VerifyEach
+//     verifies the touched functions after each accepted inline, clone
+//     retarget and outline — a failure latches and fails the compile),
+//  2. the budget invariant holds at every decision sync point: an
+//     accepted remark's projected cost never exceeds the stage headroom
+//     recorded when the decision was made (Cost ≤ Headroom), and
+//  3. whole-program verification of the final IR succeeds (the driver
+//     runs ir.Program.Verify post-HLO).
+//
+// This is the bar the tentpole holds every policy to: alternative
+// decision orders may produce different IR, but never broken IR and
+// never budget overruns.
+
+// propConfig is the quick-generated input: a program seed plus the
+// policy/budget/scope axes.
+type propConfig struct {
+	Seed   int64
+	Policy uint8
+	Budget uint8
+	Cross  bool
+}
+
+func TestEveryPolicyVerifiesAndRespectsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles many random programs; skipped under -short")
+	}
+	specs := []string{"greedy", "bottomup", "bottomup:bloat=150", "priority"}
+	check := func(in propConfig) bool {
+		spec := specs[int(in.Policy)%len(specs)]
+		budget := 50 + int(in.Budget)%200 // 50..249%
+		sources := randprog.Generate(in.Seed, randprog.DefaultConfig())
+		opts := driver.Options{CrossModule: in.Cross}
+		opts.HLO = core.DefaultOptions()
+		opts.HLO.Budget = budget
+		opts.HLO.Policy = spec
+		opts.HLO.VerifyEach = true
+		rec := obs.New()
+		opts.Obs = rec
+		c, err := driver.Compile(sources, opts)
+		if err != nil {
+			t.Logf("seed %d policy %s b%d cross=%v: compile failed: %v",
+				in.Seed, spec, budget, in.Cross, err)
+			return false
+		}
+		if err := c.IR.Verify(); err != nil {
+			t.Logf("seed %d policy %s: final IR broken: %v", in.Seed, spec, err)
+			return false
+		}
+		for _, rm := range rec.Remarks() {
+			if !rm.Accepted || rm.Cost == 0 && rm.Headroom == 0 {
+				continue // rejections; accepts outside the budgeted phases
+			}
+			if rm.Cost > rm.Headroom {
+				t.Logf("seed %d policy %s b%d: accepted %s %s→%s site %d with cost %d > headroom %d",
+					in.Seed, spec, budget, rm.Kind, rm.Caller, rm.Callee, rm.Site, rm.Cost, rm.Headroom)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRejectsBadSpecs pins the policy-spec surface: every
+// registered name parses (with and without parameters), the canonical
+// Key is stable, and malformed specs are hard errors — a typo must
+// never silently fall back to a different configuration.
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for spec, key := range map[string]string{
+		"":                  "greedy",
+		"greedy":            "greedy",
+		"bottomup":          "bottomup:bloat=300",
+		"bottomup:bloat=42": "bottomup:bloat=42",
+		"priority":          "priority",
+	} {
+		p, err := policy.Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if p.Key() != key {
+			t.Errorf("Parse(%q).Key() = %q, want %q", spec, p.Key(), key)
+		}
+	}
+	for _, bad := range []string{
+		"nope", "greedy:x=1", "bottomup:bloat=0", "bottomup:bloat=-3",
+		"bottomup:bloat=abc", "bottomup:bloat", "priority:q=2", "bottomup:=",
+	} {
+		if _, err := policy.Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", bad)
+		}
+	}
+}

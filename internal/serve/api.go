@@ -11,6 +11,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/obs"
 	"repro/internal/pa8000"
+	"repro/internal/policy"
 	"repro/internal/profile"
 )
 
@@ -40,6 +41,10 @@ type OptionsJSON struct {
 	ColdPenalty    *bool `json:"cold_penalty,omitempty"`
 	LinearCost     bool  `json:"linear_cost,omitempty"`
 	DeadCallElim   *bool `json:"dead_call_elim,omitempty"`
+	// Policy selects the inline/clone decision policy (the wire twin of
+	// `hlocc -policy`): "" or "greedy" for the paper's selection,
+	// "bottomup[:bloat=N]", "priority". Unknown specs are a 400.
+	Policy string `json:"policy,omitempty"`
 }
 
 // driverOptions translates the wire options into a driver configuration
@@ -73,6 +78,10 @@ func (o *OptionsJSON) driverOptions() (driver.Options, error) {
 	hlo.Outline = o.Outline
 	hlo.OutlineMinSize = o.OutlineMinSize
 	hlo.LinearCost = o.LinearCost
+	if _, err := policy.Parse(o.Policy); err != nil {
+		return driver.Options{}, err
+	}
+	hlo.Policy = o.Policy
 
 	opts := driver.Options{
 		CrossModule:      o.CrossModule,
@@ -92,6 +101,32 @@ func (o *OptionsJSON) driverOptions() (driver.Options, error) {
 		opts.ProfileData = db
 	}
 	return opts, nil
+}
+
+// policyIdentity extracts the canonical decision-policy identity from a
+// work-request body: policy.Parse(options.policy).Key(), the policy
+// name plus every parameter at its effective value — "greedy" for an
+// absent field, "bottomup:bloat=300" for a bare "bottomup". The
+// response cache and the single-flight group key on it so one policy's
+// output is never served for another's request, while equivalent
+// spellings of the same configuration canonicalize to one identity. A
+// malformed spec keys by its raw spelling (it never executes —
+// driverOptions rejects it — so only its 400 could ever be shared), and
+// a body that is not JSON keys as "" and is rejected downstream.
+func policyIdentity(body []byte) string {
+	var req struct {
+		Options struct {
+			Policy string `json:"policy"`
+		} `json:"options"`
+	}
+	if json.Unmarshal(body, &req) != nil {
+		return ""
+	}
+	p, err := policy.Parse(req.Options.Policy)
+	if err != nil {
+		return req.Options.Policy
+	}
+	return p.Key()
 }
 
 // CompileRequest is the body of POST /compile.

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+)
+
+// compileBody builds a /compile request body with the given policy spec
+// and otherwise identical inputs.
+func compileBody(pol string) []byte {
+	req := CompileRequest{
+		Sources: []string{"module m;\nfunc main() int { return 40 + 2; }"},
+		Options: OptionsJSON{Policy: pol},
+	}
+	return mustMarshal(req)
+}
+
+// TestResponseKeysDistinguishPolicies is the satellite regression for
+// the policy lab: two requests with identical inputs but different
+// decision policies must never share a response-cache or single-flight
+// key, while equivalent spellings of one policy canonicalize to the
+// same identity.
+func TestResponseKeysDistinguishPolicies(t *testing.T) {
+	polB := policyIdentity(compileBody("bottomup"))
+	polP := policyIdentity(compileBody("priority"))
+	if polB == polP {
+		t.Fatalf("bottomup and priority share policy identity %q", polB)
+	}
+	// The structural guarantee: even with byte-identical bodies (as after
+	// a hypothetical body normalization), the keyed policy identity keeps
+	// the cache entries apart.
+	same := []byte(`normalized-body`)
+	if respKey("compile", polB, same) == respKey("compile", polP, same) {
+		t.Fatal("respKey ignores the policy identity")
+	}
+
+	// Equivalent spellings of one configuration are one identity: the
+	// default, the explicit name, and the parameterized default.
+	if got := policyIdentity(compileBody("")); got != "greedy" {
+		t.Fatalf("identity of default policy = %q, want %q", got, "greedy")
+	}
+	if got := policyIdentity(compileBody("greedy")); got != "greedy" {
+		t.Fatalf("identity of explicit greedy = %q, want %q", got, "greedy")
+	}
+	if a, b := policyIdentity(compileBody("bottomup")), policyIdentity(compileBody("bottomup:bloat=300")); a != b {
+		t.Fatalf("bare and parameterized default spellings diverge: %q vs %q", a, b)
+	}
+	if a, b := policyIdentity(compileBody("bottomup:bloat=150")), policyIdentity(compileBody("bottomup:bloat=300")); a == b {
+		t.Fatalf("different bloat parameters share identity %q", a)
+	}
+
+	// Malformed specs key by raw spelling (they 400 before executing);
+	// two different typos must not alias.
+	if a, b := policyIdentity(compileBody("nope")), policyIdentity(compileBody("nope2")); a == b {
+		t.Fatalf("distinct malformed specs share identity %q", a)
+	}
+}

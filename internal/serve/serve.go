@@ -332,10 +332,16 @@ func (s *Server) workHandler(endpoint string, build func(ctx context.Context, bo
 			return // client gone mid-upload; nothing to write
 		}
 
+		// The flight key is endpoint + canonical policy identity + body
+		// hash. The body hash alone already separates distinct requests;
+		// keying the policy identity explicitly (like respKey does for the
+		// farm tier) guarantees two policies can never share a flight even
+		// if the body form is normalized before hashing some day.
 		sum := sha256.Sum256(body)
-		key := endpoint + "\x00" + string(sum[:])
+		pol := policyIdentity(body)
+		key := endpoint + "\x00" + pol + "\x00" + string(sum[:])
 		res, shared, err := s.flights.do(r.Context(), key, func() *flightResult {
-			return s.executeFarm(r.Context(), endpoint, body, build)
+			return s.executeFarm(r.Context(), endpoint, pol, body, build)
 		})
 		if err != nil {
 			// Our own client disconnected while we waited on a flight.
