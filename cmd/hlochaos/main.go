@@ -1,0 +1,135 @@
+// Command hlochaos runs the compile farm's end-to-end chaos campaign:
+// it boots N hlod daemons over one shared artifact store, fronts them
+// with the gateway (hedging, retry budgets, active probes), drives a
+// deterministic request stream, and injects real process and storage
+// faults — SIGKILL, SIGSTOP, on-disk corruption, a wedged store,
+// stale/skewed fill leases — while an un-faulted in-process oracle
+// checks every 200 byte-for-byte. See internal/chaos for the campaign
+// contract.
+//
+// Usage:
+//
+//	hlochaos [-hlod PATH] [flags]
+//
+// Flags:
+//
+//	-hlod PATH      built hlod binary ("" = go build it into a temp dir)
+//	-daemons 2      farm size
+//	-duration 30s   fault-injection window (healing + verify run after)
+//	-rate 40        offered requests per second
+//	-fault-every 1.5s  mean delay between injections
+//	-faults LIST    comma-separated classes (default all):
+//	                kill,stop,corrupt,wedge,stale-lease
+//	-seed 1         campaign schedule seed (same seed, same schedule)
+//	-dir DIR        workspace ("" = temp; kept when the campaign fails)
+//	-max-err-rate 0.5  (transport+5xx)/requests budget for the window
+//	-json PATH      write the report as JSON ("-" = stdout)
+//	-quiet          suppress campaign narration
+//
+// Exit status 0 iff every invariant held: zero byte-divergence, error
+// rate within budget, full post-heal recovery, no goroutine leaks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	hlodBin := flag.String("hlod", "", "built hlod binary (empty = go build into a temp dir)")
+	daemons := flag.Int("daemons", 2, "farm size")
+	duration := flag.Duration("duration", 30*time.Second, "fault-injection window")
+	rate := flag.Float64("rate", 40, "offered requests per second")
+	faultEvery := flag.Duration("fault-every", 1500*time.Millisecond, "mean delay between injections")
+	faults := flag.String("faults", "", "comma-separated fault classes (empty = all: "+strings.Join(chaos.FaultNames, ",")+")")
+	seed := flag.Int64("seed", 1, "campaign schedule seed")
+	dir := flag.String("dir", "", "workspace directory (empty = temp)")
+	maxErrRate := flag.Float64("max-err-rate", 0.5, "error budget for the fault window")
+	jsonOut := flag.String("json", "", "write the JSON report here (- = stdout)")
+	quiet := flag.Bool("quiet", false, "suppress campaign narration")
+	flag.Parse()
+
+	bin := *hlodBin
+	if bin == "" {
+		tmp, err := os.MkdirTemp("", "hlochaos-bin-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		bin = filepath.Join(tmp, "hlod")
+		fmt.Fprintln(os.Stderr, "hlochaos: building hlod...")
+		cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/hlod")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("go build hlod: %w", err))
+		}
+	}
+
+	var classes []string
+	for _, f := range strings.Split(*faults, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			classes = append(classes, f)
+		}
+	}
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+
+	rep, err := chaos.Run(chaos.Config{
+		HlodBin:    bin,
+		Daemons:    *daemons,
+		Duration:   *duration,
+		Seed:       *seed,
+		Faults:     classes,
+		Rate:       *rate,
+		FaultEvery: *faultEvery,
+		Dir:        *dir,
+		MaxErrRate: *maxErrRate,
+		Log:        log,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut != "" {
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			fatal(merr)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if werr := os.WriteFile(*jsonOut, data, 0o644); werr != nil {
+			fatal(werr)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"hlochaos: %d requests, %d ok (%d cache hits), err rate %.3f | faults %v | %d restarts, %d/%d verified\n",
+		rep.Requests, rep.OK, rep.CacheHits, rep.ErrRate, rep.Faults, rep.Restarts, rep.FinalChecked, rep.FinalChecked)
+	if !rep.Ok() {
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "hlochaos: FAIL:", f)
+		}
+		if rep.Dir != "" {
+			fmt.Fprintln(os.Stderr, "hlochaos: workspace kept at", rep.Dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hlochaos: every invariant held")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlochaos:", err)
+	os.Exit(1)
+}

@@ -24,6 +24,10 @@
 //	                  single-flighted across every daemon sharing DIR, and a
 //	                  restarted daemon warm-starts from it
 //	-cache-max N      artifact store size cap in bytes (default 256 MiB)
+//	-cache-scrub      validate the store on startup: quarantine torn objects,
+//	                  restore salvageable quarantined ones (default true)
+//	-cache-gc 1m      background store GC sweep period: generational LRU
+//	                  eviction, crash-debris removal, size re-pricing (0 = off)
 //
 // Endpoints:
 //
@@ -71,6 +75,8 @@ func main() {
 	pprofFlag := flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
 	cacheDir := flag.String("cache-dir", "", "shared persistent artifact store directory (farm mode)")
 	cacheMax := flag.Int64("cache-max", 0, "artifact store size cap in bytes (0 = 256 MiB)")
+	cacheScrub := flag.Bool("cache-scrub", true, "validate the artifact store on startup, quarantining torn objects")
+	cacheGC := flag.Duration("cache-gc", time.Minute, "background store GC sweep period (0 = off)")
 	flag.Parse()
 
 	var accessLog io.Writer = os.Stderr
@@ -86,6 +92,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "hlod: artifact store at %s (%d bytes resident)\n",
 			*cacheDir, store.SizeBytes())
+		if *cacheScrub {
+			// Crash-recovery scrub: a previous daemon (ours or a
+			// sibling's) may have died mid-write. Quarantine torn
+			// objects and restore any quarantined-but-valid ones
+			// before serving from the store.
+			rep := store.Scrub()
+			fmt.Fprintf(os.Stderr, "hlod: store scrub: %d checked, %d quarantined, %d repaired, %d errors\n",
+				rep.Checked, rep.Quarantined, rep.Repaired, rep.Errors)
+		}
+		if *cacheGC > 0 {
+			store.StartGC(*cacheGC)
+			defer store.StopGC()
+		}
 	}
 	s := serve.New(serve.Config{
 		Workers:        *workers,

@@ -18,12 +18,20 @@
 //	-breaker-cooldown 1s        how long an ejected backend sits out
 //	-max-body 8388608           request body limit in bytes
 //	-drain 30s                  graceful-drain deadline after SIGTERM/SIGINT
+//	-retry-budget 0.1           retry/hedge tokens earned per request
+//	                            (token bucket; -1 disables budgeting)
+//	-retry-burst 10             token-bucket cap and starting balance
+//	-hedge-after 0              duplicate a straggling request onto the
+//	                            next backend after this delay (0 = off)
+//	-probe-interval 1s          active /healthz probe period feeding the
+//	                            breakers (0 = off)
 //	-quiet                      disable the JSON access log on stderr
 //
 // Endpoints: POST /compile, /run, /train (proxied, stamped with
 // X-Hlogate-Backend); GET /healthz (backend liveness table, 503 while
 // draining or with zero live backends); GET /metrics (Prometheus text:
-// per-backend liveness, ejections, forward outcomes).
+// per-backend liveness, ejections, forward/probe outcomes, retry-budget
+// balances).
 package main
 
 import (
@@ -49,6 +57,10 @@ func main() {
 	cooldown := flag.Duration("breaker-cooldown", time.Second, "how long an ejected backend sits out")
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry/hedge tokens earned per request (-1 disables budgeting)")
+	retryBurst := flag.Float64("retry-burst", 10, "retry token-bucket cap")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a straggling request after this delay (0 = off)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "active health-probe period (0 = off)")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log")
 	flag.Parse()
 
@@ -72,7 +84,12 @@ func main() {
 		BreakerCooldown:  *cooldown,
 		MaxBodyBytes:     *maxBody,
 		AccessLog:        accessLog,
+		RetryBudget:      *retryBudget,
+		RetryBurst:       *retryBurst,
+		HedgeAfter:       *hedgeAfter,
+		ProbeInterval:    *probeInterval,
 	})
+	defer g.Close()
 	srv := &http.Server{Addr: *addr, Handler: g}
 
 	errc := make(chan error, 1)

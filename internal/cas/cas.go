@@ -40,6 +40,16 @@ import (
 // the daemon.
 var ptRead = resilience.Register("cas/read", resilience.KindDegrade)
 
+// ptWrite guards Put: a store that cannot write (ENOSPC, EIO, an
+// injected panic) must surface an error the caller treats as a counted
+// miss — compile locally, skip the fill — never a crash.
+var ptWrite = resilience.Register("cas/write", resilience.KindDegrade)
+
+// ptEvict guards the LRU sweep: a failure while evicting must abandon
+// the sweep (the next Put retries it), not take down the daemon that
+// happened to trigger it.
+var ptEvict = resilience.Register("cas/evict", resilience.KindDegrade)
+
 // magic is the entry-header magic plus format version. Bump the version
 // to invalidate every existing entry on disk: old entries then fail
 // validation and are quarantined, which is exactly the safe behavior
@@ -75,9 +85,21 @@ type Options struct {
 	// before followers may take it over. 0 means 5s. Leaders renew at
 	// TTL/3 (see Lease.Heartbeat), so takeover implies leader death.
 	LeaseTTL time.Duration
-	// PollInterval is how often WaitEntry re-checks for the leader's
-	// entry or lease death. 0 means 20ms.
+	// PollInterval is the base interval at which WaitEntry re-checks
+	// for the leader's entry or lease death; successive polls back off
+	// exponentially (with jitter) up to 16x this. 0 means 20ms.
 	PollInterval time.Duration
+	// QuarantineMaxBytes caps quarantine/. Beyond it the oldest
+	// quarantined entries are rotated out, newest kept. 0 means 16 MiB.
+	QuarantineMaxBytes int64
+	// QuarantineMaxAge ages quarantined entries out during GC and Scrub
+	// even under the byte cap: after a fix ships there is nothing left
+	// to learn from a months-old torn object. 0 means 24h.
+	QuarantineMaxAge time.Duration
+	// GCIdleAge is the generation boundary for the background sweep:
+	// entries idle longer than this are "old generation" and evicted
+	// first when the store is over MaxBytes. 0 means 10 minutes.
+	GCIdleAge time.Duration
 }
 
 // Store is one process's handle on a shared artifact directory. All
@@ -88,17 +110,31 @@ type Store struct {
 	opts Options
 	now  func() time.Time // swapped by tests
 
-	evictMu sync.Mutex   // serializes LRU sweeps within this process
+	evictMu sync.Mutex   // serializes LRU/GC sweeps within this process
 	size    atomic.Int64 // objects/ bytes, maintained incrementally
 
-	hits        atomic.Int64
-	misses      atomic.Int64
-	puts        atomic.Int64
-	evictions   atomic.Int64
-	quarantines atomic.Int64
-	acquires    atomic.Int64
-	waits       atomic.Int64
-	takeovers   atomic.Int64
+	pinMu sync.Mutex
+	pins  map[string]int // object path -> refcount; pinned paths are unevictable
+
+	qMu sync.Mutex // serializes quarantine rotation
+
+	gcStop chan struct{} // closes to stop the background GC loop
+	gcDone chan struct{}
+
+	hits            atomic.Int64
+	misses          atomic.Int64
+	puts            atomic.Int64
+	evictions       atomic.Int64
+	quarantines     atomic.Int64
+	acquires        atomic.Int64
+	waits           atomic.Int64
+	takeovers       atomic.Int64
+	writeErrors     atomic.Int64
+	evictErrors     atomic.Int64
+	scrubRepairs    atomic.Int64
+	quarantineDrops atomic.Int64
+	gcSweeps        atomic.Int64
+	heartbeatErrors atomic.Int64
 }
 
 // Open creates (if needed) and scans a store directory. The scan prices
@@ -116,7 +152,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 20 * time.Millisecond
 	}
-	s := &Store{dir: dir, opts: opts, now: time.Now}
+	if opts.QuarantineMaxBytes <= 0 {
+		opts.QuarantineMaxBytes = 16 << 20
+	}
+	if opts.QuarantineMaxAge <= 0 {
+		opts.QuarantineMaxAge = 24 * time.Hour
+	}
+	if opts.GCIdleAge <= 0 {
+		opts.GCIdleAge = 10 * time.Minute
+	}
+	s := &Store{dir: dir, opts: opts, now: time.Now, pins: make(map[string]int)}
 	for _, sub := range []string{"objects", "leases", "quarantine"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("cas: open %s: %w", dir, err)
@@ -186,14 +231,36 @@ func (s *Store) objectPath(kind, key string) string {
 // into place, so concurrent readers see either nothing or a complete
 // entry, never a torn one. Re-putting an existing key is a cheap no-op
 // (content-addressed entries are immutable).
-func (s *Store) Put(kind, key string, payload []byte) error {
+//
+// A Put that cannot write — disk full, I/O error, an injected
+// "cas/write" fault — returns an error and bumps the write_errors
+// counter; callers degrade to computing without the store. It never
+// panics out.
+func (s *Store) Put(kind, key string, payload []byte) (err error) {
 	if !validKind(kind) {
 		return fmt.Errorf("cas: bad kind %q", kind)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if pt, ok := resilience.IsInjected(r); ok {
+				err = fmt.Errorf("cas: put %s/%s: injected fault at %s", kind, key, pt)
+			} else {
+				err = fmt.Errorf("cas: put %s/%s: panic: %v", kind, key, r)
+			}
+		}
+		if err != nil {
+			s.writeErrors.Add(1)
+		}
+	}()
+	ptWrite.Inject()
 	dst := s.objectPath(kind, key)
-	if _, err := os.Stat(dst); err == nil {
+	if _, serr := os.Stat(dst); serr == nil {
 		return nil
 	}
+	// Pin the destination for the rest of the Put: a concurrent sweep
+	// must never reap the entry we are about to report as stored.
+	s.pinPath(dst)
+	defer s.unpinPath(dst)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("cas: put %s/%s: %w", kind, key, err)
 	}
@@ -220,9 +287,36 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	s.puts.Add(1)
 	s.size.Add(int64(len(header) + len(payload)))
 	if s.size.Load() > s.opts.MaxBytes {
-		s.evict(dst)
+		s.evict()
 	}
 	return nil
+}
+
+// Pin marks (kind, key) unevictable until the matching Unpin. Pins are
+// refcounted and honored by both the inline LRU pass and the background
+// GC. Put pins its own destination and Acquire pins the fill target, so
+// most callers never need this directly.
+func (s *Store) Pin(kind, key string)   { s.pinPath(s.objectPath(kind, key)) }
+func (s *Store) Unpin(kind, key string) { s.unpinPath(s.objectPath(kind, key)) }
+
+func (s *Store) pinPath(path string) {
+	s.pinMu.Lock()
+	s.pins[path]++
+	s.pinMu.Unlock()
+}
+
+func (s *Store) unpinPath(path string) {
+	s.pinMu.Lock()
+	if s.pins[path]--; s.pins[path] <= 0 {
+		delete(s.pins, path)
+	}
+	s.pinMu.Unlock()
+}
+
+func (s *Store) isPinned(path string) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.pins[path] > 0
 }
 
 // Get returns the payload stored under (kind, key), or ErrMiss. A
@@ -295,7 +389,9 @@ func validateEntry(kind string, raw []byte) (payload []byte, err error) {
 }
 
 // quarantine moves a corrupt entry aside (so the next Get doesn't trip
-// on it again) and builds the CorruptError the caller returns.
+// on it again) and builds the CorruptError the caller returns. The
+// quarantine timestamp lives in the filename — rename preserves the
+// original mtime, which may be arbitrarily old.
 func (s *Store) quarantine(kind, key, path string, size int64, reason error) error {
 	qname := fmt.Sprintf("%s-%s.%d", kind, key, s.now().UnixNano())
 	qpath := filepath.Join(s.dir, "quarantine", qname)
@@ -304,17 +400,26 @@ func (s *Store) quarantine(kind, key, path string, size int64, reason error) err
 		qpath = ""
 	} else {
 		s.size.Add(-size)
+		s.enforceQuarantineCap()
 	}
 	s.quarantines.Add(1)
 	return &CorruptError{Key: kind + "/" + key, Reason: reason.Error(), Path: qpath}
 }
 
 // evict sweeps objects/ least-recently-used-first until the store fits
-// under MaxBytes again. keep is the entry that triggered the sweep —
-// evicting what we just wrote would defeat the Put.
-func (s *Store) evict(keep string) {
+// under MaxBytes again. Pinned entries — in-flight Puts and lease fill
+// targets — are never removed, whatever their age. A panic during the
+// sweep (an injected "cas/evict" fault, a pathological filesystem) is
+// contained: the sweep is abandoned and the next Put retries it.
+func (s *Store) evict() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.evictErrors.Add(1)
+		}
+	}()
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
+	ptEvict.Inject()
 	if s.size.Load() <= s.opts.MaxBytes {
 		return
 	}
@@ -325,7 +430,7 @@ func (s *Store) evict(keep string) {
 	}
 	var entries []entry
 	_ = filepath.WalkDir(filepath.Join(s.dir, "objects"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || path == keep {
+		if err != nil || d.IsDir() {
 			return nil
 		}
 		if info, ierr := d.Info(); ierr == nil {
@@ -337,6 +442,9 @@ func (s *Store) evict(keep string) {
 	for _, e := range entries {
 		if s.size.Load() <= s.opts.MaxBytes {
 			break
+		}
+		if s.isPinned(e.path) {
+			continue
 		}
 		if os.Remove(e.path) == nil {
 			s.size.Add(-e.size)
@@ -352,13 +460,19 @@ func (s *Store) SizeBytes() int64 { return s.size.Load() }
 // names ready for metrics export.
 func (s *Store) Counters() map[string]int64 {
 	return map[string]int64{
-		"hits":            s.hits.Load(),
-		"misses":          s.misses.Load(),
-		"puts":            s.puts.Load(),
-		"evictions":       s.evictions.Load(),
-		"quarantines":     s.quarantines.Load(),
-		"lease_acquires":  s.acquires.Load(),
-		"lease_waits":     s.waits.Load(),
-		"lease_takeovers": s.takeovers.Load(),
+		"hits":             s.hits.Load(),
+		"misses":           s.misses.Load(),
+		"puts":             s.puts.Load(),
+		"evictions":        s.evictions.Load(),
+		"quarantines":      s.quarantines.Load(),
+		"lease_acquires":   s.acquires.Load(),
+		"lease_waits":      s.waits.Load(),
+		"lease_takeovers":  s.takeovers.Load(),
+		"write_errors":     s.writeErrors.Load(),
+		"evict_errors":     s.evictErrors.Load(),
+		"scrub_repairs":    s.scrubRepairs.Load(),
+		"quarantine_drops": s.quarantineDrops.Load(),
+		"gc_sweeps":        s.gcSweeps.Load(),
+		"heartbeat_errors": s.heartbeatErrors.Load(),
 	}
 }

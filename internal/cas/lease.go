@@ -8,8 +8,17 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
+
+// ptHeartbeat guards lease renewal: an injected panic mid-renew must
+// surface as an error the heartbeat loop absorbs (the next tick
+// retries; worst case followers take over and duplicate one fill),
+// never kill the goroutine and silently orphan the lease.
+var ptHeartbeat = resilience.Register("lease/heartbeat", resilience.KindDegrade)
 
 // Cache-fill leases: the cross-process single-flight protocol.
 //
@@ -39,11 +48,14 @@ func (e *ErrHeld) Error() string {
 }
 
 // Lease is a held cache-fill lease. The holder fills the entry, Puts
-// it, then Releases; everyone else polls in WaitEntry.
+// it, then Releases; everyone else polls in WaitEntry. While held, the
+// target object is pinned: GC and LRU eviction will not reap the entry
+// the leader is about to write (or has just written).
 type Lease struct {
 	s        *Store
 	path     string
-	released bool
+	obj      string        // pinned object path, unpinned on Release
+	released atomic.Bool   // read by the heartbeat goroutine
 	stop     chan struct{} // closes to stop the heartbeat, if started
 }
 
@@ -73,7 +85,9 @@ func (s *Store) Acquire(kind, key string) (*Lease, error) {
 				return nil, fmt.Errorf("cas: lease %s: %w", path, werr)
 			}
 			s.acquires.Add(1)
-			return &Lease{s: s, path: path}, nil
+			obj := s.objectPath(kind, key)
+			s.pinPath(obj)
+			return &Lease{s: s, path: path, obj: obj}, nil
 		}
 		if !errors.Is(err, os.ErrExist) {
 			return nil, fmt.Errorf("cas: lease %s: %w", path, err)
@@ -121,11 +135,24 @@ func readLease(path string) (owner string, expires time.Time, err error) {
 
 // Renew pushes the lease's expiry out by one TTL. Atomic via
 // write-temp-then-rename, so followers reading concurrently see either
-// the old expiry or the new one.
-func (l *Lease) Renew() error {
-	if l.released {
+// the old expiry or the new one. A panic during renewal (the
+// "lease/heartbeat" fault point, a filesystem gone weird) is recovered
+// into an error; renewal failure is survivable by design — the lease
+// expires and a follower takes over the fill.
+func (l *Lease) Renew() (err error) {
+	if l.released.Load() {
 		return errors.New("cas: renew after release")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if pt, ok := resilience.IsInjected(r); ok {
+				err = fmt.Errorf("cas: renew %s: injected fault at %s", l.path, pt)
+			} else {
+				err = fmt.Errorf("cas: renew %s: panic: %v", l.path, r)
+			}
+		}
+	}()
+	ptHeartbeat.Inject()
 	expiry := l.s.now().Add(l.s.opts.LeaseTTL)
 	tmp, err := os.CreateTemp(filepath.Dir(l.path), ".renew-*")
 	if err != nil {
@@ -166,22 +193,25 @@ func (l *Lease) Heartbeat() {
 			case <-l.stop:
 				return
 			case <-t.C:
-				_ = l.Renew()
+				if err := l.Renew(); err != nil {
+					l.s.heartbeatErrors.Add(1)
+				}
 			}
 		}
 	}()
 }
 
-// Release ends the lease: the heartbeat stops and the lease file is
-// removed, waking followers immediately. Safe to call twice.
+// Release ends the lease: the heartbeat stops, the target object is
+// unpinned, and the lease file is removed, waking followers
+// immediately. Safe to call twice.
 func (l *Lease) Release() {
-	if l.released {
+	if l.released.Swap(true) {
 		return
 	}
-	l.released = true
 	if l.stop != nil {
 		close(l.stop)
 	}
+	l.s.unpinPath(l.obj)
 	os.Remove(l.path)
 }
 
@@ -195,10 +225,14 @@ func (l *Lease) Release() {
 //     running);
 //   - (nil, nil, err): the context died while waiting.
 //
-// The loop tries Get, then Acquire, then sleeps one poll interval; a
-// leader crash is covered because Acquire takes over expired leases.
+// The loop tries Get, then Acquire, then sleeps; a leader crash is
+// covered because Acquire takes over expired leases. Sleeps use
+// jittered exponential backoff (PollInterval doubling up to 16x, equal
+// jitter): when a lease expires with N followers parked on it, a fixed
+// interval would march all N into Get/Acquire in lockstep every tick.
 func (s *Store) WaitEntry(ctx context.Context, kind, key string) ([]byte, *Lease, error) {
-	for first := true; ; first = false {
+	rng := waitSeed(s.opts.Owner, kind, key, s.now().UnixNano())
+	for attempt := 0; ; attempt++ {
 		payload, err := s.Get(kind, key)
 		if err == nil {
 			return payload, nil, nil
@@ -215,13 +249,64 @@ func (s *Store) WaitEntry(ctx context.Context, kind, key string) ([]byte, *Lease
 		if !errors.As(aerr, &held) {
 			return nil, nil, aerr
 		}
-		if first {
+		if attempt == 0 {
 			s.waits.Add(1)
 		}
 		select {
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("cas: waiting for %s/%s (leader %s): %w", kind, key, held.Owner, ctx.Err())
-		case <-time.After(s.opts.PollInterval):
+		case <-time.After(s.waitDelay(&rng, attempt)):
 		}
 	}
+}
+
+// waitDelay picks the sleep before poll attempt+1: the base interval on
+// the first poll (latency matters on the common short wait), then
+// doubling with equal jitter — half deterministic, half random — capped
+// at 16x the base.
+func (s *Store) waitDelay(rng *uint64, attempt int) time.Duration {
+	base := s.opts.PollInterval
+	if attempt == 0 {
+		return base
+	}
+	shift := attempt
+	if shift > 4 {
+		shift = 4
+	}
+	d := base << shift
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(splitmix(rng)%uint64(half))
+}
+
+// waitSeed seeds one WaitEntry call's jitter stream: FNV-1a over owner
+// and key mixed with the call time, so co-waiting processes (and two
+// waits in one process) decorrelate.
+func waitSeed(owner, kind, key string, nanos int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range []string{owner, kind, key} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	h ^= uint64(nanos)
+	h *= prime64
+	return h
+}
+
+// splitmix advances a splitmix64 stream; cheap, seedable, and good
+// enough for sleep jitter.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -1,0 +1,428 @@
+// Package chaos is the compile farm's end-to-end fault campaign: it
+// boots N real hlod daemon processes over one shared artifact store,
+// fronts them with an in-process gateway (hedging, retry budgets, and
+// active probes on), drives a deterministic request stream through the
+// whole stack, and meanwhile injects the failures the farm claims to
+// survive — SIGKILL mid-fill, SIGSTOP stalls, on-disk corruption, a
+// wedged (unwritable) store, and stale or clock-skewed fill leases.
+//
+// The oracle is an un-faulted in-process daemon: every farm response is
+// a pure function of (endpoint, body), so each 200 the gateway relays
+// is compared byte-for-byte against the oracle's answer for the same
+// body. The campaign's invariants:
+//
+//   - zero byte-divergence: a faulted farm may refuse or delay work,
+//     but it must never answer wrong;
+//   - bounded failures: transport errors plus 5xx stay under an error
+//     budget even while daemons are being killed (429 backpressure is
+//     healthy and not counted);
+//   - total recovery: after the faults stop and the farm heals, every
+//     workload item answers 200 byte-identical — no entry stays torn,
+//     no lease stays stuck, no daemon stays dead;
+//   - no leaks: daemon goroutine counts (scraped from /debug/pprof)
+//     return to their post-boot baselines, and closing the gateway
+//     returns the harness process to its own baseline.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/specsuite"
+)
+
+// FaultNames is every fault class the campaign can inject, in the
+// order the rotation visits them.
+var FaultNames = []string{"kill", "stop", "corrupt", "wedge", "stale-lease"}
+
+// Config tunes one campaign.
+type Config struct {
+	// HlodBin is the path to a built hlod binary (required).
+	HlodBin string
+	// Daemons is the farm size; <= 0 means 2.
+	Daemons int
+	// Duration is the fault-injection window; <= 0 means 30s. Healing
+	// and final verification run after it.
+	Duration time.Duration
+	// Seed drives every random choice (workload order, fault targets);
+	// the same seed replays the same campaign schedule.
+	Seed int64
+	// Faults selects the classes to inject (subset of FaultNames);
+	// empty means all of them.
+	Faults []string
+	// Rate is the offered request rate per second; <= 0 means 40.
+	Rate float64
+	// FaultEvery is the mean delay between injections; <= 0 means 1.5s.
+	FaultEvery time.Duration
+	// Dir is the campaign workspace (store + daemon logs). Empty means
+	// a fresh temp directory, removed when the campaign passes and kept
+	// for inspection when it fails.
+	Dir string
+	// MaxErrRate caps (transport errors + 5xx) / requests during the
+	// fault window; <= 0 means 0.5. Generous by design: with every
+	// daemon dead at once 503s are correct behavior — the bound catches
+	// total collapse, the divergence check catches wrong answers.
+	MaxErrRate float64
+	// Log receives campaign narration; nil discards it.
+	Log io.Writer
+}
+
+// Report is the campaign outcome. Failures lists every violated
+// invariant; an empty list is a pass.
+type Report struct {
+	Requests     int64          `json:"requests"`
+	OK           int64          `json:"ok"`
+	CacheHits    int64          `json:"cache_hits"`
+	Backpressure int64          `json:"backpressure"` // 429s (healthy)
+	Unavailable  int64          `json:"unavailable"`  // gateway 503s
+	ServerErrors int64          `json:"server_errors"`
+	Transport    int64          `json:"transport_errors"`
+	Divergent    int64          `json:"divergent"`
+	ErrRate      float64        `json:"err_rate"`
+	Faults       map[string]int `json:"faults"`
+	Restarts     int            `json:"restarts"`
+	FinalChecked int            `json:"final_checked"`
+	Failures     []string       `json:"failures,omitempty"`
+	Dir          string         `json:"dir,omitempty"` // kept workspace on failure
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+// workItem is one request of the deterministic workload matrix.
+type workItem struct {
+	endpoint string // "compile" or "run"
+	body     []byte
+}
+
+// workload builds the campaign's request matrix: small synthetic
+// modules (fast, high arrival rate) plus two real specsuite benchmarks
+// (slow enough to be mid-fill when a daemon is killed, and to straggle
+// visibly under SIGSTOP so hedging fires).
+func workload() []workItem {
+	var items []workItem
+	mkBody := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: marshal workload: %v", err))
+		}
+		return b
+	}
+	for i := 0; i < 6; i++ {
+		src := fmt.Sprintf(
+			"module m%d;\nfunc f(x int) int { return x * %d + 1; }\nfunc main() int { return f(%d) + f(%d); }",
+			i, i+2, i, i+10)
+		items = append(items, workItem{"compile", mkBody(serve.CompileRequest{
+			Sources: []string{src},
+			Remarks: i%2 == 0,
+		})})
+	}
+	for _, name := range []string{"129.compress", "130.li"} {
+		b, err := specsuite.ByName(name)
+		if err != nil {
+			continue // suite renamed; the synthetic items still cover the protocol
+		}
+		items = append(items, workItem{"compile", mkBody(serve.CompileRequest{
+			Sources: b.Sources,
+		})})
+		items = append(items, workItem{"run", mkBody(serve.RunRequest{
+			CompileRequest: serve.CompileRequest{Sources: b.Sources},
+			Inputs:         b.Train,
+		})})
+	}
+	return items
+}
+
+// daemon is one managed hlod process.
+type daemon struct {
+	idx      int
+	port     int
+	url      string
+	cmd      *exec.Cmd
+	logf     *os.File
+	baseline int       // post-boot goroutine count
+	stopped  bool      // currently SIGSTOPped
+	resumeAt time.Time // when to SIGCONT
+	dead     bool      // killed, awaiting restart
+}
+
+type campaign struct {
+	cfg      Config
+	rep      *Report
+	rng      *rand.Rand
+	dir      string
+	storeDir string
+	items    []workItem
+	daemons  []*daemon
+	gw       *serve.Gateway
+	gwServer *http.Server
+	gwURL    string
+	client   *http.Client
+
+	oracle   *serve.Server
+	oracleMu sync.Mutex
+	expected map[string][]byte // endpoint\x00body -> oracle 200 body
+
+	wedged   bool // objects/resp currently replaced by a regular file
+	faultIdx int  // rotation cursor over cfg.Faults
+
+	mu sync.Mutex // guards rep counters written by client workers
+}
+
+func (c *campaign) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "chaos: "+format+"\n", args...)
+	}
+}
+
+func (c *campaign) failf(format string, args ...any) {
+	c.mu.Lock()
+	c.rep.Failures = append(c.rep.Failures, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// Run executes one campaign.
+func Run(cfg Config) (*Report, error) {
+	if cfg.HlodBin == "" {
+		return nil, fmt.Errorf("chaos: HlodBin is required")
+	}
+	if cfg.Daemons <= 0 {
+		cfg.Daemons = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 40
+	}
+	if cfg.FaultEvery <= 0 {
+		cfg.FaultEvery = 1500 * time.Millisecond
+	}
+	if cfg.MaxErrRate <= 0 {
+		cfg.MaxErrRate = 0.5
+	}
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = FaultNames
+	}
+	for _, f := range cfg.Faults {
+		known := false
+		for _, k := range FaultNames {
+			known = known || f == k
+		}
+		if !known {
+			return nil, fmt.Errorf("chaos: unknown fault %q (have %s)", f, strings.Join(FaultNames, ", "))
+		}
+	}
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "hlochaos-*"); err != nil {
+			return nil, err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	c := &campaign{
+		cfg:      cfg,
+		rep:      &Report{Faults: make(map[string]int)},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		dir:      dir,
+		storeDir: filepath.Join(dir, "store"),
+		items:    workload(),
+		expected: make(map[string][]byte),
+		client:   &http.Client{Timeout: 60 * time.Second},
+	}
+	// The oracle daemon lives in this process; create it before taking
+	// the goroutine baseline so its worker pool is part of it.
+	c.oracle = serve.New(serve.Config{Workers: 2})
+	baselineGoroutines := runtime.NumGoroutine()
+
+	err := c.run()
+	if err == nil {
+		c.checkGatewayLeak(baselineGoroutines)
+	}
+	c.teardown()
+	c.rep.finish()
+	if err == nil && c.rep.ErrRate > cfg.MaxErrRate {
+		c.failf("error rate %.3f exceeds the budget %.3f (%d transport + %d 5xx + %d unavailable of %d requests)",
+			c.rep.ErrRate, cfg.MaxErrRate, c.rep.Transport, c.rep.ServerErrors, c.rep.Unavailable, c.rep.Requests)
+	}
+	if err != nil {
+		return c.rep, err
+	}
+	if c.rep.Ok() {
+		if cfg.Dir == "" {
+			os.RemoveAll(dir)
+		}
+	} else {
+		c.rep.Dir = dir
+	}
+	return c.rep, nil
+}
+
+func (r *Report) finish() {
+	if r.Requests > 0 {
+		r.ErrRate = float64(r.Transport+r.ServerErrors+r.Unavailable) / float64(r.Requests)
+	}
+}
+
+func (c *campaign) run() error {
+	for i := 0; i < c.cfg.Daemons; i++ {
+		d, err := c.startDaemon(i)
+		if err != nil {
+			return fmt.Errorf("chaos: boot daemon %d: %w", i, err)
+		}
+		c.daemons = append(c.daemons, d)
+	}
+	var backends []string
+	for _, d := range c.daemons {
+		backends = append(backends, d.url)
+	}
+	c.gw = serve.NewGateway(serve.GatewayConfig{
+		Backends:         backends,
+		BreakerThreshold: 3,
+		BreakerCooldown:  500 * time.Millisecond,
+		HedgeAfter:       300 * time.Millisecond,
+		ProbeInterval:    200 * time.Millisecond,
+		Client:           &http.Client{Timeout: 30 * time.Second},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	c.gwURL = "http://" + ln.Addr().String()
+	c.gwServer = &http.Server{Handler: c.gw}
+	go c.gwServer.Serve(ln)
+	c.logf("gateway at %s over %d daemons, store %s", c.gwURL, len(c.daemons), c.storeDir)
+
+	// Client workers drive the paced request stream until the window
+	// closes.
+	deadline := time.Now().Add(c.cfg.Duration)
+	pace := time.Duration(float64(time.Second) / c.cfg.Rate)
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				c.oneRequest(rng)
+				// Per-worker pacing: workers jointly offer ~Rate/s.
+				d := time.Duration(rng.Int63n(int64(2 * workers * pace)))
+				time.Sleep(d)
+			}
+		}(c.cfg.Seed + int64(w) + 1)
+	}
+
+	// The fault loop owns all daemon lifecycle changes.
+	for time.Now().Before(deadline) {
+		sleep := c.cfg.FaultEvery/2 + time.Duration(c.rng.Int63n(int64(c.cfg.FaultEvery)))
+		if remaining := time.Until(deadline); sleep > remaining {
+			time.Sleep(remaining)
+			break
+		}
+		time.Sleep(sleep)
+		c.resumeStopped(false)
+		c.injectOne()
+	}
+	wg.Wait()
+
+	c.heal()
+	c.finalVerify()
+	c.checkDaemonLeaks()
+	return nil
+}
+
+// oneRequest fires one workload item at the gateway and scores the
+// outcome against the oracle.
+func (c *campaign) oneRequest(rng *rand.Rand) {
+	it := c.items[rng.Intn(len(c.items))]
+	atomic.AddInt64(&c.rep.Requests, 1)
+	resp, err := c.client.Post(c.gwURL+"/"+it.endpoint, "application/json", bytes.NewReader(it.body))
+	if err != nil {
+		atomic.AddInt64(&c.rep.Transport, 1)
+		return
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		atomic.AddInt64(&c.rep.Transport, 1)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		atomic.AddInt64(&c.rep.OK, 1)
+		if resp.Header.Get("X-Hlod-Cache") == "hit" {
+			atomic.AddInt64(&c.rep.CacheHits, 1)
+		}
+		want := c.oracleAnswer(it)
+		if want != nil && !bytes.Equal(body, want) {
+			n := atomic.AddInt64(&c.rep.Divergent, 1)
+			if n <= 3 {
+				c.failf("byte divergence on %s (%d bytes vs oracle %d): %.80q vs %.80q",
+					it.endpoint, len(body), len(want), body, want)
+			}
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		atomic.AddInt64(&c.rep.Backpressure, 1)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		atomic.AddInt64(&c.rep.Unavailable, 1)
+	case resp.StatusCode >= 500:
+		atomic.AddInt64(&c.rep.ServerErrors, 1)
+	}
+}
+
+// oracleAnswer returns the un-faulted in-process daemon's 200 body for
+// the item, computing it once. A nil return means the oracle itself
+// could not answer 200 — reported as a campaign failure.
+func (c *campaign) oracleAnswer(it workItem) []byte {
+	key := it.endpoint + "\x00" + string(it.body)
+	c.oracleMu.Lock()
+	defer c.oracleMu.Unlock()
+	if want, ok := c.expected[key]; ok {
+		return want
+	}
+	req, _ := http.NewRequest(http.MethodPost, "/"+it.endpoint, bytes.NewReader(it.body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := newRecorder()
+	c.oracle.ServeHTTP(rr, req)
+	if rr.status != http.StatusOK {
+		c.failf("oracle answered %d for %s %.80q", rr.status, it.endpoint, it.body)
+		c.expected[key] = nil
+		return nil
+	}
+	c.expected[key] = rr.body.Bytes()
+	return c.expected[key]
+}
+
+// recorder is a minimal ResponseWriter for in-process oracle calls
+// (httptest is unavailable outside _test files).
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder            { return &recorder{header: make(http.Header), status: http.StatusOK} }
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(s int)   { r.status = s }
+func (r *recorder) Write(p []byte) (int, error) {
+	return r.body.Write(p)
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildHlod compiles the daemon binary once for the package's tests.
+func buildHlod(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hlod")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/hlod")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build hlod: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestCampaignShort runs a compressed end-to-end campaign: two real
+// daemons, one gateway, all five fault classes, then the full recovery
+// verification. This is the acceptance test for the farm's robustness
+// story; the CI chaos job runs the same thing longer via cmd/hlochaos.
+func TestCampaignShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes; skipped in -short")
+	}
+	rep, err := Run(Config{
+		HlodBin:    buildHlod(t),
+		Daemons:    2,
+		Duration:   8 * time.Second,
+		Seed:       1,
+		Rate:       30,
+		FaultEvery: 800 * time.Millisecond,
+		Dir:        filepath.Join(t.TempDir(), "campaign"),
+		Log:        testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		t.Fatalf("campaign drove no successful traffic: %+v", rep)
+	}
+	if rep.Divergent != 0 {
+		t.Fatalf("%d byte-divergent responses", rep.Divergent)
+	}
+	total := 0
+	for name, n := range rep.Faults {
+		t.Logf("fault %-12s injected %d time(s)", name, n)
+		total += n
+	}
+	if total < 4 {
+		t.Errorf("only %d faults injected across the window; the campaign barely ran", total)
+	}
+	if rep.Faults["kill"] == 0 || rep.Faults["stop"] == 0 {
+		t.Errorf("process faults missing from the rotation: %v", rep.Faults)
+	}
+	if rep.FinalChecked != len(workload()) {
+		t.Errorf("final verify covered %d/%d workload items", rep.FinalChecked, len(workload()))
+	}
+	t.Logf("campaign: %d requests, %d ok (%d cache hits), err rate %.3f, %d restarts",
+		rep.Requests, rep.OK, rep.CacheHits, rep.ErrRate, rep.Restarts)
+}
+
+// TestWorkloadDeterministic: the request matrix must be identical
+// across calls — the oracle comparison and the stale-lease fault both
+// assume body bytes are reproducible.
+func TestWorkloadDeterministic(t *testing.T) {
+	a, b := workload(), workload()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("workload sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].endpoint != b[i].endpoint || string(a[i].body) != string(b[i].body) {
+			t.Fatalf("workload item %d differs between calls", i)
+		}
+	}
+}
+
+// TestConfigRejectsUnknownFault: typos in -faults must fail loudly, not
+// silently run a weaker campaign.
+func TestConfigRejectsUnknownFault(t *testing.T) {
+	_, err := Run(Config{HlodBin: "/nonexistent", Faults: []string{"kill", "sigquit"}})
+	if err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,476 @@
+package chaos
+
+// Daemon lifecycle and the fault injectors. All lifecycle mutations
+// (kill, stop, restart, wedge) happen on the fault loop's goroutine;
+// client workers only speak HTTP to the gateway, so no daemon state
+// needs locking beyond the report counters.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon boots hlod index i on a fresh port over the shared store
+// and waits for it to answer /healthz.
+func (c *campaign) startDaemon(i int) (*daemon, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+
+	logf, err := os.OpenFile(filepath.Join(c.dir, fmt.Sprintf("hlod-%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		idx:  i,
+		port: port,
+		url:  fmt.Sprintf("http://127.0.0.1:%d", port),
+		logf: logf,
+	}
+	if err := c.execDaemon(d); err != nil {
+		logf.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// execDaemon (re)spawns the process for a daemon slot and waits until
+// it serves. The short -cache-gc period keeps GC sweeps running
+// *during* the fault window, and the default -cache-scrub means every
+// restart after a SIGKILL revalidates the store it crashed over.
+func (c *campaign) execDaemon(d *daemon) error {
+	cmd := exec.Command(c.cfg.HlodBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", d.port),
+		"-workers", "2",
+		"-quiet",
+		"-drain", "2s",
+		"-cache-dir", c.storeDir,
+		"-cache-gc", "2s",
+	)
+	cmd.Stdout = d.logf
+	cmd.Stderr = d.logf
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	d.cmd = cmd
+	d.dead = false
+	d.stopped = false
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := c.client.Get(d.url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("daemon %d on port %d never became healthy", d.idx, d.port)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	d.baseline = c.daemonGoroutines(d)
+	return nil
+}
+
+// daemonGoroutines scrapes a daemon's live goroutine count from its
+// pprof endpoint ("goroutine profile: total N"); -1 if unreachable.
+func (c *campaign) daemonGoroutines(d *daemon) int {
+	resp, err := c.client.Get(d.url + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	line, _, _ := strings.Cut(string(data), "\n")
+	var n int
+	if _, err := fmt.Sscanf(line, "goroutine profile: total %d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// injectOne applies the next fault in rotation: cycling the classes
+// (rather than sampling) guarantees every configured class is injected
+// given enough events, even in short campaigns.
+func (c *campaign) injectOne() {
+	name := c.cfg.Faults[c.faultIdx%len(c.cfg.Faults)]
+	c.faultIdx++
+	switch name {
+	case "kill":
+		c.faultKill()
+	case "stop":
+		c.faultStop()
+	case "corrupt":
+		c.faultCorrupt()
+	case "wedge":
+		c.faultWedge()
+	case "stale-lease":
+		c.faultStaleLease()
+	}
+}
+
+func (c *campaign) recordFault(name, detail string) {
+	c.mu.Lock()
+	c.rep.Faults[name]++
+	c.mu.Unlock()
+	c.logf("fault %s: %s", name, detail)
+}
+
+// pickDaemon returns a random currently-runnable daemon, or nil.
+func (c *campaign) pickDaemon(wantRunning bool) *daemon {
+	var pool []*daemon
+	for _, d := range c.daemons {
+		if wantRunning && (d.dead || d.stopped) {
+			continue
+		}
+		pool = append(pool, d)
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[c.rng.Intn(len(pool))]
+}
+
+// faultKill SIGKILLs a daemon — mid-fill if a fill happens to be in
+// flight — and restarts it, which runs the startup scrub over whatever
+// the corpse left behind (torn temp files, an orphaned lease its
+// followers must take over in the meantime).
+func (c *campaign) faultKill() {
+	d := c.pickDaemon(true)
+	if d == nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+	d.dead = true
+	c.recordFault("kill", fmt.Sprintf("daemon %d (port %d), restarting", d.idx, d.port))
+	if err := c.execDaemon(d); err != nil {
+		c.failf("daemon %d did not come back after SIGKILL: %v", d.idx, err)
+		return
+	}
+	c.mu.Lock()
+	c.rep.Restarts++
+	c.mu.Unlock()
+}
+
+// faultStop SIGSTOPs a daemon for one to two seconds: long enough that
+// in-flight requests on it straggle past the gateway's hedge delay and
+// active probes eject it, short enough that it revives within the
+// window.
+func (c *campaign) faultStop() {
+	d := c.pickDaemon(true)
+	if d == nil {
+		return
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		return
+	}
+	d.stopped = true
+	d.resumeAt = time.Now().Add(time.Second + time.Duration(c.rng.Int63n(int64(time.Second))))
+	c.recordFault("stop", fmt.Sprintf("daemon %d until %s", d.idx, d.resumeAt.Format("15:04:05.000")))
+}
+
+// resumeStopped SIGCONTs daemons whose stall has elapsed (or all of
+// them, when force is set during healing).
+func (c *campaign) resumeStopped(force bool) {
+	for _, d := range c.daemons {
+		if d.stopped && (force || time.Now().After(d.resumeAt)) {
+			d.cmd.Process.Signal(syscall.SIGCONT)
+			d.stopped = false
+		}
+	}
+}
+
+// faultCorrupt flips a byte in (or truncates) a random stored object,
+// simulating a torn write or bit rot. The next Get must quarantine it
+// and recompile — never serve the damaged bytes.
+func (c *campaign) faultCorrupt() {
+	var objects []string
+	filepath.WalkDir(filepath.Join(c.storeDir, "objects"), func(path string, e fs.DirEntry, err error) error {
+		if err == nil && !e.IsDir() && !strings.Contains(e.Name(), ".tmp-") {
+			objects = append(objects, path)
+		}
+		return nil
+	})
+	if len(objects) == 0 {
+		return
+	}
+	path := objects[c.rng.Intn(len(objects))]
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		return
+	}
+	if c.rng.Intn(2) == 0 {
+		os.Truncate(path, info.Size()/2)
+		c.recordFault("corrupt", fmt.Sprintf("truncated %s to %d bytes", filepath.Base(path), info.Size()/2))
+		return
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return
+	}
+	off := c.rng.Int63n(info.Size())
+	var b [1]byte
+	f.ReadAt(b[:], off)
+	b[0] ^= 0x40
+	f.WriteAt(b[:], off)
+	f.Close()
+	c.recordFault("corrupt", fmt.Sprintf("flipped byte %d of %s", off, filepath.Base(path)))
+}
+
+// faultWedge makes the response-object tree unwritable by replacing the
+// objects/resp directory with a regular file: every MkdirAll and rename
+// under it fails ENOTDIR, the same degradation class as a full or
+// read-only disk (root ignores permission bits, so chmod cannot
+// simulate this). Daemons must keep answering — counted store misses,
+// local compiles — until the wedge heals.
+func (c *campaign) faultWedge() {
+	if c.wedged {
+		c.unwedge() // alternate: a second wedge event heals the first
+		return
+	}
+	respDir := filepath.Join(c.storeDir, "objects", "resp")
+	held := filepath.Join(c.storeDir, "objects", ".resp-held")
+	os.Rename(respDir, held) // may fail if no resp object exists yet; the file still wedges
+	if err := os.WriteFile(respDir, []byte("chaos wedge\n"), 0o644); err != nil {
+		os.Rename(held, respDir)
+		return
+	}
+	c.wedged = true
+	c.recordFault("wedge", "objects/resp replaced by a regular file (ENOTDIR on every store write)")
+}
+
+// unwedge removes the wedge file and restores any held objects. A
+// daemon may have recreated objects/resp the instant the file vanished,
+// so a straight rename can fail — then the held shards are merged back
+// entry by entry.
+func (c *campaign) unwedge() {
+	if !c.wedged {
+		return
+	}
+	respDir := filepath.Join(c.storeDir, "objects", "resp")
+	held := filepath.Join(c.storeDir, "objects", ".resp-held")
+	os.Remove(respDir)
+	if err := os.Rename(held, respDir); err != nil && !os.IsNotExist(err) {
+		filepath.WalkDir(held, func(path string, e fs.DirEntry, werr error) error {
+			if werr != nil || e.IsDir() {
+				return werr
+			}
+			rel, rerr := filepath.Rel(held, path)
+			if rerr != nil {
+				return nil
+			}
+			dst := filepath.Join(respDir, rel)
+			os.MkdirAll(filepath.Dir(dst), 0o755)
+			os.Rename(path, dst)
+			return nil
+		})
+		os.RemoveAll(held)
+	}
+	c.wedged = false
+	c.logf("heal: store unwedged")
+}
+
+// faultStaleLease deletes a workload item's cached response and plants
+// a fill lease owned by a ghost process — either already expired (the
+// takeover path must fire immediately) or expiring shortly with a
+// skewed clock (followers must wait it out, then take over; nobody may
+// wait forever).
+func (c *campaign) faultStaleLease() {
+	it := c.items[c.rng.Intn(len(c.items))]
+	key := serve.ResponseCacheKey(it.endpoint, it.body)
+	os.Remove(filepath.Join(c.storeDir, "objects", "resp", key[:2], key))
+	expiry := time.Now().Add(-time.Second) // stale: takeover fires at once
+	mode := "expired"
+	if c.rng.Intn(2) == 0 {
+		expiry = time.Now().Add(1500 * time.Millisecond) // skewed: wait, then take over
+		mode = "skewed"
+	}
+	lease := filepath.Join(c.storeDir, "leases", "resp-"+key+".lease")
+	if err := os.WriteFile(lease, []byte(fmt.Sprintf("chaos-ghost %d\n", expiry.UnixNano())), 0o644); err != nil {
+		return
+	}
+	c.recordFault("stale-lease", fmt.Sprintf("%s ghost lease on %s %.8s…", mode, it.endpoint, key))
+}
+
+// heal ends the fault window: resume every stopped daemon, remove the
+// wedge, clear ghost leases, and restart anything dead, then give the
+// probes one breaker cooldown to revive ejected backends.
+func (c *campaign) heal() {
+	c.resumeStopped(true)
+	c.unwedge()
+	// Ghost leases whose expiry hasn't passed would stall the final
+	// verify for no reason; the real recovery path (takeover of an
+	// expired lease) ran during the window.
+	leases, _ := filepath.Glob(filepath.Join(c.storeDir, "leases", "*.lease"))
+	for _, l := range leases {
+		if data, err := os.ReadFile(l); err == nil && strings.HasPrefix(string(data), "chaos-ghost ") {
+			os.Remove(l)
+		}
+	}
+	for _, d := range c.daemons {
+		if d.dead {
+			if err := c.execDaemon(d); err != nil {
+				c.failf("heal: daemon %d unrevivable: %v", d.idx, err)
+			} else {
+				c.mu.Lock()
+				c.rep.Restarts++
+				c.mu.Unlock()
+			}
+		}
+	}
+	time.Sleep(time.Second) // probes + half-open breakers converge
+	c.logf("healed: %d daemons up", len(c.daemons))
+}
+
+// finalVerify replays the full workload matrix through the gateway
+// after healing: every item must answer 200 with oracle-identical
+// bytes. Transient post-heal turbulence (a breaker mid-probe) is
+// retried; persistent failure is the "unrecovered failure" the
+// campaign exists to catch.
+func (c *campaign) finalVerify() {
+	for _, it := range c.items {
+		want := c.oracleAnswer(it)
+		if want == nil {
+			continue // oracle failure already reported
+		}
+		ok := false
+		var last string
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := c.client.Post(c.gwURL+"/"+it.endpoint, "application/json", bytes.NewReader(it.body))
+			if err != nil {
+				last = err.Error()
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				last = fmt.Sprintf("status %d (%v)", resp.StatusCode, rerr)
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			if !bytes.Equal(body, want) {
+				c.failf("final verify: %s answers different bytes than the oracle (%d vs %d)",
+					it.endpoint, len(body), len(want))
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			c.failf("final verify: %s %.60q never recovered: %s", it.endpoint, it.body, last)
+		} else {
+			c.mu.Lock()
+			c.rep.FinalChecked++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// checkDaemonLeaks compares each daemon's goroutine count against its
+// post-boot baseline once the farm has quiesced.
+func (c *campaign) checkDaemonLeaks() {
+	const tolerance = 16
+	for _, d := range c.daemons {
+		if d.baseline <= 0 {
+			continue
+		}
+		// Counts drain as in-flight work unwinds; poll briefly.
+		var n int
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			n = c.daemonGoroutines(d)
+			if n >= 0 && n <= d.baseline+tolerance {
+				break
+			}
+			if time.Now().After(deadline) {
+				c.failf("daemon %d leaks goroutines: %d now vs %d at boot", d.idx, n, d.baseline)
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+}
+
+// checkGatewayLeak closes the gateway and asserts this process returned
+// to its pre-campaign goroutine baseline (straggling hedge attempts,
+// probe loops, and drain goroutines must all unwind).
+func (c *campaign) checkGatewayLeak(baseline int) {
+	if c.gwServer != nil {
+		c.gwServer.Close()
+	}
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	c.client.CloseIdleConnections()
+	const tolerance = 8
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC() // nudge netpoll/finalizer goroutines to settle
+		n := runtime.NumGoroutine()
+		if n <= baseline+tolerance {
+			return
+		}
+		if time.Now().After(deadline) {
+			c.failf("harness leaks goroutines: %d now vs %d baseline", n, baseline)
+			return
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// teardown closes the gateway (idempotent — the leak check already did
+// on the happy path) and terminates every daemon (SIGTERM, then SIGKILL
+// on a stuck drain), closing their logs.
+func (c *campaign) teardown() {
+	if c.gwServer != nil {
+		c.gwServer.Close()
+	}
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	for _, d := range c.daemons {
+		if d.cmd == nil || d.cmd.Process == nil {
+			continue
+		}
+		if d.stopped {
+			d.cmd.Process.Signal(syscall.SIGCONT)
+		}
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func(cmd *exec.Cmd) { cmd.Wait(); close(done) }(d.cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			d.cmd.Process.Kill()
+			<-done
+		}
+		d.logf.Close()
+	}
+}

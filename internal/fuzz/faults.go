@@ -114,10 +114,14 @@ func RunFaults(cfg FaultConfig) (*FaultReport, error) {
 	defer resilience.DisarmAll()
 
 	probes := map[string]func(*FaultReport, func(string, string, string, ...any)){
-		"isom/decode":    probeIsomDecode,
-		"profile/read":   probeProfileRead,
-		"serve/dispatch": probeServeDispatch,
-		"cas/read":       probeCASRead,
+		"isom/decode":     probeIsomDecode,
+		"profile/read":    probeProfileRead,
+		"serve/dispatch":  probeServeDispatch,
+		"cas/read":        probeCASRead,
+		"cas/write":       probeCASWrite,
+		"cas/evict":       probeCASEvict,
+		"cas/scrub":       probeCASScrub,
+		"lease/heartbeat": probeLeaseHeartbeat,
 	}
 
 	for _, b := range benches {
@@ -365,5 +369,164 @@ func probeServeDispatch(rep *FaultReport, fail func(string, string, string, ...a
 	}
 	if code, rbody = post(); code != http.StatusOK {
 		fail(name, "", "request after contained panic: status %d body %q, want 200", code, rbody)
+	}
+}
+
+// faultStore opens a throwaway artifact store for a probe, returning a
+// cleanup func.
+func faultStore(name string, fail func(string, string, string, ...any)) (*cas.Store, func(), bool) {
+	dir, err := os.MkdirTemp("", "hlocas-fault-*")
+	if err != nil {
+		fail(name, "", "tempdir: %v", err)
+		return nil, nil, false
+	}
+	st, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		os.RemoveAll(dir)
+		fail(name, "", "open store: %v", err)
+		return nil, nil, false
+	}
+	return st, func() { os.RemoveAll(dir) }, true
+}
+
+// probeCASWrite asserts the store-write degrade boundary: a panic
+// injected inside Put must come back as an error naming the fault —
+// counted, never a crash — and the store must keep accepting writes.
+func probeCASWrite(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "cas/write"
+	st, cleanup, ok := faultStore(name, fail)
+	if !ok {
+		return
+	}
+	defer cleanup()
+	key := cas.Key([]byte("write-probe"))
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	perr := st.Put("ir", key, []byte("artifact"))
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if perr == nil || !strings.Contains(perr.Error(), "injected fault at "+name) {
+		fail(name, "", "put did not degrade to an error naming the fault: %v", perr)
+		return
+	}
+	if st.Counters()["write_errors"] == 0 {
+		fail(name, "", "write failure not counted")
+		return
+	}
+	if err := st.Put("ir", key, []byte("artifact")); err != nil {
+		fail(name, "", "store unusable after fault: %v", err)
+		return
+	}
+	if got, err := st.Get("ir", key); err != nil || string(got) != "artifact" {
+		fail(name, "", "post-fault roundtrip = %q, %v", got, err)
+	}
+}
+
+// probeCASEvict asserts eviction containment: a panic injected inside a
+// GC sweep is absorbed (counted, sweep abandoned) and the store's data
+// survives intact.
+func probeCASEvict(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "cas/evict"
+	st, cleanup, ok := faultStore(name, fail)
+	if !ok {
+		return
+	}
+	defer cleanup()
+	key := cas.Key([]byte("evict-probe"))
+	if err := st.Put("ir", key, []byte("artifact")); err != nil {
+		fail(name, "", "put: %v", err)
+		return
+	}
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	st.GC()
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if st.Counters()["evict_errors"] == 0 {
+		fail(name, "", "aborted sweep not counted")
+		return
+	}
+	if got, err := st.Get("ir", key); err != nil || string(got) != "artifact" {
+		fail(name, "", "entry lost to a faulted sweep: %q, %v", got, err)
+	}
+}
+
+// probeCASScrub asserts scrub containment: a panic injected while
+// validating one object is counted as a scrub error and must NOT
+// quarantine the (perfectly healthy) object.
+func probeCASScrub(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "cas/scrub"
+	st, cleanup, ok := faultStore(name, fail)
+	if !ok {
+		return
+	}
+	defer cleanup()
+	key := cas.Key([]byte("scrub-probe"))
+	if err := st.Put("ir", key, []byte("artifact")); err != nil {
+		fail(name, "", "put: %v", err)
+		return
+	}
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	srep := st.Scrub()
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if srep.Errors == 0 {
+		fail(name, "", "injected scrub fault not reported: %+v", srep)
+		return
+	}
+	if srep.Quarantined != 0 {
+		fail(name, "", "healthy object quarantined under an injected fault: %+v", srep)
+		return
+	}
+	if got, err := st.Get("ir", key); err != nil || string(got) != "artifact" {
+		fail(name, "", "entry unreadable after faulted scrub: %q, %v", got, err)
+	}
+}
+
+// probeLeaseHeartbeat asserts renewal containment: a panic injected
+// mid-renew surfaces as an error (the heartbeat loop absorbs it and the
+// next tick retries); the lease file survives and a later renew works.
+func probeLeaseHeartbeat(rep *FaultReport, fail func(string, string, string, ...any)) {
+	const name = "lease/heartbeat"
+	st, cleanup, ok := faultStore(name, fail)
+	if !ok {
+		return
+	}
+	defer cleanup()
+	key := cas.Key([]byte("heartbeat-probe"))
+	lease, err := st.Acquire("ir", key)
+	if err != nil {
+		fail(name, "", "acquire: %v", err)
+		return
+	}
+	defer lease.Release()
+	resilience.DisarmAll()
+	resilience.ResetStats()
+	if _, err := resilience.Arm(name, 0); err != nil {
+		fail(name, "", "arm: %v", err)
+		return
+	}
+	rerr := lease.Renew()
+	resilience.DisarmAll()
+	rep.Fired[name] += int(resilience.Lookup(name).Fired())
+	if rerr == nil || !strings.Contains(rerr.Error(), "injected fault at "+name) {
+		fail(name, "", "renew did not degrade to an error naming the fault: %v", rerr)
+		return
+	}
+	if err := lease.Renew(); err != nil {
+		fail(name, "", "renew broken after contained fault: %v", err)
 	}
 }

@@ -1,0 +1,77 @@
+package serve
+
+// Retry budgets for the gateway, Finagle-style: every client request
+// deposits a fraction of a token, every extra attempt — a failover
+// retry or a hedge — withdraws a whole one. The arithmetic is the
+// policy: with ratio r, sustained extra-attempt volume is capped at an
+// r-fraction of request volume (plus a small burst for transients), so
+// a dying backend degrades into its share of the budget instead of
+// amplifying every request into a retry storm. The gateway keeps one
+// global bucket and one per backend; an extra attempt must afford both,
+// and is charged to the backend that *caused* it (the one that failed
+// or straggled) — a sick backend spends its own allowance, not the
+// farm's.
+
+import "sync"
+
+// tokenBucket is a request-driven token bucket (no wall-clock refill:
+// deposits arrive with traffic, so the budget scales with load and is
+// exactly reproducible in tests). A nil bucket allows everything —
+// that is how RetryBudget < 0 disables budgeting.
+type tokenBucket struct {
+	mu     sync.Mutex
+	ratio  float64 // tokens earned per deposit (per proxied request)
+	burst  float64 // cap, and the initial balance
+	tokens float64
+}
+
+// newTokenBucket builds a bucket, or nil (= unlimited) when ratio < 0.
+// ratio 0 means the default 0.1; burst <= 0 means 10.
+func newTokenBucket(ratio, burst float64) *tokenBucket {
+	if ratio < 0 {
+		return nil
+	}
+	if ratio == 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &tokenBucket{ratio: ratio, burst: burst, tokens: burst}
+}
+
+func (b *tokenBucket) deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// withdraw takes one whole token, reporting whether the caller may
+// proceed with the extra attempt.
+func (b *tokenBucket) withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// balance reads the current token count (metrics).
+func (b *tokenBucket) balance() float64 {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

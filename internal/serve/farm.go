@@ -102,9 +102,24 @@ func (s *Server) executeFarm(ctx context.Context, endpoint, pol string, body []b
 	s.reg.Count("serve.cas.resp.miss", 1)
 	res := s.execute(ctx, endpoint, body, build)
 	if res.status == http.StatusOK && !res.canceled {
+		// A failed Put (disk full, store wedged, injected cas/write
+		// fault) is a counted degradation, not an error: the response
+		// was compiled locally and is served regardless; only the farm
+		// misses out on the shared fill.
 		if s.store.Put(kindResponse, key, encodeResponse(res)) == nil {
 			s.reg.Count("serve.cas.resp.fill", 1)
+		} else {
+			s.reg.Count("serve.cas.resp.fill_fail", 1)
 		}
 	}
 	return res
+}
+
+// ResponseCacheKey computes the cas key under which a daemon persists
+// the rendered 200 response for (endpoint, body) — exactly the key
+// executeFarm uses. Exported for harnesses (the chaos campaign, repair
+// tooling) that must target a specific farm-store entry from outside
+// the serving process.
+func ResponseCacheKey(endpoint string, body []byte) string {
+	return respKey(endpoint, policyIdentity(body), body)
 }

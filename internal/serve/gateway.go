@@ -16,6 +16,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -23,6 +24,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,25 +84,57 @@ type GatewayConfig struct {
 	// AccessLog, when non-nil, receives one JSON line per proxied
 	// request.
 	AccessLog io.Writer
+	// RetryBudget is the token-bucket deposit ratio: every client
+	// request earns this fraction of a token (globally and on the
+	// backend it lands on), and every failover retry or hedge spends a
+	// whole token from both the global bucket and the causing backend's.
+	// Sustained extra attempts are thereby capped at RetryBudget x
+	// request volume. 0 means 0.1; negative disables budgeting.
+	RetryBudget float64
+	// RetryBurst is each bucket's cap and starting balance, the
+	// allowance for transient bursts before the ratio kicks in.
+	// <= 0 means 10.
+	RetryBurst float64
+	// HedgeAfter, when > 0, launches a duplicate of a work request
+	// against the next backend in rendezvous order if the primary has
+	// not answered within this delay. Sound because every farm response
+	// is a pure function of the request body: whichever copy answers
+	// first is relayed, and when both return 200 their bodies are
+	// asserted byte-identical (gw.hedge.mismatch counts violations).
+	// Hedges spend retry-budget tokens like failovers do. 0 disables.
+	HedgeAfter time.Duration
+	// ProbeInterval, when > 0, actively probes each backend's /healthz
+	// on this period and feeds the outcome to its breaker, so an
+	// ejected backend is revived (and a dying one ejected) without
+	// waiting for user traffic to find out. 0 disables.
+	ProbeInterval time.Duration
 }
 
-// gwBackend is one daemon as the gateway sees it: its URL and the
-// breaker guarding it.
+// gwBackend is one daemon as the gateway sees it: its URL, the breaker
+// guarding it, and its retry-budget bucket.
 type gwBackend struct {
-	url string
-	brk *breaker
+	url    string
+	brk    *breaker
+	budget *tokenBucket
 }
 
-// Gateway is the proxy handler. Create with NewGateway.
+// Gateway is the proxy handler. Create with NewGateway; call Close to
+// stop the probe loop (if ProbeInterval enabled it) and release idle
+// connections.
 type Gateway struct {
 	cfg      GatewayConfig
 	backends []*gwBackend
 	client   *http.Client
+	budget   *tokenBucket // global retry/hedge budget
 	reg      *obs.Recorder
 	log      *accessLogger
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+
+	probeClient *http.Client
+	probeStop   chan struct{}
+	probeDone   chan struct{}
 }
 
 // NewGateway builds a Gateway; it panics if cfg.Backends is empty
@@ -129,16 +163,39 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
+	g.budget = newTokenBucket(cfg.RetryBudget, cfg.RetryBurst)
 	rc := RetryConfig{BreakerThreshold: cfg.BreakerThreshold, BreakerCooldown: cfg.BreakerCooldown}
 	for _, b := range cfg.Backends {
-		g.backends = append(g.backends, &gwBackend{url: b, brk: newBreaker(rc)})
+		g.backends = append(g.backends, &gwBackend{
+			url:    b,
+			brk:    newBreaker(rc),
+			budget: newTokenBucket(cfg.RetryBudget, cfg.RetryBurst),
+		})
 	}
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux.HandleFunc("/compile", g.proxyHandler("compile"))
 	g.mux.HandleFunc("/run", g.proxyHandler("run"))
 	g.mux.HandleFunc("/train", g.proxyHandler("train"))
+	if cfg.ProbeInterval > 0 {
+		g.startProbes()
+	}
 	return g
+}
+
+// Close stops the active-probe loop and releases idle connections. It
+// does not drain in-flight proxied requests; StartDrain plus
+// http.Server.Shutdown own that.
+func (g *Gateway) Close() {
+	if g.probeStop != nil {
+		close(g.probeStop)
+		<-g.probeDone
+		g.probeStop = nil
+	}
+	g.client.CloseIdleConnections()
+	if g.probeClient != nil {
+		g.probeClient.CloseIdleConnections()
+	}
 }
 
 // StartDrain fails /healthz and refuses new work; in-flight proxied
@@ -223,8 +280,17 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_, opens := b.brk.stats(now)
 		fmt.Fprintf(w, "hlogate_backend_ejections_total{backend=%q} %d\n", b.url, opens)
 	}
-	// Counter registry: gw.req|endpoint|code and gw.fwd|backend|outcome.
-	var reqLines, fwdLines, rest []string
+	if g.budget != nil {
+		fmt.Fprintf(w, "# HELP hlogate_retry_budget Remaining retry/hedge tokens per bucket.\n")
+		fmt.Fprintf(w, "# TYPE hlogate_retry_budget gauge\n")
+		fmt.Fprintf(w, "hlogate_retry_budget{scope=\"global\"} %.2f\n", g.budget.balance())
+		for _, b := range g.backends {
+			fmt.Fprintf(w, "hlogate_retry_budget{backend=%q} %.2f\n", b.url, b.budget.balance())
+		}
+	}
+	// Counter registry: gw.req|endpoint|code, gw.fwd|backend|outcome,
+	// gw.probe|backend|outcome.
+	var reqLines, fwdLines, probeLines, rest []string
 	for _, c := range g.reg.Counters() {
 		if suffix, ok := cutCounter(c.Name, "gw.req|"); ok {
 			reqLines = append(reqLines, fmt.Sprintf("hlogate_requests_total{endpoint=%q,code=%q} %d", suffix[0], suffix[1], c.Value))
@@ -234,10 +300,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fwdLines = append(fwdLines, fmt.Sprintf("hlogate_forwards_total{backend=%q,outcome=%q} %d", suffix[0], suffix[1], c.Value))
 			continue
 		}
+		if suffix, ok := cutCounter(c.Name, "gw.probe|"); ok {
+			probeLines = append(probeLines, fmt.Sprintf("hlogate_probes_total{backend=%q,outcome=%q} %d", suffix[0], suffix[1], c.Value))
+			continue
+		}
 		rest = append(rest, fmt.Sprintf("hlogate_counter{name=%q} %d", c.Name, c.Value))
 	}
 	writeCounterBlock(w, "hlogate_requests_total", "Client requests by endpoint and final status.", reqLines)
 	writeCounterBlock(w, "hlogate_forwards_total", "Proxied attempts by backend and outcome (ok, error, http_5xx).", fwdLines)
+	writeCounterBlock(w, "hlogate_probes_total", "Active health probes by backend and outcome.", probeLines)
 	writeCounterBlock(w, "hlogate_counter", "Other gateway counters.", rest)
 }
 
@@ -307,87 +378,275 @@ func (g *Gateway) proxyHandler(endpoint string) http.HandlerFunc {
 	}
 }
 
+// attemptResult is one proxied attempt's outcome as seen by forward.
+type attemptResult struct {
+	url    string
+	status int
+	header http.Header
+	body   []byte
+	err    error // transport-level failure
+	hedged bool
+}
+
 // forward tries the key's rendezvous order, skipping ejected backends,
-// failing over past transport errors and 5xx responses, and relaying
-// the first healthy answer verbatim (all headers — Retry-After and the
-// X-Hlod-* queue/cache set included — plus X-Hlogate-Backend naming the
-// daemon that served it). When every backend is down it answers 503
-// with a Retry-After derived from the soonest breaker reopen.
+// failing over past transport errors and 5xx responses (when the retry
+// budget affords it), hedging a straggling primary (when configured),
+// and relaying the first healthy answer verbatim (all headers —
+// Retry-After and the X-Hlod-* queue/cache set included — plus
+// X-Hlogate-Backend naming the daemon that served it). When every
+// backend is down it answers 503 with a Retry-After derived from the
+// soonest breaker reopen.
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, endpoint string, body []byte) {
 	order := RendezvousOrder(endpoint+"\x00"+string(body), g.cfg.Backends)
 	byURL := make(map[string]*gwBackend, len(g.backends))
 	for _, b := range g.backends {
 		byURL[b.url] = b
 	}
+	g.budget.deposit()
 
-	var lastStatus int
-	var lastBody []byte
-	var lastHeader http.Header
-	var lastBackend string
 	minWait := time.Duration(-1)
-	for _, url := range order {
-		b := byURL[url]
-		now := time.Now()
-		if ok, wait := b.brk.allow(now); !ok {
-			if minWait < 0 || wait < minWait {
-				minWait = wait
+	next := 0
+	// takeNext consumes the next breaker-admitted candidate in the
+	// key's rendezvous order. Breaker skips are free: no request was
+	// sent, so moving past an ejected backend costs no budget.
+	takeNext := func() *gwBackend {
+		for next < len(order) {
+			b := byURL[order[next]]
+			next++
+			if ok, wait := b.brk.allow(time.Now()); !ok {
+				if minWait < 0 || wait < minWait {
+					minWait = wait
+				}
+				g.reg.Count("gw.fwd|"+b.url+"|skipped", 1)
+				continue
 			}
-			g.reg.Count("gw.fwd|"+url+"|skipped", 1)
-			continue
+			return b
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+"/"+endpoint, bytes.NewReader(body))
-		if err != nil {
-			b.brk.report(time.Now(), false)
-			continue
-		}
-		if ct := r.Header.Get("Content-Type"); ct != "" {
-			req.Header.Set("Content-Type", ct)
-		}
-		resp, err := g.client.Do(req)
-		if err != nil {
-			// Transport failure: the daemon is gone or unreachable. Eject
-			// progress and fail over — unless our own client bailed.
-			if r.Context().Err() != nil {
-				return
-			}
-			b.brk.report(time.Now(), false)
-			g.reg.Count("gw.fwd|"+url+"|error", 1)
-			continue
-		}
-		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
-		resp.Body.Close()
-		if rerr != nil {
-			b.brk.report(time.Now(), false)
-			g.reg.Count("gw.fwd|"+url+"|error", 1)
-			continue
-		}
-		if resp.StatusCode >= 500 {
-			// Daemon-side failure: count it, remember it (if no backend
-			// does better the client still deserves the real error), and
-			// try the next candidate.
-			b.brk.report(time.Now(), false)
-			g.reg.Count("gw.fwd|"+url+"|http_5xx", 1)
-			lastStatus, lastBody, lastHeader, lastBackend = resp.StatusCode, respBody, resp.Header, url
-			continue
-		}
-		// Anything below 500 — success, client error, or 429 backpressure
-		// — is a healthy daemon answering. Relay verbatim.
-		b.brk.report(time.Now(), true)
-		g.reg.Count("gw.fwd|"+url+"|ok", 1)
-		relay(w, resp.StatusCode, resp.Header, respBody, url)
-		return
+		return nil
 	}
 
-	if lastStatus != 0 {
-		relay(w, lastStatus, lastHeader, lastBody, lastBackend)
+	results := make(chan attemptResult, len(order))
+	outstanding := 0
+	launch := func(b *gwBackend, hedged bool) {
+		outstanding++
+		b.budget.deposit()
+		go g.attempt(r, endpoint, b.url, body, hedged, results)
+	}
+
+	primary := takeNext()
+	if primary != nil {
+		launch(primary, false)
+	}
+	var hedgeC <-chan time.Time
+	if g.cfg.HedgeAfter > 0 && primary != nil && len(order) > 1 {
+		t := time.NewTimer(g.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var winner, fallback *attemptResult
+	for outstanding > 0 && winner == nil {
+		select {
+		case res := <-results:
+			outstanding--
+			b := byURL[res.url]
+			switch {
+			case res.err != nil:
+				b.brk.report(time.Now(), false)
+				g.reg.Count("gw.fwd|"+res.url+"|error", 1)
+			case res.status >= 500:
+				// Daemon-side failure: count it, remember it (if no
+				// backend does better the client still deserves the
+				// real error), and try the next candidate.
+				b.brk.report(time.Now(), false)
+				g.reg.Count("gw.fwd|"+res.url+"|http_5xx", 1)
+				res := res
+				fallback = &res
+			default:
+				// Anything below 500 — success, client error, or 429
+				// backpressure — is a healthy daemon answering.
+				b.brk.report(time.Now(), true)
+				g.reg.Count("gw.fwd|"+res.url+"|ok", 1)
+				res := res
+				winner = &res
+			}
+			if winner == nil {
+				// Failed attempt: budgeted failover, charged to the
+				// backend that failed.
+				if g.allowExtra(b, "retry") {
+					if nb := takeNext(); nb != nil {
+						launch(nb, false)
+					}
+				}
+			}
+		case <-hedgeC:
+			// The primary is straggling: launch a duplicate on the next
+			// candidate, charged to the straggler's budget.
+			hedgeC = nil
+			if g.allowExtra(primary, "hedge") {
+				if nb := takeNext(); nb != nil {
+					g.reg.Count("gw.hedge.launched", 1)
+					launch(nb, true)
+				}
+			}
+		case <-r.Context().Done():
+			// Our client hung up; nothing left to answer. Stragglers
+			// still feed the breakers off-request.
+			g.drainStragglers(nil, results, outstanding, byURL)
+			return
+		}
+	}
+
+	if winner == nil {
+		if fallback != nil {
+			relay(w, fallback.status, fallback.header, fallback.body, fallback.url)
+			return
+		}
+		// Every backend skipped or unreachable with nothing to relay.
+		g.reg.Count("gw.unavailable", 1)
+		if minWait > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(max(minWait/time.Second, 1))))
+		}
+		writeResult(w, jsonError(http.StatusServiceUnavailable, "no backend available"))
 		return
 	}
-	// Every backend skipped or unreachable with nothing to relay.
-	g.reg.Count("gw.unavailable", 1)
-	if minWait > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(int(max(minWait/time.Second, 1))))
+	if winner.hedged {
+		g.reg.Count("gw.hedge.won", 1)
 	}
-	writeResult(w, jsonError(http.StatusServiceUnavailable, "no backend available"))
+	g.drainStragglers(winner, results, outstanding, byURL)
+	relay(w, winner.status, winner.header, winner.body, winner.url)
+}
+
+// attempt issues one proxied request. It is deliberately detached from
+// the client's context: a hedge straggler must be allowed to finish
+// after the winner is relayed so its bytes can be compared against the
+// winner's (the hedging soundness check); g.client.Timeout bounds the
+// detachment.
+func (g *Gateway) attempt(r *http.Request, endpoint, url string, body []byte, hedged bool, results chan<- attemptResult) {
+	req, err := http.NewRequestWithContext(context.WithoutCancel(r.Context()),
+		http.MethodPost, url+"/"+endpoint, bytes.NewReader(body))
+	if err != nil {
+		results <- attemptResult{url: url, hedged: hedged, err: err}
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		results <- attemptResult{url: url, hedged: hedged, err: err}
+		return
+	}
+	respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes+1))
+	resp.Body.Close()
+	if rerr != nil {
+		results <- attemptResult{url: url, hedged: hedged, err: rerr}
+		return
+	}
+	results <- attemptResult{url: url, status: resp.StatusCode, header: resp.Header, body: respBody, hedged: hedged}
+}
+
+// allowExtra spends one extra-attempt token from both the global budget
+// and the causing backend's. Charging the causer is what keeps one sick
+// backend from draining the whole farm's retry capacity. A denial is
+// counted (gw.retry.denied / gw.hedge.denied) and the extra attempt
+// simply doesn't happen.
+func (g *Gateway) allowExtra(cause *gwBackend, kind string) bool {
+	if cause.budget.withdraw() && g.budget.withdraw() {
+		return true
+	}
+	g.reg.Count("gw."+kind+".denied", 1)
+	return false
+}
+
+// drainStragglers consumes attempts still in flight after the request
+// has been answered (or abandoned), off the request goroutine: their
+// outcomes still feed the breakers, and — the hedging soundness check —
+// when both the winner and a straggler returned 200 for the same body,
+// the bodies must be byte-identical (gw.hedge.mismatch counts
+// violations; the chaos harness asserts it stays zero).
+func (g *Gateway) drainStragglers(winner *attemptResult, results chan attemptResult, outstanding int, byURL map[string]*gwBackend) {
+	if outstanding <= 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < outstanding; i++ {
+			res := <-results
+			b := byURL[res.url]
+			switch {
+			case res.err != nil:
+				b.brk.report(time.Now(), false)
+				g.reg.Count("gw.fwd|"+res.url+"|error", 1)
+			case res.status >= 500:
+				b.brk.report(time.Now(), false)
+				g.reg.Count("gw.fwd|"+res.url+"|http_5xx", 1)
+			default:
+				b.brk.report(time.Now(), true)
+				g.reg.Count("gw.fwd|"+res.url+"|ok", 1)
+				if winner != nil && winner.status == http.StatusOK && res.status == http.StatusOK &&
+					!bytes.Equal(winner.body, res.body) {
+					g.reg.Count("gw.hedge.mismatch", 1)
+				}
+			}
+		}
+	}()
+}
+
+// startProbes runs the active health-probe loop: every ProbeInterval,
+// each backend its breaker currently admits gets a GET /healthz with a
+// short deadline, and the outcome feeds the breaker exactly like user
+// traffic would. In half-open state the probe takes the breaker's
+// single trial slot, so an ejected daemon is revived (or re-ejected) on
+// the cooldown schedule without sacrificing a user request to find out.
+func (g *Gateway) startProbes() {
+	timeout := g.cfg.ProbeInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	g.probeClient = &http.Client{Timeout: timeout}
+	g.probeStop = make(chan struct{})
+	g.probeDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(g.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				g.probeOnce()
+			}
+		}
+	}(g.probeStop, g.probeDone)
+}
+
+// probeOnce probes every admitted backend concurrently and waits for
+// the round to finish (the per-probe timeout bounds the wait).
+func (g *Gateway) probeOnce() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		if ok, _ := b.brk.allow(time.Now()); !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(b *gwBackend) {
+			defer wg.Done()
+			resp, err := g.probeClient.Get(b.url + "/healthz")
+			healthy := err == nil && resp.StatusCode < 500
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			b.brk.report(time.Now(), healthy)
+			outcome := "ok"
+			if !healthy {
+				outcome = "fail"
+			}
+			g.reg.Count("gw.probe|"+b.url+"|"+outcome, 1)
+		}(b)
+	}
+	wg.Wait()
 }
 
 // relay copies a backend response onto the client connection, headers

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -138,10 +139,21 @@ func TestGatewayFailsOverAndEjects(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close() // connection refused from here on
 	live, hits := stubBackend(t, "live", http.StatusOK)
-	g := serve.NewGateway(serve.GatewayConfig{Backends: []string{deadURL, live.URL}, BreakerThreshold: 2})
+	backends := []string{deadURL, live.URL}
+	g := serve.NewGateway(serve.GatewayConfig{Backends: backends, BreakerThreshold: 2})
 
-	for i := 0; i < 8; i++ {
-		rr := postGateway(t, g, fmt.Sprintf(`{"n":%d}`, i))
+	// Pick bodies whose rendezvous primary is the corpse, so every
+	// request exercises the failover path and the breaker must trip
+	// (random bodies can land all-live and leave the corpse untested).
+	var bodies []string
+	for i := 0; len(bodies) < 8; i++ {
+		body := fmt.Sprintf(`{"n":%d}`, i)
+		if serve.RendezvousOrder("compile\x00"+body, backends)[0] == deadURL {
+			bodies = append(bodies, body)
+		}
+	}
+	for i, body := range bodies {
+		rr := postGateway(t, g, body)
 		if rr.Code != http.StatusOK {
 			t.Fatalf("request %d: status %d, want 200 via failover", i, rr.Code)
 		}
@@ -234,4 +246,199 @@ func TestGatewayEndToEndFarm(t *testing.T) {
 	if !bytes.Equal(directBody, body1) {
 		t.Fatal("direct and gated responses differ")
 	}
+}
+
+// gwCounter reads one gateway counter by exact name.
+func gwCounter(g *serve.Gateway, name string) int64 {
+	for _, c := range g.Registry().Counters() {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// bodyRoutedTo finds a request body whose rendezvous-first backend is
+// the given URL, so failover/hedge tests can aim traffic at a specific
+// primary.
+func bodyRoutedTo(t *testing.T, primary string, backends []string) string {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		body := fmt.Sprintf(`{"aim":%d}`, i)
+		if serve.RendezvousOrder("compile\x00"+body, backends)[0] == primary {
+			return body
+		}
+	}
+	t.Fatal("no body routed to the requested primary in 200 tries")
+	return ""
+}
+
+// TestGatewayHedgesStraggler: with HedgeAfter set, a straggling primary
+// gets a duplicate attempt on the next backend and the client is served
+// by whichever answers first — here the hedge, in well under the
+// straggler's delay. Both stubs return identical bytes (as real daemons
+// do for one body), so the soundness check must count zero mismatches.
+func TestGatewayHedgesStraggler(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "identical answer")
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "identical answer")
+	}))
+	defer fast.Close()
+
+	backends := []string{slow.URL, fast.URL}
+	g := serve.NewGateway(serve.GatewayConfig{Backends: backends, HedgeAfter: 20 * time.Millisecond})
+	defer g.Close()
+	body := bodyRoutedTo(t, slow.URL, backends)
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postGateway(t, g, body) }()
+	var rr *httptest.ResponseRecorder
+	select {
+	case rr = <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hedge never fired; request stuck behind the straggler")
+	}
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the hedge", rr.Code)
+	}
+	if be := rr.Header().Get("X-Hlogate-Backend"); be != fast.URL {
+		t.Fatalf("served by %q, want the hedged backend %q", be, fast.URL)
+	}
+	if gwCounter(g, "gw.hedge.launched") == 0 || gwCounter(g, "gw.hedge.won") == 0 {
+		t.Fatal("hedge launch/win not recorded")
+	}
+	// Let the straggler finish and be compared against the winner.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for gwCounter(g, "gw.fwd|"+slow.URL+"|ok") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("straggler result never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := gwCounter(g, "gw.hedge.mismatch"); n != 0 {
+		t.Fatalf("identical responses flagged as %d mismatches", n)
+	}
+}
+
+// TestGatewayHedgeMismatchDetected: if a hedged pair ever returns
+// different bytes for the same body — which the farm's determinism
+// promises cannot happen — the soundness counter must say so.
+func TestGatewayHedgeMismatchDetected(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "slow bytes")
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "fast bytes")
+	}))
+	defer fast.Close()
+
+	backends := []string{slow.URL, fast.URL}
+	g := serve.NewGateway(serve.GatewayConfig{Backends: backends, HedgeAfter: 20 * time.Millisecond})
+	defer g.Close()
+	body := bodyRoutedTo(t, slow.URL, backends)
+
+	if rr := postGateway(t, g, body); rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for gwCounter(g, "gw.hedge.mismatch") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("divergent hedge pair never flagged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayRetryBudgetExhaustion: with a tiny burst and a negligible
+// deposit ratio, a dead primary is only worth its burst's failovers;
+// after that the retry is denied and the client sees the honest 503
+// instead of the farm absorbing an unbounded retry storm.
+func TestGatewayRetryBudgetExhaustion(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	live, _ := stubBackend(t, "live", http.StatusOK)
+	backends := []string{deadURL, live.URL}
+	g := serve.NewGateway(serve.GatewayConfig{
+		Backends:         backends,
+		BreakerThreshold: 1000, // keep the breaker out of the way: this test is about budgets
+		RetryBudget:      0.001,
+		RetryBurst:       2,
+	})
+	defer g.Close()
+	body := bodyRoutedTo(t, deadURL, backends)
+
+	codes := map[int]int{}
+	for i := 0; i < 6; i++ {
+		codes[postGateway(t, g, body).Code]++
+	}
+	if codes[http.StatusOK] != 2 {
+		t.Fatalf("failovers served = %d, want exactly the burst of 2 (codes %v)", codes[http.StatusOK], codes)
+	}
+	if codes[http.StatusServiceUnavailable] != 4 {
+		t.Fatalf("503s = %d, want 4 after the budget dried up (codes %v)", codes[http.StatusServiceUnavailable], codes)
+	}
+	if gwCounter(g, "gw.retry.denied") != 4 {
+		t.Fatalf("gw.retry.denied = %d, want 4", gwCounter(g, "gw.retry.denied"))
+	}
+}
+
+// TestGatewayProbesDriveBreaker: active probes alone — no user traffic
+// — must eject a backend whose /healthz starts failing and revive it
+// when it recovers.
+func TestGatewayProbesDriveBreaker(t *testing.T) {
+	var down atomic.Bool
+	be := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer be.Close()
+	g := serve.NewGateway(serve.GatewayConfig{
+		Backends:         []string{be.URL},
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+		ProbeInterval:    10 * time.Millisecond,
+	})
+	defer g.Close()
+
+	healthz := func() *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		g.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rr
+	}
+	waitFor := func(what string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !pred() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	down.Store(true)
+	waitFor("probe-driven ejection", func() bool {
+		return gwCounter(g, "gw.probe|"+be.URL+"|fail") >= 2 &&
+			strings.Contains(healthz().Body.String(), "ejected")
+	})
+	down.Store(false)
+	// Revival is real only once a probe has actually succeeded (healthz
+	// alone shows a transient "up" window whenever the cooldown lapses).
+	waitFor("probe-driven revival", func() bool {
+		return gwCounter(g, "gw.probe|"+be.URL+"|ok") >= 1 &&
+			!strings.Contains(healthz().Body.String(), "ejected")
+	})
 }

@@ -149,6 +149,8 @@ func TestRunLoadBackendsShard(t *testing.T) {
 		t.Fatalf("bad sharded run: %+v", rep)
 	}
 	backends := map[string]bool{}
+	mu.Lock() // a shed request's handler may still be mid-write server-side
+	defer mu.Unlock()
 	for body, bes := range seen {
 		if len(bes) != 1 {
 			t.Fatalf("body %.40q landed on %d backends, want exactly 1", body, len(bes))

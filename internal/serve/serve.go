@@ -90,7 +90,7 @@ type Server struct {
 	adm     *admission
 	flights flightGroup
 	cache   *driver.Cache
-	store   *cas.Store // farm tier; nil for a standalone daemon
+	store   *cas.Store    // farm tier; nil for a standalone daemon
 	reg     *obs.Recorder // server-lifetime counter registry
 	log     *accessLogger
 	mux     *http.ServeMux
